@@ -1,0 +1,65 @@
+"""Extension bench: the §8 inter-arrival dimension, and §7.4's question.
+
+§7.4 asks whether Ethernet-based RDMA needs end-to-end flow control:
+the pause anomalies arise because "the receiver cannot consume packets
+as fast as the sender sends" and PFC is the only brake.  The duty-cycle
+extension makes that concrete: replaying every pause-frame trigger from
+Appendix A with the sender throttled to the receiver's degraded service
+rate (a poor man's end-to-end flow control) eliminates the pause storms
+— at the price the paper implies, namely giving up offered throughput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_artifact
+from repro.analysis import render_table
+from repro.core.monitor import AnomalyMonitor
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.appendix import APPENDIX_SETTINGS
+
+
+def throttle_sweep():
+    rows = []
+    rng = np.random.default_rng(0)
+    pause_settings = [
+        s for s in APPENDIX_SETTINGS if s.expected_symptom == "pause frame"
+    ]
+    for setting in pause_settings:
+        subsystem = get_subsystem(setting.subsystem)
+        model = SteadyStateModel(subsystem, noise=0.0)
+        monitor = AnomalyMonitor(subsystem)
+        hot = model.evaluate(setting.workload, rng)
+        fwd = hot.directions[0]
+        # Throttle to just under the receiver's degraded service rate.
+        service_fraction = (
+            fwd.achieved_msgs_per_sec / fwd.injection_msgs_per_sec
+        )
+        throttled_duty = max(0.01, min(1.0, service_fraction * 0.95))
+        cool = model.evaluate(
+            setting.workload.replace(duty_cycle=throttled_duty), rng
+        )
+        rows.append(
+            {
+                "setting": setting.number,
+                "pause before": f"{100 * hot.pause_ratio:.0f}%",
+                "pause after": f"{100 * cool.pause_ratio:.1f}%",
+                "duty cycle": f"{throttled_duty:.2f}",
+                "throughput kept": f"{100 * service_fraction:.0f}%",
+                "verdict after": monitor.classify(cool).symptom,
+            }
+        )
+    return rows
+
+
+def test_duty_cycle_extension(benchmark):
+    rows = benchmark(throttle_sweep)
+    print_artifact(
+        "End-to-end throttling (duty-cycle extension) vs the 13 "
+        "pause-frame triggers",
+        render_table(rows),
+    )
+    assert all(row["pause after"] == "0.0%" for row in rows)
+    # The price: none of these keep full offered load (that is exactly
+    # why the paper says hosts need real end-to-end flow control).
+    assert all(float(row["duty cycle"]) < 1.0 for row in rows)

@@ -1,0 +1,59 @@
+"""Figure 4: mean time to find anomalies — random vs BO vs Collie.
+
+The paper's headline search comparison on subsystem F: random input
+generation plateaus on the simple anomalies (7 of 13), Bayesian
+Optimization improves only marginally (8), and Collie's counter-guided
+annealing finds substantially more within the same 10-hour budget.
+"""
+
+from benchmarks.conftest import F_TAGS, print_artifact
+from repro.analysis import time_to_find_series
+from repro.analysis.render import render_time_to_find
+
+
+def series_from(approach, reports):
+    return time_to_find_series(
+        approach,
+        [report.first_hit_times() for report in reports],
+        max_anomalies=len(F_TAGS),
+    )
+
+
+def test_fig4(benchmark, campaigns):
+    def campaign():
+        return (
+            campaigns.random("F"),
+            campaigns.bayesopt("F", use_mfs=False),
+            campaigns.bayesopt("F", use_mfs=True),
+            campaigns.collie("F"),
+        )
+
+    random_reports, bo_pure, bo_mfs, collie_reports = benchmark.pedantic(
+        campaign, rounds=1, iterations=1
+    )
+    series = [
+        series_from("random", random_reports),
+        series_from("BO", bo_pure),
+        series_from("BO+MFS", bo_mfs),
+        series_from("Collie", collie_reports),
+    ]
+    print_artifact(
+        "Figure 4: mean time to find the k-th anomaly on subsystem F "
+        "(paper: random 7, BO 8, Collie all 13)",
+        render_time_to_find(series),
+    )
+    found = {s.approach: s.anomalies_found for s in series}
+    print_artifact(
+        "Figure 4 summary: anomalies found (majority of seeds)",
+        "\n".join(f"  {name}: {count}/13" for name, count in found.items()),
+    )
+    # Shape assertions, per the paper's §7.2 conclusions:
+    # (1) the GP alone "improves efficiency but to a very limited
+    #     extent" — without the MFS enhancement it plateaus with random;
+    assert found["BO"] <= found["random"] + 1
+    # (2) random never escapes the simple-condition suite;
+    assert found["random"] <= 8
+    # (3) the guided approaches clearly dominate the unguided ones.
+    assert found["Collie"] > found["random"]
+    assert found["BO+MFS"] > found["BO"]
+    assert found["Collie"] + 1 >= found["BO+MFS"]

@@ -1,0 +1,84 @@
+"""§9's design-space observation: no transport choice is safe.
+
+"We show that for RDMA developers, in reality, there is no optimal
+choice for a particular design decision (e.g., all transport types have
+certain performance anomalies)."  Two regenerations:
+
+* from the anomaly table: every transport family appears in Table 2;
+* from published system designs: HERD-style (UD SEND), FaSST-style
+  (UD RPC at scale) and FaRM-style (RC READ) workloads each land in
+  *some* subsystem's anomaly region while being clean on others.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_artifact
+from repro.analysis import render_table
+from repro.core.monitor import AnomalyMonitor
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.appendix import APPENDIX_SETTINGS
+from repro.workloads.applications import (
+    farm_style_workload,
+    fasst_style_workload,
+    herd_style_workload,
+)
+
+DESIGNS = (
+    ("HERD-style (UD SEND)", herd_style_workload()),
+    ("FaSST-style (UD RPC)", fasst_style_workload()),
+    ("FaRM-style (RC READ)", farm_style_workload()),
+)
+
+
+def transports_in_table2():
+    transports = {}
+    for setting in APPENDIX_SETTINGS:
+        key = setting.workload.qp_type.value
+        transports.setdefault(key, []).append(setting.expected_tag)
+    return transports
+
+
+def design_sweep():
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, workload in DESIGNS:
+        outcomes = {}
+        for letter in ("B", "F", "H"):
+            subsystem = get_subsystem(letter)
+            measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+                workload, rng
+            )
+            verdict = AnomalyMonitor(subsystem).classify(measurement)
+            outcomes[letter] = (
+                verdict.symptom if verdict.is_anomalous else "ok"
+            )
+        rows.append({"design": name, **outcomes})
+    return rows
+
+
+def test_s9_design_choices(benchmark):
+    transports, rows = benchmark(
+        lambda: (transports_in_table2(), design_sweep())
+    )
+    print_artifact(
+        "§9: anomalies per transport family in Table 2",
+        "\n".join(
+            f"  {qp_type}: {len(tags)} anomalies ({', '.join(tags)})"
+            for qp_type, tags in sorted(transports.items())
+        ),
+    )
+    print_artifact(
+        "§9: published design points across subsystems (B=100G CX-5, "
+        "F=200G CX-6, H=P2100G)",
+        render_table(rows),
+    )
+    # Every transport type carries anomalies...
+    assert set(transports) == {"RC", "UD"}
+    assert all(len(tags) >= 2 for tags in transports.values())
+    # ...and every published design point is anomalous *somewhere*
+    # while clean somewhere else: there is no universally safe choice.
+    for row in rows:
+        outcomes = [row[letter] for letter in ("B", "F", "H")]
+        assert any(o != "ok" for o in outcomes), row
+        assert any(o == "ok" for o in outcomes), row

@@ -1,0 +1,37 @@
+"""Table 1: the eight testbed RDMA subsystem configurations.
+
+Regenerates the paper's testbed inventory from the presets and verifies
+every subsystem stands up and measures a baseline workload.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_artifact
+from repro.analysis import render_table, table1_rows
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import list_subsystems
+from repro.hardware.workload import WorkloadDescriptor
+
+
+def build_and_probe_all():
+    """Instantiate every subsystem and run one baseline measurement."""
+    rows = table1_rows()
+    rng = np.random.default_rng(0)
+    baseline = WorkloadDescriptor(mtu=4096, msg_sizes_bytes=(1048576,))
+    rates = {}
+    for subsystem in list_subsystems():
+        measurement = SteadyStateModel(subsystem).evaluate(baseline, rng)
+        rates[subsystem.name] = measurement.directions[0].wire_gbps
+    return rows, rates
+
+
+def test_table1(benchmark):
+    rows, rates = benchmark(build_and_probe_all)
+    assert len(rows) == 8
+    for row in rows:
+        nominal = float(row["Speed"].split()[0])
+        assert rates[row["Type"]] >= 0.95 * nominal
+    print_artifact(
+        "Table 1: Testbed RDMA subsystems configurations",
+        render_table(rows),
+    )

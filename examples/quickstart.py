@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: hunt for performance anomalies on one RDMA subsystem.
+
+Runs a short Collie search (diagnostic counters + MFS) against the
+simulated 200 Gbps ConnectX-6 testbed (Table 1's subsystem F), then
+prints every anomaly found with its minimal feature set — the necessary
+trigger conditions a developer would use to avoid it.
+
+    python examples/quickstart.py [subsystem-letter] [budget-hours]
+"""
+
+import sys
+
+from repro.core import Collie
+
+
+def main() -> None:
+    letter = sys.argv[1] if len(sys.argv) > 1 else "F"
+    budget_hours = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    print(f"Searching subsystem {letter} for {budget_hours:g} simulated "
+          f"hours (each experiment costs 20-60s of testbed time)...\n")
+    collie = Collie.for_subsystem(letter, seed=0, budget_hours=budget_hours)
+    report = collie.run()
+
+    print(report.summary())
+    print()
+    print(f"counter ranking (by dispersion over 10 probes): "
+          f"{', '.join(report.counter_ranking[:4])}, ...")
+    print(f"experiments run: {report.experiments}  "
+          f"(plus {report.skipped_points} points skipped via MFS matching)")
+    print()
+    print("Per-anomaly discovery log:")
+    for index, mfs in enumerate(report.anomalies, 1):
+        hours = mfs.found_at_seconds / 3600
+        print(f"  [{hours:5.2f}h] anomaly {index}: {mfs.describe()}")
+        print(f"           witness: {mfs.witness.summary()}")
+
+
+if __name__ == "__main__":
+    main()

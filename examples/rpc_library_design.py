@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""§7.3 case study 1: anomaly prevention for an RDMA RPC library.
+
+Before implementing their library, the developers restrict Collie's
+search space to the workloads the library could ever generate (RC only —
+it needs one-sided ops and reliable delivery), and ask whether that
+space contains performance anomalies.  The paper's outcome, reproduced
+here:
+
+* the throughput-tuned design — RDMA READ with large WQE batches and
+  long SG lists — lands in anomaly #4's trigger region;
+* the control path — SEND/RECV with a deep receive queue "in case of
+  receive-not-ready" — lands in anomaly #5's;
+* Collie's suggestions: move bulk data onto batched WRITEs, and size the
+  control path's receive queue carefully.
+"""
+
+import numpy as np
+
+from repro.core import Collie
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.applications import (
+    rpc_library_control_workload,
+    rpc_library_workload,
+)
+from repro.verbs.constants import QPType
+
+SUBSYSTEM = "F"
+
+
+def check(workload, label):
+    subsystem = get_subsystem(SUBSYSTEM)
+    measurement = SteadyStateModel(subsystem).evaluate(
+        workload, np.random.default_rng(0)
+    )
+    verdict = AnomalyMonitor(subsystem).classify(measurement)
+    marker = "ANOMALY" if verdict.is_anomalous else "ok"
+    print(f"  [{marker:7s}] {label}")
+    print(f"            {workload.summary()}")
+    print(f"            symptom={verdict.symptom} "
+          f"wire={verdict.min_wire_gbps:.0f}Gbps "
+          f"pause={100 * verdict.pause_ratio:.1f}%")
+    return verdict
+
+
+def main() -> None:
+    print("Step 1: search the library's restricted space (RC-only).\n")
+    space = SearchSpace.for_subsystem(SUBSYSTEM, qp_types=(QPType.RC,))
+    collie = Collie.for_subsystem(
+        SUBSYSTEM, space=space, seed=0, budget_hours=3.0
+    )
+    report = collie.run()
+    print(f"Collie found {len(report.anomalies)} anomalies inside the "
+          f"restricted space:")
+    for mfs in report.anomalies:
+        print(f"  - {mfs.describe()}")
+
+    print("\nStep 2: check the two candidate designs directly.\n")
+    check(rpc_library_workload(use_read=True),
+          "data path v1: READ + batch 64 + 4-entry SG lists")
+    check(rpc_library_control_workload(recv_queue_depth=2048),
+          "control path v1: SEND/RECV with 2048-deep receive queue")
+
+    print("\nStep 3: apply Collie's design suggestions.\n")
+    check(rpc_library_workload(use_read=False),
+          "data path v2: batched WRITE instead of READ")
+    check(rpc_library_control_workload(recv_queue_depth=128),
+          "control path v2: receive queue sized to 128")
+
+    print("\nBoth suggested designs are clean; the library ships with "
+          "WRITE-based bulk data\nand a carefully sized control receive "
+          "queue — as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Reproduction of *Collie: Finding Performance Anomalies in RDMA Subsystems*
+(Kong et al., NSDI 2022).
+
+The public API re-exports the pieces a downstream user needs:
+
+* :class:`repro.core.collie.Collie` — the search tool itself;
+* :mod:`repro.hardware.subsystems` — the eight testbed presets of Table 1;
+* :mod:`repro.core.space` — the four-dimensional workload search space;
+* :mod:`repro.verbs` — the software verbs layer workloads are written in.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Reporting and figure-series assembly for the evaluation harness.
+
+* :mod:`repro.analysis.tables` renders Table 1 (testbed inventory) and
+  Table 2 (anomalies with trigger conditions) in the paper's shape;
+* :mod:`repro.analysis.figures` builds the data series behind Figures
+  4–6 (time-to-find curves, ablations, counter traces);
+* :mod:`repro.analysis.render` pretty-prints series and tables as text.
+"""
+
+from repro.analysis.figures import (
+    CounterTrace,
+    TimeToFindSeries,
+    counter_trace,
+    time_to_find_series,
+)
+from repro.analysis.sensitivity import SensitivityAnalyzer, SensitivityProfile
+from repro.analysis.serialize import load_anomalies, save_report
+from repro.analysis.tables import table1_rows, table2_rows
+from repro.analysis.render import render_table
+
+__all__ = [
+    "CounterTrace",
+    "TimeToFindSeries",
+    "counter_trace",
+    "time_to_find_series",
+    "SensitivityAnalyzer",
+    "SensitivityProfile",
+    "load_anomalies",
+    "save_report",
+    "table1_rows",
+    "table2_rows",
+    "render_table",
+]

@@ -1,0 +1,126 @@
+"""Multi-seed search campaigns as a library feature.
+
+The evaluation benchmarks run fleets of searches and aggregate them;
+this module packages that workflow for downstream users: pick an
+approach, a subsystem and a seed count, get back per-seed reports plus
+the Figure 4-style aggregation, ready for
+:func:`repro.analysis.figures.time_to_find_series`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.figures import TimeToFindSeries, time_to_find_series
+from repro.baselines import BayesOptSearch, RandomSearch
+from repro.baselines.genetic import GeneticSearch
+from repro.core import Collie
+
+#: Approach name → factory(subsystem, budget_hours, seed) -> report.
+APPROACHES: dict = {
+    "random": lambda sub, hours, seed: RandomSearch(
+        sub, budget_hours=hours, seed=seed
+    ).run(),
+    "genetic": lambda sub, hours, seed: GeneticSearch(
+        sub, budget_hours=hours, seed=seed
+    ).run(),
+    "bayesopt": lambda sub, hours, seed: BayesOptSearch(
+        sub, budget_hours=hours, seed=seed, use_mfs=False
+    ).run(),
+    "bayesopt+mfs": lambda sub, hours, seed: BayesOptSearch(
+        sub, budget_hours=hours, seed=seed, use_mfs=True
+    ).run(),
+    "sa-perf": lambda sub, hours, seed: Collie.for_subsystem(
+        sub, counter_mode="perf", use_mfs=False, budget_hours=hours,
+        seed=seed,
+    ).run(),
+    "sa-diag": lambda sub, hours, seed: Collie.for_subsystem(
+        sub, counter_mode="diag", use_mfs=False, budget_hours=hours,
+        seed=seed,
+    ).run(),
+    "collie-perf": lambda sub, hours, seed: Collie.for_subsystem(
+        sub, counter_mode="perf", use_mfs=True, budget_hours=hours,
+        seed=seed,
+    ).run(),
+    "collie": lambda sub, hours, seed: Collie.for_subsystem(
+        sub, counter_mode="diag", use_mfs=True, budget_hours=hours,
+        seed=seed,
+    ).run(),
+}
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """One approach's multi-seed campaign."""
+
+    approach: str
+    subsystem: str
+    budget_hours: float
+    reports: list
+
+    @property
+    def seeds(self) -> int:
+        return len(self.reports)
+
+    def per_seed_hits(self) -> list[dict]:
+        return [report.first_hit_times() for report in self.reports]
+
+    def union_tags(self) -> set:
+        tags: set = set()
+        for hits in self.per_seed_hits():
+            tags.update(hits)
+        return tags
+
+    def mean_found(self) -> float:
+        counts = [len(hits) for hits in self.per_seed_hits()]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def series(self, max_anomalies: int = 13) -> TimeToFindSeries:
+        return time_to_find_series(
+            self.approach, self.per_seed_hits(), max_anomalies
+        )
+
+
+def run_campaign(
+    approach: str,
+    subsystem: str = "F",
+    seeds: Sequence[int] = (1, 2, 3),
+    budget_hours: float = 10.0,
+    factory: Optional[Callable] = None,
+) -> CampaignResult:
+    """Run one approach across seeds.
+
+    ``factory`` overrides the approach registry for custom
+    configurations (e.g. restricted spaces).
+    """
+    if factory is None:
+        if approach not in APPROACHES:
+            raise KeyError(
+                f"unknown approach {approach!r}; choose from "
+                f"{sorted(APPROACHES)} or pass a factory"
+            )
+        factory = APPROACHES[approach]
+    reports = [factory(subsystem, budget_hours, seed) for seed in seeds]
+    return CampaignResult(
+        approach=approach,
+        subsystem=subsystem,
+        budget_hours=budget_hours,
+        reports=reports,
+    )
+
+
+def compare(
+    approaches: Sequence[str],
+    subsystem: str = "F",
+    seeds: Sequence[int] = (1, 2, 3),
+    budget_hours: float = 10.0,
+    max_anomalies: int = 13,
+) -> list[TimeToFindSeries]:
+    """Figure 4 in one call: one series per requested approach."""
+    return [
+        run_campaign(
+            approach, subsystem, seeds, budget_hours
+        ).series(max_anomalies)
+        for approach in approaches
+    ]

@@ -1,0 +1,85 @@
+"""Campaign diffing: did the fix campaign actually help?
+
+Operators re-run Collie after firmware upgrades or configuration
+changes (the paper's vendors fixed 7 of the 18 anomalies this way) and
+need to compare: which anomaly regions disappeared, which persist, and
+what appeared fresh.  Region identity across runs cannot use ground
+truth (real operators have none), so MFSes are matched by mutual
+witness coverage: two regions are "the same anomaly" when each run's
+region covers the other run's witness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.mfs import MinimalFeatureSet
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionMatch:
+    """A before-region paired with its after-run counterpart."""
+
+    before: MinimalFeatureSet
+    after: MinimalFeatureSet
+
+
+@dataclasses.dataclass
+class CampaignDiff:
+    """Outcome of comparing two anomaly sets."""
+
+    persisting: list
+    resolved: list  #: regions found before, absent after.
+    appeared: list  #: regions only the after-run found.
+
+    @property
+    def is_clean_fix(self) -> bool:
+        """The change resolved something and broke nothing new."""
+        return bool(self.resolved) and not self.appeared
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.resolved)} resolved, "
+            f"{len(self.persisting)} persisting, "
+            f"{len(self.appeared)} newly appeared",
+        ]
+        for mfs in self.resolved:
+            lines.append(f"  resolved:   {mfs.describe()}")
+        for match in self.persisting:
+            lines.append(f"  persisting: {match.after.describe()}")
+        for mfs in self.appeared:
+            lines.append(f"  appeared:   {mfs.describe()}")
+        return "\n".join(lines)
+
+
+def _same_region(a: MinimalFeatureSet, b: MinimalFeatureSet) -> bool:
+    """Region identity by mutual witness coverage and symptom class."""
+    if a.symptom != b.symptom:
+        return False
+    return a.matches(b.witness) or b.matches(a.witness)
+
+
+def diff_anomaly_sets(
+    before: Sequence[MinimalFeatureSet],
+    after: Sequence[MinimalFeatureSet],
+) -> CampaignDiff:
+    """Match two runs' anomaly sets into persisting/resolved/appeared."""
+    unmatched_after = list(after)
+    persisting = []
+    resolved = []
+    for old in before:
+        match = next(
+            (new for new in unmatched_after if _same_region(old, new)),
+            None,
+        )
+        if match is None:
+            resolved.append(old)
+        else:
+            unmatched_after.remove(match)
+            persisting.append(RegionMatch(before=old, after=match))
+    return CampaignDiff(
+        persisting=persisting,
+        resolved=resolved,
+        appeared=unmatched_after,
+    )

@@ -1,0 +1,69 @@
+"""Plain-text rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.figures import CounterTrace, TimeToFindSeries
+
+
+def render_table(rows: Sequence[Mapping], columns: Sequence[str] = None) -> str:
+    """Fixed-width text table from a list of row dicts."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    rule = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_time_to_find(series_list: Sequence[TimeToFindSeries]) -> str:
+    """Figure 4/5 as a text table: rows = k-th anomaly, one column each."""
+    if not series_list:
+        return "(no series)"
+    depth = max(len(s.mean_hours) for s in series_list)
+    rows = []
+    for k in range(depth):
+        row = {"k-th anomaly": k + 1}
+        for series in series_list:
+            if k < len(series.mean_hours) and series.support[k] > 0:
+                row[series.approach] = (
+                    f"{series.mean_hours[k]:.1f}h"
+                    f"±{series.std_hours[k]:.1f}"
+                    f" ({series.support[k]}/{series.seeds})"
+                )
+            else:
+                row[series.approach] = "-"
+        rows.append(row)
+    return render_table(rows)
+
+
+def render_counter_trace(trace: CounterTrace, width: int = 60) -> str:
+    """ASCII sparkline of a Figure 6 trace with anomaly marks."""
+    buckets = trace.bucketed(width)
+    if not buckets:
+        return "(empty trace)"
+    glyphs = " .:-=+*#%@"
+    line = "".join(
+        glyphs[min(int(v * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for _, v in buckets
+    )
+    span = max(h for h, _ in buckets) or 1.0
+    marks = [" "] * width
+    for mark in trace.anomaly_marks:
+        index = min(int(mark / span * (width - 1)), width - 1)
+        marks[index] = "X"
+    return (
+        f"{trace.approach} / {trace.counter} "
+        f"(normalised, {span:.1f}h span; X = anomaly found)\n"
+        f"|{line}|\n|{''.join(marks)}|"
+    )

@@ -1,0 +1,87 @@
+"""Table 1 and Table 2 in the paper's shape."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.hardware.subsystems import list_subsystems
+from repro.workloads.appendix import APPENDIX_SETTINGS
+
+#: Table 2's column layout.
+TABLE2_COLUMNS = (
+    "#", "RNIC", "Direc.", "Transport", "MTU", "WQE", "SGE",
+    "WQ depth", "Message Pattern", "# of QPs", "Symptom", "Found",
+)
+
+#: Static facts of each Table 2 row: the paper's published trigger
+#: conditions, used to label our reproduction output.
+_TABLE2_STATIC = {
+    "A1": ("CX-6", "-", "UD SEND", "-", ">=64", "-", ">=256", "-", "-"),
+    "A2": ("CX-6", "-", "UD SEND", "-", "<=8", "-", ">=1024", "<=1KB", ">=~16"),
+    "A3": ("CX-6", "-", "RC READ", "1K", "-", "-", "-", ">=16KB", "-"),
+    "A4": ("CX-6", "Bi-", "RC READ", "-", ">=32", ">=4", "-", "-", ">=~160"),
+    "A5": ("CX-6", "-", "RC SEND", "1K", ">=64", "-", ">=1024",
+           ">=2KB and <=8KB", "-"),
+    "A6": ("CX-6", "-", "RC SEND", "1K", "<=16", ">=2", ">=1024", "<=1KB",
+           ">=~32"),
+    "A7": ("CX-6", "-", "RC WRITE", "-", "No", "-", "-",
+           "<=1KB and >=~12K MRs", "-"),
+    "A8": ("CX-6", "-", "RC WRITE", "-", "No", "-", "<=16", "<=1KB",
+           ">=~500"),
+    "A9": ("CX-6", "Bi-", "-", "-", "-", ">=3", "-",
+           "mix of <=1KB & >=64KB", "-"),
+    "A10": ("CX-6", "Bi-", "RC WRITE", "-", ">=64", "-", "-",
+            "mix of <=1KB & >=64KB", ">=~320"),
+    "A11": ("CX-6", "Bidirectional cross-socket traffic on particular "
+            "servers", "", "", "", "", "", "", ""),
+    "A12": ("CX-6", "Particular GPU-Direct RDMA traffic on particular "
+            "servers", "", "", "", "", "", "", ""),
+    "A13": ("CX-6", "Co-existence of loop traffic and receiving traffic",
+            "", "", "", "", "", "", ""),
+    "A14": ("P2100", "Bi-", "RC", "4K", "-", ">=4", "-", "-", ">=~1300"),
+    "A15": ("P2100", "-", "UD SEND", "-", "-", "-", ">=64", "-", ">=~32"),
+    "A16": ("P2100", "-", "RC READ", "1K", ">=8", "-", "-", "-", ">=~500"),
+    "A17": ("P2100", "-", "RC SEND", "-", "<=16", "-", ">=128", "<=1KB",
+            ">=~64"),
+    "A18": ("P2100", "Bi-", "RC", "1K", ">=32", "-", "-", "<=64KB",
+            ">=~30"),
+}
+
+
+def table1_rows() -> list[dict]:
+    """The testbed inventory, one dict per Table 1 row."""
+    return [subsystem.describe_row() for subsystem in list_subsystems()]
+
+
+def table2_rows(found_tags: Optional[Iterable[str]] = None) -> list[dict]:
+    """Table 2: the 18 anomalies, flagged with reproduction status.
+
+    ``found_tags`` is the set of ground-truth tags a search campaign hit;
+    omitted, every row reads ``n/a``.
+    """
+    found = set(found_tags) if found_tags is not None else None
+    rows = []
+    for setting in APPENDIX_SETTINGS:
+        tag = setting.expected_tag
+        static = _TABLE2_STATIC[tag]
+        if found is None:
+            status = "n/a"
+        else:
+            status = "yes" if tag in found else "no"
+        row: Mapping = {
+            "#": tag,
+            "RNIC": static[0],
+            "Direc.": static[1],
+            "Transport": static[2],
+            "MTU": static[3],
+            "WQE": static[4],
+            "SGE": static[5],
+            "WQ depth": static[6],
+            "Message Pattern": static[7],
+            "# of QPs": static[8],
+            "Symptom": setting.expected_symptom,
+            "Found": status,
+        }
+        rows.append(dict(row))
+    # Table 2 orders rows by number; our tags embed it.
+    return sorted(rows, key=lambda r: int(r["#"][1:]))

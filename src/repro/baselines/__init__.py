@@ -1,0 +1,20 @@
+"""Search baselines the paper compares Collie against (§7.2):
+
+* random input generation in the same search space (black-box fuzzing);
+* Bayesian Optimization over the counters, following [31], MFS-enhanced
+  for fairness exactly as the paper does;
+* a Perftest-style generator confined to the workloads the standard
+  benchmark tools can express (§7.1's reproducibility comparison).
+"""
+
+from repro.baselines.bayesopt import BayesOptSearch
+from repro.baselines.genetic import GeneticSearch
+from repro.baselines.perftest import PerftestGenerator
+from repro.baselines.random_search import RandomSearch
+
+__all__ = [
+    "BayesOptSearch",
+    "GeneticSearch",
+    "PerftestGenerator",
+    "RandomSearch",
+]

@@ -1,0 +1,180 @@
+"""A genetic-algorithm search: one of §8's "other search algorithms".
+
+"There are many other search algorithms alternatives that can be
+leveraged... Integrating more search algorithms into Collie is another
+interesting direction to explore."  This baseline evolves a population
+of workloads: fitness is the driven counter (diagnostic high / generally
+extreme), parents are tournament-selected, children mix their parents'
+dimensions (uniform crossover) and mutate through the same single-step
+operator SA uses.  MFS handling matches Collie's for fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.random_search import BaselineReport
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.testbed import Testbed
+from repro.core.annealing import SearchSignal, TraceEvent
+from repro.core.mfs import MFSExtractor, MinimalFeatureSet, match_any
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import (
+    CATEGORICAL_DIMENSIONS,
+    ORDERED_DIMENSIONS,
+    SearchSpace,
+)
+from repro.hardware.counters import DIAGNOSTIC_COUNTERS
+from repro.hardware.subsystems import Subsystem, get_subsystem
+from repro.hardware.workload import WorkloadDescriptor
+
+
+class GeneticSearch:
+    """Population-based counter maximisation with MFS support."""
+
+    def __init__(
+        self,
+        subsystem: "Subsystem | str",
+        budget_hours: float = 10.0,
+        seed: int = 0,
+        population: int = 16,
+        tournament: int = 3,
+        mutation_rate: float = 0.3,
+        use_mfs: bool = True,
+        noise: float = 0.02,
+    ) -> None:
+        if population < 4:
+            raise ValueError("population must be at least 4")
+        if not 2 <= tournament <= population:
+            raise ValueError("tournament size must fit the population")
+        if isinstance(subsystem, str):
+            subsystem = get_subsystem(subsystem)
+        self.subsystem = subsystem
+        self.space = SearchSpace.for_subsystem(subsystem)
+        self.clock = SimulatedClock(budget_hours * 3600.0)
+        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        self.monitor = AnomalyMonitor(subsystem)
+        self.rng = np.random.default_rng(seed)
+        self.population_size = population
+        self.tournament = tournament
+        self.mutation_rate = mutation_rate
+        self.use_mfs = use_mfs
+        self.anomalies: list[MinimalFeatureSet] = []
+        self.events: list[TraceEvent] = []
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _measure(self, workload, signal, kind="search") -> float:
+        result = self.testbed.run(workload, rng=self.rng)
+        measurement = result.measurement
+        verdict = self.monitor.classify(measurement)
+        self.events.append(
+            TraceEvent(
+                time_seconds=result.finished_at,
+                counter=signal.counter,
+                counter_value=signal.value(measurement),
+                symptom=verdict.symptom,
+                tags=measurement.tags,
+                workload=workload,
+                kind=kind,
+                counters=dict(measurement.counters),
+            )
+        )
+        if (
+            self.use_mfs
+            and verdict.is_anomalous
+            and kind == "search"
+            and match_any(self.anomalies, workload) is None
+        ):
+            self._extract(workload, verdict.symptom, signal)
+        return signal.value(measurement)
+
+    def _extract(self, workload, symptom, signal) -> None:
+        def probe(candidate: WorkloadDescriptor) -> str:
+            if self.clock.expired:
+                return "healthy"
+            self._measure(candidate, signal, kind="mfs")
+            return self.events[-1].symptom
+
+        mfs = MFSExtractor(self.space, probe, probes_per_dimension=2).construct(
+            workload, symptom, at_seconds=self.clock.now,
+            known=self.anomalies,
+        )
+        if mfs is not None:
+            self.anomalies.append(mfs)
+
+    # -- genetics ------------------------------------------------------------
+
+    def _crossover(
+        self, mother: WorkloadDescriptor, father: WorkloadDescriptor
+    ) -> WorkloadDescriptor:
+        """Uniform crossover over the search dimensions."""
+        raw = self.space._to_raw(mother)
+        other = self.space._to_raw(father)
+        for dimension in ORDERED_DIMENSIONS + CATEGORICAL_DIMENSIONS:
+            if self.rng.random() < 0.5:
+                raw[dimension] = other[dimension]
+        if self.rng.random() < 0.5:
+            raw["msg_sizes_bytes"] = other["msg_sizes_bytes"]
+        return self.space.coerce(raw)
+
+    def _select(self, scored: list) -> WorkloadDescriptor:
+        """Tournament selection (higher fitness wins)."""
+        indices = self.rng.choice(
+            len(scored), size=self.tournament, replace=False
+        )
+        best = max(indices, key=lambda i: scored[i][0])
+        return scored[best][1]
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self) -> BaselineReport:
+        signals = [SearchSignal(name) for name in DIAGNOSTIC_COUNTERS]
+        per_signal = self.clock.budget_seconds / len(signals)
+        for index, signal in enumerate(signals):
+            deadline = min(
+                (index + 1) * per_signal, self.clock.budget_seconds
+            )
+            self._evolve(signal, deadline)
+            if self.clock.expired:
+                break
+        return BaselineReport(
+            name="genetic",
+            subsystem_name=self.subsystem.name,
+            events=self.events,
+            experiments=len(self.events),
+            elapsed_seconds=self.clock.now,
+        )
+
+    def _fresh(self) -> WorkloadDescriptor:
+        point = self.space.random(self.rng)
+        for _ in range(10):
+            if not (self.use_mfs and match_any(self.anomalies, point)):
+                break
+            point = self.space.random(self.rng)
+        return point
+
+    def _evolve(self, signal: SearchSignal, deadline: float) -> None:
+        scored: list = []
+        for _ in range(self.population_size):
+            if self.clock.now >= deadline or self.clock.expired:
+                return
+            individual = self._fresh()
+            scored.append((self._measure(individual, signal), individual))
+
+        while self.clock.now < deadline and not self.clock.expired:
+            child = self._crossover(
+                self._select(scored), self._select(scored)
+            )
+            if self.rng.random() < self.mutation_rate:
+                child = self.space.mutate(child, self.rng)
+            if self.use_mfs and match_any(self.anomalies, child):
+                child = self._fresh()
+            fitness = self._measure(child, signal)
+            # Steady-state replacement: the child replaces the current
+            # weakest member if it beats it.
+            weakest = min(range(len(scored)), key=lambda i: scored[i][0])
+            if fitness > scored[weakest][0]:
+                scored[weakest] = (fitness, child)

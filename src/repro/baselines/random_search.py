@@ -1,0 +1,92 @@
+"""Random input generation: the black-box fuzzing baseline.
+
+"One naive approach is to generate random input in the search space.
+This approach is already much better than existing tests because the
+design of our search space is more comprehensive than that in existing
+tools" (§5) — and indeed it finds the simple anomalies quickly, but, as
+Figure 4 shows, plateaus well below Collie.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.testbed import Testbed
+from repro.core.annealing import TraceEvent
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.subsystems import Subsystem, get_subsystem
+
+
+@dataclasses.dataclass
+class BaselineReport:
+    """Search log of a baseline run (same bookkeeping as Collie's)."""
+
+    name: str
+    subsystem_name: str
+    events: list[TraceEvent]
+    experiments: int
+    elapsed_seconds: float
+
+    def first_hit_times(self) -> dict:
+        hits: dict = {}
+        for event in self.events:
+            if event.symptom == "healthy":
+                continue
+            for tag in event.tags:
+                hits.setdefault(tag, event.time_seconds)
+        return hits
+
+    def found_tags(self) -> list[str]:
+        return sorted(self.first_hit_times())
+
+
+class RandomSearch:
+    """Uniform random sampling of the search space under a time budget."""
+
+    def __init__(
+        self,
+        subsystem: "Subsystem | str",
+        budget_hours: float = 10.0,
+        seed: int = 0,
+        noise: float = 0.02,
+    ) -> None:
+        if isinstance(subsystem, str):
+            subsystem = get_subsystem(subsystem)
+        self.subsystem = subsystem
+        self.space = SearchSpace.for_subsystem(subsystem)
+        self.clock = SimulatedClock(budget_hours * 3600.0)
+        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        self.monitor = AnomalyMonitor(subsystem)
+        self.rng = np.random.default_rng(seed)
+
+    def run(self) -> BaselineReport:
+        events: list[TraceEvent] = []
+        while not self.clock.expired:
+            workload = self.space.random(self.rng)
+            result = self.testbed.run(workload, rng=self.rng)
+            verdict = self.monitor.classify(result.measurement)
+            events.append(
+                TraceEvent(
+                    time_seconds=result.finished_at,
+                    counter="",  # random sampling follows no signal
+                    counter_value=0.0,
+                    symptom=verdict.symptom,
+                    tags=result.measurement.tags,
+                    workload=workload,
+                    kind="search",
+                    # Snapshot kept for Figure 6: random does not *use*
+                    # the counters, but the paper plots what it saw.
+                    counters=dict(result.measurement.counters),
+                )
+            )
+        return BaselineReport(
+            name="random",
+            subsystem_name=self.subsystem.name,
+            events=events,
+            experiments=len(events),
+            elapsed_seconds=self.clock.now,
+        )

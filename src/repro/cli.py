@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's operators use Collie:
+
+* ``search``      — run Collie on a Table 1 subsystem, print the anomaly
+                    set (optionally save a JSON report);
+* ``parallel``    — the §8 fleet extension: partition counters across
+                    machines;
+* ``replay``      — replay the 18 Appendix A trigger settings;
+* ``diagnose``    — match a workload (JSON file) against a saved
+                    report's MFS set (§7.3 debugging workflow);
+* ``table1`` / ``table2`` — print the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.analysis.serialize import save_report
+    from repro.core import Collie
+
+    collie = Collie.for_subsystem(
+        args.subsystem,
+        counter_mode=args.counters,
+        use_mfs=not args.no_mfs,
+        budget_hours=args.hours,
+        seed=args.seed,
+    )
+    report = collie.run()
+    print(report.summary())
+    if args.recipes:
+        from repro.core.reproducer import recipe
+
+        for index, mfs in enumerate(report.anomalies, 1):
+            print()
+            print(recipe(mfs.witness, title=f"anomaly {index}"))
+    if args.output:
+        save_report(report, args.output)
+        print(f"\nreport saved to {args.output}")
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro.core.parallel import ParallelCollie
+
+    fleet = ParallelCollie(
+        args.subsystem,
+        machines=args.machines,
+        budget_hours=args.hours,
+        seed=args.seed,
+    )
+    report = fleet.run()
+    print(
+        f"fleet of {report.machines} machines on subsystem "
+        f"{report.subsystem_name}: {len(report.anomalies)} anomalies, "
+        f"{report.total_experiments} experiments, "
+        f"{report.elapsed_seconds / 3600:.1f}h wall-clock"
+    )
+    for index, mfs in enumerate(report.anomalies, 1):
+        print(f"  {index}: {mfs.describe()}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.monitor import AnomalyMonitor
+    from repro.hardware.model import SteadyStateModel
+    from repro.hardware.subsystems import get_subsystem
+    from repro.workloads.appendix import APPENDIX_SETTINGS
+
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for setting in APPENDIX_SETTINGS:
+        subsystem = get_subsystem(setting.subsystem)
+        measurement = SteadyStateModel(subsystem).evaluate(
+            setting.workload, rng
+        )
+        verdict = AnomalyMonitor(subsystem).classify(measurement)
+        ok = (
+            setting.expected_tag in measurement.tags
+            and verdict.symptom == setting.expected_symptom
+        )
+        failures += not ok
+        print(
+            f"#{setting.number:2d} ({setting.subsystem}) "
+            f"{'ok ' if ok else 'MISS'} expected "
+            f"{setting.expected_tag}/{setting.expected_symptom}, observed "
+            f"{','.join(measurement.tags) or '-'}/{verdict.symptom}"
+        )
+    print(f"\n{18 - failures}/18 reproduced")
+    return 1 if failures else 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.analysis.serialize import load_anomalies, workload_from_dict
+    from repro.core.mfs import match_any
+
+    anomalies = load_anomalies(args.report)
+    with open(args.workload) as handle:
+        workload = workload_from_dict(json.load(handle))
+    matched = match_any(anomalies, workload)
+    print(f"workload: {workload.summary()}")
+    if matched is None:
+        print("no known anomaly region covers this workload")
+        return 0
+    print("matches a known anomaly; break one of these conditions:")
+    print(f"  {matched.describe()}")
+    return 2
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table, table1_rows
+
+    print(render_table(table1_rows()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table, table2_rows
+    from repro.analysis.tables import TABLE2_COLUMNS
+
+    print(render_table(table2_rows(), columns=TABLE2_COLUMNS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Collie (NSDI 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="run Collie on one subsystem")
+    search.add_argument("subsystem", choices=list("ABCDEFGH"))
+    search.add_argument("--hours", type=float, default=10.0)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--counters", choices=("diag", "perf"),
+                        default="diag")
+    search.add_argument("--no-mfs", action="store_true",
+                        help="plain SA baseline (Figure 5 ablation)")
+    search.add_argument("--output", metavar="REPORT.json",
+                        help="save the report as JSON")
+    search.add_argument("--recipes", action="store_true",
+                        help="print a vendor reproduction recipe per anomaly")
+    search.set_defaults(func=_cmd_search)
+
+    parallel = sub.add_parser("parallel", help="fleet search (§8 extension)")
+    parallel.add_argument("subsystem", choices=list("ABCDEFGH"))
+    parallel.add_argument("--machines", type=int, default=3)
+    parallel.add_argument("--hours", type=float, default=10.0)
+    parallel.add_argument("--seed", type=int, default=0)
+    parallel.set_defaults(func=_cmd_parallel)
+
+    replay = sub.add_parser(
+        "replay", help="replay the 18 Appendix A trigger settings"
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.set_defaults(func=_cmd_replay)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="match a workload JSON against a saved report's MFS set",
+    )
+    diagnose.add_argument("report", help="JSON report from 'search --output'")
+    diagnose.add_argument("workload", help="workload JSON file")
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("table2", help="print Table 2").set_defaults(
+        func=_cmd_table2
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

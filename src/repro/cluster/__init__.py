@@ -1,0 +1,13 @@
+"""The two-server testbed: hosts, simulated clock, and experiment runner.
+
+Mirrors the paper's experiment platform (§3): two servers with RNICs
+connected by a lossless switch, with out-of-band connection bootstrap and
+a wall clock that charges 20–60 seconds per experiment depending on how
+many QPs and MRs must be set up (§5).
+"""
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.host import Host
+from repro.cluster.testbed import ExperimentResult, Testbed
+
+__all__ = ["SimulatedClock", "Host", "ExperimentResult", "Testbed"]

@@ -1,0 +1,44 @@
+"""Simulated wall clock for search-time accounting.
+
+The paper's figures 4–6 are time-to-find curves where each experiment
+costs 20–60 real seconds.  The simulation charges the same costs against
+a virtual clock, so a "10-hour" search budget resolves in sub-second real
+time while preserving every time-based comparison.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Monotonic virtual clock with an optional budget."""
+
+    def __init__(self, budget_seconds: float = float("inf")) -> None:
+        if budget_seconds <= 0:
+            raise ValueError("budget must be positive")
+        self._now = 0.0
+        self.budget_seconds = budget_seconds
+
+    @property
+    def now(self) -> float:
+        """Seconds elapsed since the search started."""
+        return self._now
+
+    @property
+    def hours(self) -> float:
+        return self._now / 3600.0
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds}s")
+        self._now += seconds
+
+    @property
+    def expired(self) -> bool:
+        return self._now >= self.budget_seconds
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.budget_seconds - self._now)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.0f}s/{self.budget_seconds:.0f}s)"

@@ -1,0 +1,38 @@
+"""A simulated server: topology plus an opened verbs context."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.topology import HostTopology
+from repro.verbs.device import Context, Device, DeviceAttributes
+
+
+class Host:
+    """One server of the two-node testbed.
+
+    Owns the RNIC's verbs :class:`~repro.verbs.device.Context` and answers
+    memory-device queries for MR registration (``reg_mr(device=...)``
+    validates placement against the host's topology).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        topology: HostTopology,
+        device_attrs: Optional[DeviceAttributes] = None,
+    ) -> None:
+        self.name = name
+        self.topology = topology
+        self.device = Device(name=f"{name}-rnic", attributes=device_attrs)
+        self.context: Context = self.device.open(host=self)
+
+    def has_memory_device(self, device_name: str) -> bool:
+        """Placement check used by ``ProtectionDomain.reg_mr``."""
+        return self.topology.has_device(device_name)
+
+    def memory_devices(self) -> list[str]:
+        return self.topology.device_names()
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, devices={self.memory_devices()})"

@@ -1,0 +1,297 @@
+"""Simulated-annealing workload search (paper Algorithm 1).
+
+The search mutates one dimension at a time and drives a chosen hardware
+counter to an extreme region — low for performance counters, high for
+diagnostic counters.  The energy delta is the paper's relative form
+(``(B-A)/A`` for performance, ``(A-B)/B`` for diagnostic), which makes the
+algorithm insensitive to each counter's absolute value range (§5.1).
+
+Deviations from textbook SA, as in the paper: the temperature schedule is
+deliberately relaxed (the goal is to *visit* many anomalies, not converge
+to one optimum), points matching a known MFS are skipped without running
+an experiment, and finding a new anomaly triggers MFS extraction followed
+by a restart from a fresh random point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.testbed import Testbed
+from repro.core.mfs import MFSExtractor, MinimalFeatureSet, match_any
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.counters import MINIMIZED_COUNTERS, is_diagnostic
+from repro.hardware.model import Measurement
+from repro.hardware.workload import WorkloadDescriptor
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchSignal:
+    """One counter being driven to an extreme region."""
+
+    counter: str
+
+    @property
+    def diagnostic(self) -> bool:
+        return is_diagnostic(self.counter)
+
+    @property
+    def lower_is_better(self) -> bool:
+        """Whether the search drives this counter toward low values."""
+        return self.counter in MINIMIZED_COUNTERS
+
+    def value(self, measurement: Measurement) -> float:
+        return float(measurement.counters[self.counter])
+
+    def delta_energy(self, old: float, new: float) -> float:
+        """Paper §5.1: relative energy change, negative = improvement."""
+        eps = 1e-9
+        if self.diagnostic:
+            return (old - new) / max(new, eps)
+        if self.counter in MINIMIZED_COUNTERS:
+            return (new - old) / max(old, eps)
+        # Pause duration behaves like a diagnostic: more is "worse is
+        # better" for anomaly hunting.
+        return (old - new) / max(new, eps)
+
+
+@dataclasses.dataclass(frozen=True)
+class SAParams:
+    """Temperature schedule; relaxed per §5.1."""
+
+    t0: float = 1.0
+    t_min: float = 0.05
+    alpha: float = 0.85
+    iterations_per_temperature: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.t_min <= 0 or self.t0 <= self.t_min:
+            raise ValueError("need t0 > t_min > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One experiment in the search log (feeds Figures 4–6)."""
+
+    time_seconds: float
+    counter: str  #: the signal this experiment was measured under.
+    counter_value: float
+    symptom: str
+    tags: tuple[str, ...]  #: ground truth, never read by the search.
+    workload: WorkloadDescriptor
+    kind: str  #: ``probe``, ``search``, ``mfs`` or ``skip``.
+    new_anomaly_index: Optional[int] = None
+    #: Full averaged counter snapshot, so any counter's trajectory can be
+    #: plotted across the whole run (Figure 6 follows one diagnostic
+    #: counter through every phase of the search).
+    counters: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class SearchState:
+    """Mutable state shared across the per-counter SA passes."""
+
+    anomalies: list[MinimalFeatureSet] = dataclasses.field(default_factory=list)
+    events: list[TraceEvent] = dataclasses.field(default_factory=list)
+    experiments: int = 0
+    skipped: int = 0
+
+
+class AnnealingSearch:
+    """Algorithm 1, parameterised by counter signal and MFS usage."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        space: SearchSpace,
+        monitor: AnomalyMonitor,
+        rng: np.random.Generator,
+        params: SAParams = SAParams(),
+        use_mfs: bool = True,
+        mfs_probes_per_dimension: int = 2,
+    ) -> None:
+        self.testbed = testbed
+        self.space = space
+        self.monitor = monitor
+        self.rng = rng
+        self.params = params
+        self.use_mfs = use_mfs
+        self.mfs_probes_per_dimension = mfs_probes_per_dimension
+
+    # -- measurement helpers ---------------------------------------------
+
+    def _measure(
+        self, state: SearchState, workload: WorkloadDescriptor,
+        signal: SearchSignal, kind: str,
+    ) -> Measurement:
+        result = self.testbed.run(workload, rng=self.rng)
+        state.experiments += 1
+        measurement = result.measurement
+        verdict = self.monitor.classify(measurement)
+        state.events.append(
+            TraceEvent(
+                time_seconds=result.finished_at,
+                counter=signal.counter,
+                counter_value=signal.value(measurement),
+                symptom=verdict.symptom,
+                tags=measurement.tags,
+                workload=workload,
+                kind=kind,
+                counters=dict(measurement.counters),
+            )
+        )
+        return measurement
+
+    def _handle_anomaly(
+        self, state: SearchState, workload: WorkloadDescriptor,
+        measurement: Measurement, signal: SearchSignal, deadline: float,
+    ) -> bool:
+        """Extract an MFS for a newly found anomaly (Alg. 1 lines 14-17).
+
+        Returns True when a new anomaly entered the set (callers restart).
+        Without MFS the anomaly is logged but the search keeps climbing.
+        """
+        verdict = self.monitor.classify(measurement)
+        if not verdict.is_anomalous:
+            return False
+        if not self.use_mfs:
+            return False
+        if match_any(state.anomalies, workload) is not None:
+            return False
+
+        def probe(candidate: WorkloadDescriptor) -> str:
+            if self.testbed.clock.now >= deadline:
+                # Out of budget mid-probe: report healthy, which yields a
+                # conservative (narrower) MFS.
+                return "healthy"
+            probed = self._measure(state, candidate, signal, kind="mfs")
+            return self.monitor.classify(probed).symptom
+
+        extractor = MFSExtractor(
+            self.space, probe,
+            probes_per_dimension=self.mfs_probes_per_dimension,
+        )
+        mfs = extractor.construct(
+            workload, verdict.symptom, at_seconds=self.testbed.clock.now,
+            known=state.anomalies,
+        )
+        if mfs is None:
+            return False  # re-find of a known anomaly; keep climbing
+        state.anomalies.append(mfs)
+        index = len(state.anomalies) - 1
+        # Re-tag the triggering event with the anomaly index.
+        for i in range(len(state.events) - 1, -1, -1):
+            event = state.events[i]
+            if event.workload is workload and event.kind != "mfs":
+                state.events[i] = dataclasses.replace(
+                    event, new_anomaly_index=index
+                )
+                break
+        return True
+
+    # -- the SA loop -------------------------------------------------------
+
+    def run_pass(
+        self, state: SearchState, signal: SearchSignal, deadline: float
+    ) -> None:
+        """Run SA on one counter until the simulated deadline (Alg. 1).
+
+        Implementation notes beyond the paper's pseudocode: the relaxed
+        temperature schedule reheats instead of terminating (§5.1 keeps
+        the schedule loose on purpose), and a reheat usually resumes from
+        a perturbation of the best point seen in this pass — basin
+        hopping — rather than losing the climbed niche entirely.
+        """
+        clock = self.testbed.clock
+        best: Optional[tuple[float, WorkloadDescriptor]] = None
+
+        def out_of_time() -> bool:
+            return clock.now >= deadline or clock.expired
+
+        def track_best(value: float, workload: WorkloadDescriptor) -> None:
+            nonlocal best
+            score = -value if signal.lower_is_better else value
+            if best is None or score > best[0]:
+                best = (score, workload)
+
+        def reseed(prefer_best: bool) -> Optional[tuple]:
+            """Measure a fresh start point; returns (workload, value)."""
+            nonlocal best
+            if (
+                best is not None
+                and self.use_mfs
+                and match_any(state.anomalies, best[1]) is not None
+            ):
+                # The best-seen niche has since been covered by an MFS:
+                # perturbations of it would mostly be skipped, so drop it.
+                best = None
+            while not out_of_time():
+                if prefer_best and best is not None and self.rng.random() < 0.5:
+                    point = self.space.mutate(best[1], self.rng)
+                else:
+                    point = self.space.random(self.rng)
+                if self.use_mfs and match_any(state.anomalies, point):
+                    state.skipped += 1
+                    continue
+                measurement = self._measure(state, point, signal, kind="search")
+                value = signal.value(measurement)
+                if self._handle_anomaly(
+                    state, point, measurement, signal, deadline
+                ):
+                    continue  # new anomaly: restart again (Alg. 1 line 17)
+                track_best(value, point)
+                return point, value
+            return None
+
+        seeded = reseed(prefer_best=False)
+        if seeded is None:
+            return
+        current, energy_value = seeded
+
+        cycle = 0
+        temperature = self.params.t0
+        while not out_of_time():
+            for _ in range(self.params.iterations_per_temperature):
+                if out_of_time():
+                    return
+                candidate = self.space.mutate(current, self.rng)
+                if self.use_mfs and match_any(state.anomalies, candidate):
+                    state.skipped += 1
+                    continue
+                cand_measurement = self._measure(
+                    state, candidate, signal, kind="search"
+                )
+                cand_value = signal.value(cand_measurement)
+                if self._handle_anomaly(
+                    state, candidate, cand_measurement, signal, deadline
+                ):
+                    seeded = reseed(prefer_best=True)
+                    if seeded is None:
+                        return
+                    current, energy_value = seeded
+                    continue
+                track_best(cand_value, candidate)
+                delta = signal.delta_energy(energy_value, cand_value)
+                if delta < 0:
+                    current, energy_value = candidate, cand_value
+                else:
+                    prob = math.exp(-delta / max(temperature, 1e-9))
+                    if self.rng.random() < prob:
+                        current, energy_value = candidate, cand_value
+            temperature *= self.params.alpha
+            if temperature < self.params.t_min:
+                # Relaxed schedule (§5.1): reheat instead of terminating —
+                # the goal is coverage of many anomalies, not convergence.
+                cycle += 1
+                temperature = self.params.t0
+                seeded = reseed(prefer_best=True)
+                if seeded is None:
+                    return
+                current, energy_value = seeded

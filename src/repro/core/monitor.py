@@ -1,0 +1,110 @@
+"""The anomaly monitor: detection conditions of §5.2.
+
+Two precisely-defined anomaly classes (§3):
+
+1. **Pause frames** on an uncongested network — pause duration ratio
+   above 0.1% (the threshold tolerates the brief pause blips real NICs
+   emit while connections settle);
+2. **Throughput below specification** — more than 20% under *both* the
+   bits/s and the packets/s capability of the RNIC.  The bits bound is
+   wire bytes against line rate (MTU framing overhead is not an anomaly);
+   the packets bound sums both directions because the RNIC's packet
+   engine is shared.
+
+The monitor also performs the paper's stability check: it compares the
+per-second samples and only classifies once the traffic is steady.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hardware.model import Measurement
+from repro.hardware.pfc import PAUSE_RATIO_THRESHOLD
+from repro.hardware.subsystems import Subsystem
+
+#: §5.2: a workload 20% below the specification bounds is anomalous.
+THROUGHPUT_FRACTION = 0.8
+
+HEALTHY = "healthy"
+PAUSE_FRAME = "pause frame"
+LOW_THROUGHPUT = "low throughput"
+
+
+@dataclasses.dataclass(frozen=True)
+class AnomalyVerdict:
+    """Classification of one measurement."""
+
+    symptom: str  #: ``healthy``, ``pause frame`` or ``low throughput``.
+    pause_ratio: float
+    min_wire_gbps: float
+    total_packets_per_sec: float
+    stable: bool
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.symptom != HEALTHY
+
+
+class AnomalyMonitor:
+    """Applies the §5.2 conditions to measurements of one subsystem."""
+
+    def __init__(
+        self,
+        subsystem: Subsystem,
+        pause_threshold: float = PAUSE_RATIO_THRESHOLD,
+        throughput_fraction: float = THROUGHPUT_FRACTION,
+        stability_cv: float = 0.2,
+    ) -> None:
+        self.subsystem = subsystem
+        self.pause_threshold = pause_threshold
+        self.throughput_fraction = throughput_fraction
+        self.stability_cv = stability_cv
+
+    def classify(self, measurement: Measurement) -> AnomalyVerdict:
+        """Classify one measurement.
+
+        Pause detection reads the sampled pause-duration counter (what a
+        real monitor sees); throughput bounds read the per-direction wire
+        rates and the summed packet rate.
+        """
+        stable = self.is_stable(measurement)
+        pause_us = measurement.counters["pause_duration_us_per_sec"]
+        pause_ratio = pause_us / 1e6
+        min_wire = measurement.min_direction_wire_gbps
+        total_pps = measurement.total_packets_per_sec
+
+        if pause_ratio > self.pause_threshold:
+            symptom = PAUSE_FRAME
+        elif self._below_both_bounds(min_wire, total_pps):
+            symptom = LOW_THROUGHPUT
+        else:
+            symptom = HEALTHY
+        return AnomalyVerdict(
+            symptom=symptom,
+            pause_ratio=pause_ratio,
+            min_wire_gbps=min_wire,
+            total_packets_per_sec=total_pps,
+            stable=stable,
+        )
+
+    def is_anomalous(self, measurement: Measurement) -> bool:
+        return self.classify(measurement).is_anomalous
+
+    def _below_both_bounds(self, wire_gbps: float, pps: float) -> bool:
+        rnic = self.subsystem.rnic
+        bits_ok = wire_gbps >= self.throughput_fraction * rnic.line_rate_gbps
+        pps_ok = pps >= self.throughput_fraction * rnic.max_pps
+        return not (bits_ok or pps_ok)
+
+    def is_stable(self, measurement: Measurement) -> bool:
+        """Coefficient-of-variation check across the per-second samples."""
+        readings = np.array(
+            [s.get("tx_bytes_per_sec") for s in measurement.samples]
+        )
+        mean = readings.mean()
+        if mean <= 0:
+            return True
+        return float(readings.std() / mean) <= self.stability_cv

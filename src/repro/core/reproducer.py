@@ -1,0 +1,162 @@
+"""Vendor-ready reproduction recipes for found anomalies.
+
+The paper's workflow after finding an anomaly is to hand the vendor the
+traffic-engine invocation that reproduces it ("We share the NIC vendor
+with our traffic engine tool and the running command", Appendix A).
+This module renders a :class:`~repro.hardware.workload.WorkloadDescriptor`
+in three exchangeable forms:
+
+* an **appendix paragraph** — the paper's prose format ("There are N
+  connections of RC QP using WRITE opcode...");
+* a **traffic-engine command line** — flags for a perftest-style engine
+  extended with the knobs Collie's space needs;
+* a **verbs pseudo-program** — the setup/post skeleton an engineer would
+  translate to C.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.workload import (
+    Colocation,
+    SGLayout,
+    WorkloadDescriptor,
+)
+from repro.verbs.constants import Opcode, QPType
+
+
+def _human(size: int) -> str:
+    if size >= 1 << 20 and size % (1 << 20) == 0:
+        return f"{size >> 20}MB"
+    if size >= 1 << 10 and size % (1 << 10) == 0:
+        return f"{size >> 10}KB"
+    return f"{size}B"
+
+
+def appendix_paragraph(workload: WorkloadDescriptor) -> str:
+    """The paper's 'simplified concrete trigger setting' prose form."""
+    opcode = (
+        "SEND/RECV" if workload.opcode is Opcode.SEND
+        else f"RDMA {workload.opcode.value}"
+    )
+    direction = (
+        " for each direction" if workload.is_bidirectional else ""
+    )
+    lines = [
+        f"There are {workload.num_qps} connections of "
+        f"{workload.qp_type.value} QP using {opcode} opcode{direction}.",
+        f"Each QP has {workload.mrs_per_qp} sending MR of "
+        f"{_human(workload.mr_bytes)} and {workload.mrs_per_qp} receiving "
+        f"MR of {_human(workload.mr_bytes)}.",
+        f"Each QP has a work queue of length {workload.wq_depth}.",
+        f"The MTU is {_human(workload.mtu)}.",
+        f"The sender keeps sending {workload.wqe_batch} request"
+        f"{'s' if workload.wqe_batch != 1 else ''} in a batch.",
+    ]
+    pattern = [_human(s) for s in workload.msg_sizes_bytes]
+    if len(set(pattern)) == 1:
+        lines.append(
+            f"Each request has {workload.sge_per_wqe} SG element"
+            f"{'s' if workload.sge_per_wqe != 1 else ''} and a fixed "
+            f"size of {pattern[0]}."
+        )
+    else:
+        lines.append(
+            f"Each request has {workload.sge_per_wqe} SG element"
+            f"{'s' if workload.sge_per_wqe != 1 else ''} and the pattern "
+            f"is [{', '.join(pattern)}]."
+        )
+    if workload.sg_layout is SGLayout.MIXED and workload.sge_per_wqe > 1:
+        lines.append(
+            "SG lists pack small metadata entries alongside one large "
+            "data entry."
+        )
+    if workload.src_device != "numa0" or workload.dst_device != "numa0":
+        lines.append(
+            f"Sender MRs are allocated from {workload.src_device} and "
+            f"receiver MRs from {workload.dst_device}."
+        )
+    if workload.colocation is Colocation.MIXED_LOOPBACK:
+        lines.append(
+            "Half of the senders are co-located with the receivers "
+            "(loopback traffic co-exists with receiving traffic)."
+        )
+    if workload.duty_cycle < 1.0:
+        lines.append(
+            f"The sender idles {100 * (1 - workload.duty_cycle):.0f}% of "
+            "the time between batches."
+        )
+    return " ".join(lines)
+
+
+def engine_command(workload: WorkloadDescriptor, binary: str = "collie_engine") -> str:
+    """A traffic-engine command line with one flag per search dimension."""
+    flags = [
+        binary,
+        f"--qp-type {workload.qp_type.value.lower()}",
+        f"--opcode {workload.opcode.value.lower()}",
+        f"--qp-num {workload.num_qps}",
+        f"--mtu {workload.mtu}",
+        f"--batch {workload.wqe_batch}",
+        f"--sge {workload.sge_per_wqe}",
+        f"--wq-depth {workload.wq_depth}",
+        f"--mr-num {workload.mrs_per_qp}",
+        f"--mr-size {workload.mr_bytes}",
+        "--request-sizes "
+        + ",".join(str(s) for s in workload.msg_sizes_bytes),
+        f"--src-mem {workload.src_device}",
+        f"--dst-mem {workload.dst_device}",
+    ]
+    if workload.is_bidirectional:
+        flags.append("--bidirectional")
+    if workload.sg_layout is SGLayout.MIXED:
+        flags.append("--sg-layout mixed")
+    if workload.colocation is Colocation.MIXED_LOOPBACK:
+        flags.append("--with-loopback")
+    if workload.duty_cycle < 1.0:
+        flags.append(f"--duty-cycle {workload.duty_cycle}")
+    return " \\\n    ".join(flags)
+
+
+def verbs_program(workload: WorkloadDescriptor) -> str:
+    """A verbs pseudo-program reproducing the workload shape."""
+    qp_type = workload.qp_type.value
+    post = (
+        "ibv_post_send(qp[i], wr_batch, &bad)   /* batch of "
+        f"{workload.wqe_batch} */"
+    )
+    recv_note = (
+        f"    for (j = 0; j < {workload.wq_depth}; j++)\n"
+        "        ibv_post_recv(qp[i], &recv_wr, &bad);\n"
+        if workload.uses_recv_wqes
+        else ""
+    )
+    sizes = ", ".join(str(s) for s in workload.msg_sizes_bytes)
+    return (
+        f"/* reproduces: {workload.summary()} */\n"
+        f"ctx = ibv_open_device(dev);\n"
+        f"pd  = ibv_alloc_pd(ctx);\n"
+        f"for (i = 0; i < {workload.num_qps}; i++) {{\n"
+        f"    for (m = 0; m < {workload.mrs_per_qp}; m++)\n"
+        f"        mr[i][m] = ibv_reg_mr(pd, buf, {workload.mr_bytes}, "
+        "ACCESS_ALL);\n"
+        f"    qp[i] = ibv_create_qp(pd, {{.qp_type = IBV_QPT_{qp_type}, "
+        f".cap = {{.max_send_wr = {workload.wq_depth}, "
+        f".max_recv_wr = {workload.wq_depth}, "
+        f".max_send_sge = {workload.sge_per_wqe}}}}});\n"
+        f"    connect_qp(qp[i], peer, IBV_MTU_{workload.mtu});\n"
+        f"{recv_note}"
+        f"}}\n"
+        f"sizes[] = {{{sizes}}};   /* request pattern, cycled */\n"
+        f"while (running)\n"
+        f"    {post};\n"
+    )
+
+
+def recipe(workload: WorkloadDescriptor, title: str = "anomaly") -> str:
+    """The full vendor hand-off document for one trigger workload."""
+    return (
+        f"=== Reproduction recipe: {title} ===\n\n"
+        f"{appendix_paragraph(workload)}\n\n"
+        f"Traffic engine invocation:\n\n{engine_command(workload)}\n\n"
+        f"Verbs skeleton:\n\n{verbs_program(workload)}"
+    )

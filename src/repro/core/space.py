@@ -1,0 +1,341 @@
+"""The four-dimensional workload search space (paper §4).
+
+The space is defined from the developer's perspective — every choice a
+verbs programmer can make — rather than from hardware internals:
+
+* **Dimension 1, host topology**: which memory device backs each side's
+  MRs, and whether client processes are co-located (loopback traffic);
+* **Dimension 2, memory allocation**: how many MRs per QP and their size
+  (bounded: ≤200K MRs total, as in the paper);
+* **Dimension 3, transport**: QP type, opcode, direction, MTU, number of
+  QPs (bounded at ~20K), WQE batch size, SG entries per WQE, WQ depth;
+* **Dimension 4, message pattern**: a fixed-length request vector whose
+  length is the RNIC's PUs × pipeline stages, with sizes discretised
+  around the MTU and burst size.
+
+:class:`SearchSpace` owns value choices per dimension, uniform sampling,
+single-dimension mutation (the SA neighbour function), and coercion rules
+that keep sampled points verbs-legal (UD is SEND-only and single-MTU).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.subsystems import Subsystem, get_subsystem
+from repro.hardware.workload import (
+    Colocation,
+    Direction,
+    SGLayout,
+    WorkloadDescriptor,
+)
+from repro.verbs.constants import SUPPORTED_OPCODES, Opcode, QPType
+
+#: Paper bounds: "reasonable upper bound on the number of MRs (200K)" and
+#: "an upper bound (e.g., 20K) for the number of QPs".
+MAX_TOTAL_MRS = 200_000
+MAX_QPS = 20_000
+
+QPS_CHOICES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+BATCH_CHOICES = (1, 2, 4, 8, 16, 32, 64, 128)
+SGE_CHOICES = (1, 2, 3, 4, 5, 6, 7, 8)
+WQ_DEPTH_CHOICES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+MTU_CHOICES = (256, 512, 1024, 2048, 4096)
+MSG_SIZE_CHOICES = (
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+    65536, 262144, 1048576, 4194304,
+)
+MRS_PER_QP_CHOICES = (1, 2, 8, 32, 128, 1024)
+MR_BYTES_CHOICES = (4096, 65536, 262144, 1048576, 4194304)
+
+#: The mutable dimensions, in the order MFS probing walks them.
+#: ``duty_cycle`` participates only when the space enables the §8
+#: inter-arrival extension (its default ladder has a single value).
+ORDERED_DIMENSIONS = (
+    "mtu", "num_qps", "wqe_batch", "sge_per_wqe", "wq_depth",
+    "mrs_per_qp", "mr_bytes", "duty_cycle",
+)
+CATEGORICAL_DIMENSIONS = (
+    "qp_type", "opcode", "direction", "src_device", "dst_device",
+    "colocation", "sg_layout",
+)
+PATTERN_DIMENSION = "msg_pattern"
+
+_ORDERED_CHOICES = {
+    "mtu": MTU_CHOICES,
+    "num_qps": QPS_CHOICES,
+    "wqe_batch": BATCH_CHOICES,
+    "sge_per_wqe": SGE_CHOICES,
+    "wq_depth": WQ_DEPTH_CHOICES,
+    "mrs_per_qp": MRS_PER_QP_CHOICES,
+    "mr_bytes": MR_BYTES_CHOICES,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchSpace:
+    """Value choices for every dimension, specialised to one subsystem."""
+
+    qp_types: tuple[QPType, ...] = (QPType.RC, QPType.UC, QPType.UD)
+    opcodes: tuple[Opcode, ...] = (Opcode.SEND, Opcode.WRITE, Opcode.READ)
+    directions: tuple[Direction, ...] = (
+        Direction.UNIDIRECTIONAL, Direction.BIDIRECTIONAL,
+    )
+    colocations: tuple[Colocation, ...] = (
+        Colocation.REMOTE_ONLY, Colocation.MIXED_LOOPBACK,
+    )
+    sg_layouts: tuple[SGLayout, ...] = (SGLayout.EVEN, SGLayout.MIXED)
+    memory_devices: tuple[str, ...] = ("numa0", "numa1")
+    mtus: tuple[int, ...] = MTU_CHOICES
+    qps_choices: tuple[int, ...] = QPS_CHOICES
+    batch_choices: tuple[int, ...] = BATCH_CHOICES
+    sge_choices: tuple[int, ...] = SGE_CHOICES
+    wq_depth_choices: tuple[int, ...] = WQ_DEPTH_CHOICES
+    msg_size_choices: tuple[int, ...] = MSG_SIZE_CHOICES
+    mrs_per_qp_choices: tuple[int, ...] = MRS_PER_QP_CHOICES
+    mr_bytes_choices: tuple[int, ...] = MR_BYTES_CHOICES
+    #: Request-vector length: RNIC PUs × pipeline stages (paper §4).
+    pattern_length: int = 4
+    #: §8 extension: sender duty cycles to explore.  The paper's space
+    #: always saturates (1.0); pass several values to add the
+    #: inter-arrival dimension.
+    duty_cycles: tuple[float, ...] = (1.0,)
+
+    @classmethod
+    def for_subsystem(
+        cls,
+        subsystem: "Subsystem | str",
+        qp_types: Optional[Sequence[QPType]] = None,
+        opcodes: Optional[Sequence[Opcode]] = None,
+        **overrides,
+    ) -> "SearchSpace":
+        """Build the space a subsystem actually exposes.
+
+        The topology dimension enumerates the host's memory devices; the
+        pattern length follows the RNIC's PU/pipeline geometry.  Keyword
+        restrictions implement the §7.3 "developers restrict the search
+        space using knowledge of their applications" workflow.
+        """
+        if isinstance(subsystem, str):
+            subsystem = get_subsystem(subsystem)
+        kwargs: dict = {
+            "memory_devices": tuple(subsystem.topology.device_names()),
+            "pattern_length": subsystem.rnic.pattern_length,
+        }
+        if qp_types is not None:
+            kwargs["qp_types"] = tuple(qp_types)
+        if opcodes is not None:
+            kwargs["opcodes"] = tuple(opcodes)
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    # -- introspection ------------------------------------------------------
+
+    def ordered_choices(self, dimension: str) -> tuple[int, ...]:
+        """Value ladder of an ordered dimension."""
+        base = dict(_ORDERED_CHOICES)
+        base["mtu"] = self.mtus
+        base["num_qps"] = self.qps_choices
+        base["wqe_batch"] = self.batch_choices
+        base["sge_per_wqe"] = self.sge_choices
+        base["wq_depth"] = self.wq_depth_choices
+        base["mrs_per_qp"] = self.mrs_per_qp_choices
+        base["mr_bytes"] = self.mr_bytes_choices
+        base["duty_cycle"] = self.duty_cycles
+        if dimension not in base:
+            raise KeyError(f"{dimension!r} is not an ordered dimension")
+        return tuple(base[dimension])
+
+    def categorical_choices(self, dimension: str) -> tuple:
+        if dimension == "qp_type":
+            return self.qp_types
+        if dimension == "opcode":
+            return self.opcodes
+        if dimension == "direction":
+            return self.directions
+        if dimension == "colocation":
+            return self.colocations
+        if dimension == "sg_layout":
+            return self.sg_layouts
+        if dimension in ("src_device", "dst_device"):
+            return self.memory_devices
+        raise KeyError(f"{dimension!r} is not a categorical dimension")
+
+    def log10_size(self) -> float:
+        """Order of magnitude of the full combinatorial space."""
+        combos = (
+            len(self.qp_types) * len(self.opcodes) * len(self.directions)
+            * len(self.colocations) * len(self.memory_devices) ** 2
+            * len(self.mtus) * len(self.qps_choices) * len(self.batch_choices)
+            * len(self.sge_choices) * len(self.wq_depth_choices)
+            * len(self.mrs_per_qp_choices) * len(self.mr_bytes_choices)
+            * len(self.msg_size_choices) ** self.pattern_length
+        )
+        return math.log10(combos)
+
+    # -- sampling -----------------------------------------------------------
+
+    def random(self, rng: np.random.Generator) -> WorkloadDescriptor:
+        """Uniform random point, coerced to verbs legality."""
+        choice = rng.choice
+        raw = {
+            "qp_type": self.qp_types[choice(len(self.qp_types))],
+            "opcode": self.opcodes[choice(len(self.opcodes))],
+            "direction": self.directions[choice(len(self.directions))],
+            "colocation": self.colocations[choice(len(self.colocations))],
+            "sg_layout": self.sg_layouts[choice(len(self.sg_layouts))],
+            "src_device": self.memory_devices[choice(len(self.memory_devices))],
+            "dst_device": self.memory_devices[choice(len(self.memory_devices))],
+            "mtu": int(choice(self.mtus)),
+            "num_qps": int(choice(self.qps_choices)),
+            "wqe_batch": int(choice(self.batch_choices)),
+            "sge_per_wqe": int(choice(self.sge_choices)),
+            "wq_depth": int(choice(self.wq_depth_choices)),
+            "mrs_per_qp": int(choice(self.mrs_per_qp_choices)),
+            "mr_bytes": int(choice(self.mr_bytes_choices)),
+            "duty_cycle": float(choice(self.duty_cycles)),
+            "msg_sizes_bytes": tuple(
+                int(choice(self.msg_size_choices))
+                for _ in range(self.pattern_length)
+            ),
+        }
+        return self.coerce(raw)
+
+    def mutate(
+        self, workload: WorkloadDescriptor, rng: np.random.Generator
+    ) -> WorkloadDescriptor:
+        """Mutate the workload (paper Alg. 1, line 4).
+
+        Usually one dimension; occasionally two at once, which lets the
+        search cross trigger conditions that only matter jointly (e.g.
+        anomaly #8 needs a shallow WQ *and* unbatched posting).  Ordered
+        dimensions mostly step to a neighbouring ladder value (a local
+        move SA can exploit) with an occasional uniform jump to escape
+        plateaus; categorical dimensions resample; the message pattern
+        mutates one element.
+        """
+        raw = self._to_raw(workload)
+        mutations = 2 if rng.random() < 0.2 else 1
+        for _ in range(mutations):
+            self._mutate_raw(raw, rng)
+        return self.coerce(raw)
+
+    def _mutate_raw(self, raw: dict, rng: np.random.Generator) -> None:
+        dims = (
+            list(ORDERED_DIMENSIONS)
+            + list(CATEGORICAL_DIMENSIONS)
+            + [PATTERN_DIMENSION]
+        )
+        dimension = dims[rng.choice(len(dims))]
+        if dimension == PATTERN_DIMENSION:
+            pattern = list(raw["msg_sizes_bytes"])
+            size = int(
+                self.msg_size_choices[rng.choice(len(self.msg_size_choices))]
+            )
+            if rng.random() < 0.25:
+                # Macro-move: a uniform pattern of one size.  Uniform
+                # patterns are the corners developers actually write
+                # (perftest-style fixed-size loops), and they let the
+                # search reach coordinated pattern states in one step.
+                pattern = [size] * len(pattern)
+            else:
+                pattern[int(rng.integers(len(pattern)))] = size
+            raw["msg_sizes_bytes"] = tuple(pattern)
+        elif dimension in ORDERED_DIMENSIONS:
+            ladder = self.ordered_choices(dimension)
+            index = self._nearest_index(ladder, raw[dimension])
+            if rng.random() < 0.25:
+                raw[dimension] = ladder[rng.choice(len(ladder))]
+            else:
+                step = int(rng.choice((-2, -1, 1, 2)))
+                raw[dimension] = ladder[
+                    max(0, min(len(ladder) - 1, index + step))
+                ]
+        else:
+            options = [
+                v for v in self.categorical_choices(dimension)
+                if v != raw[dimension]
+            ]
+            if options:
+                raw[dimension] = options[rng.choice(len(options))]
+
+    def with_value(
+        self, workload: WorkloadDescriptor, dimension: str, value
+    ) -> WorkloadDescriptor:
+        """Replace one dimension (used by MFS probing), then coerce."""
+        raw = self._to_raw(workload)
+        if dimension == PATTERN_DIMENSION:
+            raw["msg_sizes_bytes"] = tuple(value)
+        else:
+            raw[dimension] = value
+        return self.coerce(raw)
+
+    # -- legality -----------------------------------------------------------
+
+    def coerce(self, raw: dict) -> WorkloadDescriptor:
+        """Fix up a raw dimension assignment into a legal workload.
+
+        Verbs legality constraints are *couplings between dimensions*, so
+        a mutation of one dimension may require adjusting another — the
+        same fix-ups a developer would make:
+
+        * UD supports only SEND, and one message per MTU (sizes clip);
+        * UC supports SEND and WRITE (READ becomes WRITE);
+        * total MRs stay within the 200K pinning budget (mrs_per_qp
+          steps down);
+        * QP count stays within the 20K bound.
+        """
+        raw = dict(raw)
+        qp_type = raw["qp_type"]
+        supported = SUPPORTED_OPCODES[qp_type]
+        if raw["opcode"] not in supported:
+            legal = [op for op in self.opcodes if op in supported] or list(supported)
+            raw["opcode"] = legal[0]
+        if qp_type is QPType.UD:
+            raw["msg_sizes_bytes"] = tuple(
+                min(size, raw["mtu"]) for size in raw["msg_sizes_bytes"]
+            )
+        if raw["sge_per_wqe"] == 1:
+            # A single-entry SG list has no layout to mix.
+            raw["sg_layout"] = SGLayout.EVEN
+        raw["num_qps"] = min(raw["num_qps"], MAX_QPS)
+        ladder = self.mrs_per_qp_choices
+        index = self._nearest_index(ladder, raw["mrs_per_qp"])
+        while index > 0 and raw["num_qps"] * ladder[index] > MAX_TOTAL_MRS:
+            index -= 1
+        raw["mrs_per_qp"] = ladder[index]
+        return WorkloadDescriptor(**raw)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _to_raw(workload: WorkloadDescriptor) -> dict:
+        return {
+            "qp_type": workload.qp_type,
+            "opcode": workload.opcode,
+            "direction": workload.direction,
+            "colocation": workload.colocation,
+            "sg_layout": workload.sg_layout,
+            "src_device": workload.src_device,
+            "dst_device": workload.dst_device,
+            "mtu": workload.mtu,
+            "num_qps": workload.num_qps,
+            "wqe_batch": workload.wqe_batch,
+            "sge_per_wqe": workload.sge_per_wqe,
+            "wq_depth": workload.wq_depth,
+            "mrs_per_qp": workload.mrs_per_qp,
+            "mr_bytes": workload.mr_bytes,
+            "duty_cycle": workload.duty_cycle,
+            "msg_sizes_bytes": workload.msg_sizes_bytes,
+        }
+
+    @staticmethod
+    def _nearest_index(ladder: Sequence[int], value: int) -> int:
+        return min(
+            range(len(ladder)), key=lambda i: abs(math.log2(ladder[i] / value))
+            if value > 0 else i
+        )

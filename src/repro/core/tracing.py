@@ -1,0 +1,203 @@
+"""Message-level traffic traces: functional execution on a timeline.
+
+The steady-state model answers "how fast"; sometimes an engineer wants
+to *watch* a workload — which WQE posted when, which bytes landed where,
+which completion fired.  The tracer runs a scaled slice of a workload
+through the real verbs datapath while spacing events on the timeline the
+performance model predicts, yielding a per-message event log suitable
+for debugging the workload shape itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.host import Host
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import Subsystem, get_subsystem
+from repro.hardware.workload import SGLayout, WorkloadDescriptor
+from repro.verbs.constants import MTU, AccessFlags, Opcode, QPType
+from repro.verbs.datapath import DataPath
+from repro.verbs.fabric import Fabric
+from repro.verbs.qp import QPCapabilities
+from repro.verbs.wr import (
+    RecvWorkRequest,
+    SendWorkRequest,
+    build_sg_list,
+    chunk_message,
+    mixed_entry_lengths,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One event in a traffic trace."""
+
+    time_us: float
+    qp_index: int
+    event: str  #: ``post``, ``deliver`` or ``complete``.
+    wr_id: int
+    nbytes: int
+    detail: str = ""
+
+    def render(self) -> str:
+        return (
+            f"[{self.time_us:10.3f}us] qp{self.qp_index} "
+            f"{self.event:<8} wr={self.wr_id:<6} {self.nbytes:>8}B "
+            f"{self.detail}"
+        )
+
+
+@dataclasses.dataclass
+class TraceLog:
+    """A complete trace plus its derived rates."""
+
+    workload: WorkloadDescriptor
+    subsystem_name: str
+    records: list
+    predicted_msgs_per_sec: float
+
+    def render(self, limit: Optional[int] = 40) -> str:
+        shown = self.records if limit is None else self.records[:limit]
+        lines = [
+            f"trace of {self.workload.summary()}",
+            f"on subsystem {self.subsystem_name}: model predicts "
+            f"{self.predicted_msgs_per_sec:,.0f} msgs/s",
+        ]
+        lines += [record.render() for record in shown]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)
+
+    def events_of(self, kind: str) -> list:
+        return [r for r in self.records if r.event == kind]
+
+
+class TrafficTracer:
+    """Runs traced functional slices of workloads."""
+
+    #: Scale caps keeping traces readable and fast.
+    MAX_QPS = 4
+    MAX_MESSAGE = 64 * 1024
+
+    def __init__(self, subsystem: "Subsystem | str") -> None:
+        if isinstance(subsystem, str):
+            subsystem = get_subsystem(subsystem)
+        self.subsystem = subsystem
+        self.model = SteadyStateModel(subsystem, noise=0.0)
+
+    def trace(
+        self, workload: WorkloadDescriptor, messages: int = 16
+    ) -> TraceLog:
+        """Trace ``messages`` messages of the workload's shape."""
+        if messages <= 0:
+            raise ValueError("messages must be positive")
+        measurement = self.model.evaluate(
+            workload, np.random.default_rng(0)
+        )
+        rate = measurement.directions[0].achieved_msgs_per_sec
+        interval_us = 1e6 / rate if rate > 0 else 1.0
+
+        host_a = Host("trace-a", self.subsystem.topology)
+        host_b = Host("trace-b", self.subsystem.topology)
+        fabric = Fabric()
+        fabric.attach(host_a.context)
+        fabric.attach(host_b.context)
+        datapath = DataPath(fabric)
+
+        qps = min(workload.num_qps, self.MAX_QPS)
+        sizes = [
+            min(s, self.MAX_MESSAGE) for s in workload.msg_sizes_bytes
+        ]
+        mr_bytes = max(sizes) + 4096
+        cap = QPCapabilities(
+            max_send_wr=max(workload.wqe_batch * 2, 64),
+            max_recv_wr=max(workload.wq_depth, 64),
+            max_send_sge=16,
+        )
+        pairs = []
+        for _ in range(qps):
+            pd_a, pd_b = host_a.context.alloc_pd(), host_b.context.alloc_pd()
+            cq_a = host_a.context.create_cq(4096)
+            cq_b = host_b.context.create_cq(4096)
+            qp_a = host_a.context.create_qp(
+                pd_a, workload.qp_type, cq_a, cq_a, cap
+            )
+            qp_b = host_b.context.create_qp(
+                pd_b, workload.qp_type, cq_b, cq_b, cap
+            )
+            if workload.qp_type is QPType.UD:
+                fabric.activate_ud(qp_a, MTU.from_bytes(workload.mtu))
+                fabric.activate_ud(qp_b, MTU.from_bytes(workload.mtu))
+            else:
+                fabric.connect(qp_a, qp_b, MTU.from_bytes(workload.mtu))
+            mr_a = pd_a.reg_mr(
+                mr_bytes, AccessFlags.all_remote(), workload.src_device
+            )
+            mr_b = pd_b.reg_mr(
+                mr_bytes, AccessFlags.all_remote(), workload.dst_device
+            )
+            pairs.append((qp_a, qp_b, mr_a, mr_b, cq_a, cq_b))
+
+        records: list = []
+        clock_us = 0.0
+        for index in range(messages):
+            qp_a, qp_b, mr_a, mr_b, cq_a, cq_b = pairs[index % qps]
+            size = sizes[index % len(sizes)]
+            if workload.sg_layout is SGLayout.MIXED and workload.sge_per_wqe > 1:
+                lengths = mixed_entry_lengths(size, workload.sge_per_wqe)
+            else:
+                lengths = chunk_message(size, 1, workload.sge_per_wqe)[0]
+            sg_list = build_sg_list(lengths, mr_a.addr, mr_a.lkey)
+            if workload.opcode is Opcode.SEND:
+                qp_b.post_recv(
+                    RecvWorkRequest(
+                        sg_list=build_sg_list(
+                            [size + 64], mr_b.addr, mr_b.lkey
+                        )
+                    )
+                )
+                wr = SendWorkRequest(
+                    opcode=Opcode.SEND,
+                    sg_list=sg_list,
+                    ah=qp_b.qp_num
+                    if workload.qp_type is QPType.UD else None,
+                )
+            else:
+                wr = SendWorkRequest(
+                    opcode=workload.opcode,
+                    sg_list=sg_list,
+                    remote_addr=mr_b.addr,
+                    rkey=mr_b.rkey,
+                )
+            records.append(
+                TraceRecord(clock_us, index % qps, "post", wr.wr_id, size,
+                            f"{workload.opcode.value} "
+                            f"{len(sg_list)}-entry SG")
+            )
+            qp_a.post_send(wr)
+            datapath.process(qp_a)
+            records.append(
+                TraceRecord(
+                    clock_us + interval_us * 0.5, index % qps, "deliver",
+                    wr.wr_id, size,
+                    f"-> {workload.dst_device}",
+                )
+            )
+            for wc in cq_a.drain() + cq_b.drain():
+                records.append(
+                    TraceRecord(
+                        clock_us + interval_us, index % qps, "complete",
+                        wc.wr_id, wc.byte_len, wc.status.value,
+                    )
+                )
+            clock_us += interval_us
+        return TraceLog(
+            workload=workload,
+            subsystem_name=self.subsystem.name,
+            records=records,
+            predicted_msgs_per_sec=rate,
+        )

@@ -1,0 +1,49 @@
+"""Simulated RDMA subsystem hardware.
+
+The paper's substrate is a physical testbed (Table 1); here every component
+is a mechanistic model: host topology (:mod:`topology`), PCIe
+(:mod:`pcie`), RNIC internals with their caches and engines (:mod:`rnic`,
+:mod:`caches`), PFC (:mod:`pfc`), the lossless switch (:mod:`switch`),
+hardware counters (:mod:`counters`), the six root-cause bottleneck
+mechanisms of Appendix A (:mod:`mechanisms`), and the steady-state solver
+that turns a workload descriptor into per-second counter streams
+(:mod:`model`).  :mod:`subsystems` provides the eight Table 1 presets A–H.
+"""
+
+from repro.hardware.counters import (
+    DIAGNOSTIC_COUNTERS,
+    PERFORMANCE_COUNTERS,
+    CounterSample,
+    VendorMonitor,
+)
+from repro.hardware.model import Measurement, SteadyStateModel
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.rnic import RNICProfile
+from repro.hardware.subsystems import (
+    SUBSYSTEMS,
+    Subsystem,
+    get_subsystem,
+    list_subsystems,
+)
+from repro.hardware.topology import HostTopology, MemoryDevice
+from repro.hardware.workload import Colocation, Direction, WorkloadDescriptor
+
+__all__ = [
+    "DIAGNOSTIC_COUNTERS",
+    "PERFORMANCE_COUNTERS",
+    "CounterSample",
+    "VendorMonitor",
+    "Measurement",
+    "SteadyStateModel",
+    "PCIeLink",
+    "RNICProfile",
+    "SUBSYSTEMS",
+    "Subsystem",
+    "get_subsystem",
+    "list_subsystems",
+    "HostTopology",
+    "MemoryDevice",
+    "Colocation",
+    "Direction",
+    "WorkloadDescriptor",
+]

@@ -1,0 +1,192 @@
+"""Co-existing workloads on one subsystem: the isolation question.
+
+§7.4: "it is possible that a connection with a specific message pattern
+affects another connection by triggering cache misses, even when the
+bandwidth and other resources are well isolated."  This module evaluates
+a *victim* workload sharing an RDMA subsystem with an *aggressor*:
+
+* visible resources are split fairly — each side's wire, packet and PCIe
+  budgets are scaled by its share (perfect bandwidth isolation);
+* the **opaque** resources are not isolatable: QPC/MTT/receive-WQE cache
+  working sets combine, so the victim's miss-dependent behaviour is
+  computed against the *joint* occupancy.
+
+The result quantifies exactly the paper's point: a cache-thrashing
+aggressor collapses a victim that keeps well inside its bandwidth share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.caches import steady_state_miss_rate
+from repro.hardware.model import Measurement, SteadyStateModel
+from repro.hardware.subsystems import Subsystem
+from repro.hardware.workload import WorkloadDescriptor
+
+
+@dataclasses.dataclass(frozen=True)
+class CoexistenceResult:
+    """Victim outcomes, alone vs sharing the subsystem."""
+
+    victim_alone: Measurement
+    victim_shared: Measurement
+    aggressor: WorkloadDescriptor
+    bandwidth_share: float
+
+    @property
+    def alone_gbps(self) -> float:
+        return self.victim_alone.directions[0].wire_gbps
+
+    @property
+    def shared_gbps(self) -> float:
+        return self.victim_shared.directions[0].wire_gbps
+
+    @property
+    def fair_share_gbps(self) -> float:
+        """What perfect isolation would guarantee the victim."""
+        return self.alone_gbps * self.bandwidth_share
+
+    @property
+    def interference_factor(self) -> float:
+        """Shared throughput relative to the fair bandwidth share.
+
+        1.0 means bandwidth isolation fully protected the victim; below
+        1.0 the aggressor stole performance through opaque resources.
+        """
+        if self.fair_share_gbps <= 0:
+            return 1.0
+        return min(1.0, self.shared_gbps / self.fair_share_gbps)
+
+
+class CoexistenceModel:
+    """Evaluates a victim workload next to an aggressor."""
+
+    def __init__(self, subsystem: Subsystem, noise: float = 0.0) -> None:
+        self.subsystem = subsystem
+        self.model = SteadyStateModel(subsystem, noise=noise)
+
+    def _combined_cache_features(
+        self,
+        victim: WorkloadDescriptor,
+        aggressor: WorkloadDescriptor,
+    ) -> dict:
+        """Cache-miss features of the victim under joint occupancy.
+
+        The on-NIC caches see both tenants' working sets; the victim's
+        effective miss rates are those of the combined occupancy, which
+        is the §7.4 "opaque resource" leak.
+        """
+        rnic = self.subsystem.rnic
+        joint_qps = victim.num_qps + aggressor.num_qps
+        joint_mrs = victim.total_mrs + aggressor.total_mrs
+        joint_recv = (
+            (victim.total_outstanding_recv_wqes if victim.uses_recv_wqes else 0)
+            + (
+                aggressor.total_outstanding_recv_wqes
+                if aggressor.uses_recv_wqes
+                else 0
+            )
+        )
+        return {
+            "qpc_miss": steady_state_miss_rate(
+                joint_qps, rnic.qpc_cache_entries
+            ),
+            "mtt_miss": steady_state_miss_rate(
+                joint_mrs, rnic.mtt_cache_entries
+            ),
+            "rxq_capacity_miss": rnic.rx_wqe_cache.capacity_miss(joint_recv),
+        }
+
+    def evaluate(
+        self,
+        victim: WorkloadDescriptor,
+        aggressor: WorkloadDescriptor,
+        victim_share: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CoexistenceResult:
+        """Victim outcome alone and under co-existence.
+
+        ``victim_share`` is the bandwidth fraction an isolation mechanism
+        guarantees the victim; the aggressor is assumed to consume the
+        rest.  The shared evaluation embeds the victim's workload as-is,
+        but with (a) every bandwidth-like budget scaled by the share and
+        (b) the cache features replaced by the joint-occupancy values.
+        """
+        if not 0 < victim_share <= 1:
+            raise ValueError("victim_share must lie in (0, 1]")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        alone = self.model.evaluate(victim, rng)
+        shared = self._evaluate_shared(victim, aggressor, victim_share, rng)
+        return CoexistenceResult(
+            victim_alone=alone,
+            victim_shared=shared,
+            aggressor=aggressor,
+            bandwidth_share=victim_share,
+        )
+
+    def _evaluate_shared(self, victim, aggressor, share, rng) -> Measurement:
+        # Bandwidth isolation: scale the victim's visible budgets.  The
+        # cleanest faithful implementation re-runs the solver against a
+        # scaled subsystem profile...
+        scaled = _scaled_subsystem(self.subsystem, share)
+        model = SteadyStateModel(scaled, noise=self.model.noise)
+        measurement = model.evaluate(victim, rng)
+        # ...then degrades the victim's achieved rates by the *joint*
+        # cache miss exposure the aggressor adds (sender-side slowdown:
+        # the same exposure regime as anomalies #7/#8 — small messages,
+        # shallow pipelines — is where the leak bites hardest).
+        joint = self._combined_cache_features(victim, aggressor)
+        own = measurement.features
+        extra_miss = max(0.0, joint["qpc_miss"] - own["qpc_miss"]) + max(
+            0.0, joint["mtt_miss"] - own["mtt_miss"]
+        )
+        if victim.uses_recv_wqes:
+            extra_miss += max(
+                0.0, joint["rxq_capacity_miss"] - own["rxq_capacity_miss"]
+            )
+        exposure = _miss_exposure(victim)
+        factor = max(0.1, 1.0 - extra_miss * exposure)
+        return _degrade(measurement, factor)
+
+
+def _miss_exposure(workload: WorkloadDescriptor) -> float:
+    """How much of a cache miss's latency reaches end-to-end throughput.
+
+    Mirrors the Appendix A root-cause-#2 discussion: large requests hide
+    misses behind the pipeline; small unbatched requests expose them.
+    """
+    size_term = 1.0 if workload.avg_msg_bytes <= 1024 else (
+        1024.0 / workload.avg_msg_bytes
+    )
+    batch_term = 2.0 / (1.0 + workload.wqe_batch)
+    return min(1.0, size_term * (0.3 + 0.7 * batch_term))
+
+
+def _scaled_subsystem(subsystem: Subsystem, share: float) -> Subsystem:
+    """A subsystem whose bandwidth-like capabilities are one share."""
+    rnic = dataclasses.replace(
+        subsystem.rnic,
+        line_rate_gbps=subsystem.rnic.line_rate_gbps * share,
+        max_pps=subsystem.rnic.max_pps * share,
+    )
+    pcie = dataclasses.replace(subsystem.pcie)  # full-duplex bus: shared
+    return dataclasses.replace(subsystem, rnic=rnic, pcie=pcie)
+
+
+def _degrade(measurement: Measurement, factor: float) -> Measurement:
+    """Scale a measurement's achieved rates by an interference factor."""
+    directions = tuple(
+        dataclasses.replace(
+            d,
+            achieved_msgs_per_sec=d.achieved_msgs_per_sec * factor,
+            payload_bytes_per_sec=d.payload_bytes_per_sec * factor,
+            wire_bytes_per_sec=d.wire_bytes_per_sec * factor,
+            packets_per_sec=d.packets_per_sec * factor,
+        )
+        for d in measurement.directions
+    )
+    return dataclasses.replace(measurement, directions=directions)

@@ -1,0 +1,120 @@
+"""Hardware counters: the search signal Collie drives to extreme regions.
+
+Two families, exactly as the paper distinguishes them (§3, Challenge #2):
+
+* **performance counters** — provided by every commodity RNIC (bits and
+  packets per second, pause duration); the search drives them *low*;
+* **diagnostic counters** — vendor counters mapped to unexpected internal
+  events (cache misses, PCIe backpressure); the search drives them *high*.
+  The paper's vendors exposed 9 of them; we expose the same number.
+
+:class:`VendorMonitor` mimics the vendor tooling (NEO-Host et al.): it
+samples a subsystem once per simulated second and returns noisy readings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+#: Performance counters (always available).
+PERFORMANCE_COUNTERS = (
+    "tx_bytes_per_sec",
+    "rx_bytes_per_sec",
+    "tx_packets_per_sec",
+    "rx_packets_per_sec",
+    "pause_duration_us_per_sec",
+)
+
+#: The 9 vendor diagnostic counters (§7.2: "Our vendors provide us with 9
+#: diagnostic counters").  Names follow the two the paper cites —
+#: *Receive WQE Cache Miss* and *PCIe Internal Back Pressure* — plus the
+#: remaining mechanisms of Appendix A.
+DIAGNOSTIC_COUNTERS = (
+    "rx_wqe_cache_miss",
+    "qpc_cache_miss",
+    "mtt_cache_miss",
+    "pcie_internal_backpressure",
+    "pcie_ordering_stall",
+    "rx_buffer_full_events",
+    "internal_incast_events",
+    "cross_socket_pressure",
+    "tx_wqe_fetch_stall",
+)
+
+ALL_COUNTERS = PERFORMANCE_COUNTERS + DIAGNOSTIC_COUNTERS
+
+#: Counters the search should *minimize* (performance) vs *maximize*
+#: (diagnostic), per §5.1.
+MINIMIZED_COUNTERS = frozenset(
+    ("tx_bytes_per_sec", "rx_bytes_per_sec", "tx_packets_per_sec",
+     "rx_packets_per_sec")
+)
+
+
+def is_diagnostic(counter: str) -> bool:
+    return counter in DIAGNOSTIC_COUNTERS
+
+
+def is_performance(counter: str) -> bool:
+    return counter in PERFORMANCE_COUNTERS
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSample:
+    """One per-second reading of every counter."""
+
+    second: int
+    values: Mapping[str, float]
+
+    def __getitem__(self, counter: str) -> float:
+        return self.values[counter]
+
+    def get(self, counter: str, default: float = 0.0) -> float:
+        return self.values.get(counter, default)
+
+
+class VendorMonitor:
+    """Samples noisy per-second counter readings from ideal counter values.
+
+    The paper's monitors "provide counters every second" and Collie
+    averages four fetches per iteration (§6).  Real readings jitter with
+    bus traffic; we apply multiplicative Gaussian noise (default 2%) from
+    an explicit RNG so experiments are reproducible.
+    """
+
+    def __init__(self, rng: np.random.Generator, noise: float = 0.02) -> None:
+        if noise < 0:
+            raise ValueError(f"noise must be non-negative, got {noise}")
+        self._rng = rng
+        self._noise = noise
+
+    def sample(self, ideal: Mapping[str, float], second: int) -> CounterSample:
+        """Return one noisy sample of the given ideal counter values."""
+        values = {}
+        for name in ALL_COUNTERS:
+            value = float(ideal.get(name, 0.0))
+            if value > 0 and self._noise > 0:
+                value *= max(0.0, 1.0 + self._rng.normal(0.0, self._noise))
+            values[name] = value
+        return CounterSample(second=second, values=values)
+
+    def sample_window(
+        self, ideal: Mapping[str, float], seconds: int, start_second: int = 0
+    ) -> list[CounterSample]:
+        """Sample ``seconds`` consecutive per-second readings."""
+        return [
+            self.sample(ideal, start_second + i) for i in range(seconds)
+        ]
+
+
+def average_counters(samples: list[CounterSample]) -> dict[str, float]:
+    """Mean of each counter across samples (the paper averages 4 fetches)."""
+    if not samples:
+        return {name: 0.0 for name in ALL_COUNTERS}
+    return {
+        name: float(np.mean([s.get(name) for s in samples]))
+        for name in ALL_COUNTERS
+    }

@@ -1,0 +1,25 @@
+"""Discrete-event validation engine.
+
+The steady-state solver (:mod:`repro.hardware.model`) computes rates and
+pause duty cycles in closed form.  This package provides an independent,
+event-level implementation — packets injected, queued, PFC-paused and
+served one burst at a time — used to validate the closed forms and to
+produce time series (queue occupancy, pause intervals) that a formula
+cannot.
+
+* :mod:`engine` — a generic deterministic event scheduler;
+* :mod:`flowsim` — sender → lossless ingress queue → receiver with PFC;
+* :mod:`validate` — builds a flow simulation from a measurement's rates
+  and compares outcomes against the analytic model.
+"""
+
+from repro.hardware.des.engine import EventScheduler
+from repro.hardware.des.flowsim import FlowSimulation, FlowParameters
+from repro.hardware.des.validate import validate_measurement
+
+__all__ = [
+    "EventScheduler",
+    "FlowSimulation",
+    "FlowParameters",
+    "validate_measurement",
+]

@@ -1,0 +1,114 @@
+"""A deterministic discrete-event scheduler.
+
+Minimal by design: a time-ordered heap of events with stable FIFO
+ordering for simultaneous events (insertion sequence breaks ties), event
+cancellation, and a bounded run loop.  No global state, no wall-clock
+dependence — simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+@dataclasses.dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    callback: Optional[Callable[[], None]] = dataclasses.field(compare=False)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+
+class EventHandle:
+    """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class EventScheduler:
+    """Time-ordered event execution with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.executed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``now + delay``; returns a handle."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s in the past")
+        entry = _Entry(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule at an absolute time (must not be in the past)."""
+        return self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            callback, entry.callback = entry.callback, None
+            callback()
+            self.executed += 1
+            return True
+        return False
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> None:
+        """Run events with time ≤ deadline (advances ``now`` to deadline)."""
+        events = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            if events >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events}) before "
+                    f"t={deadline}; runaway simulation?"
+                )
+            self.step()
+            events += 1
+        self.now = max(self.now, deadline)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Drain the event heap entirely."""
+        events = 0
+        while self.step():
+            events += 1
+            if events >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events}); "
+                    "runaway simulation?"
+                )

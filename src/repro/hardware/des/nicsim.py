@@ -1,0 +1,144 @@
+"""Burst-level RNIC receive-path simulation with an exact WQE cache.
+
+The quirk rules assert, for example, that receivers whose total posted
+receive WQEs (``num_qps × wq_depth``) outrun the receive-WQE cache stall
+badly enough to pause the link (the capacity path behind anomalies #2,
+#15 and #17).  This module *derives* that behaviour instead of asserting
+it: arrivals round-robin across QPs in sender batches, each SEND
+consumes one receive WQE, WQE lookups go through an exact
+:class:`~repro.hardware.caches.LRUCache` with a prefetcher, and every
+demand miss costs a PCIe round trip of receive-engine time.  The
+emergent service rate — and therefore the pause duty cycle via the
+standard PFC loop — can be compared against the closed-form rule
+severities: below cache capacity the engine is miss-free; above it the
+prefetcher bounds losses at one stall per window, which at line rate is
+a 20–25% pause duty cycle — the regime the rules encode.
+
+Scope note: the *burst-timing* sensitivity of anomaly #1 (large posting
+batches defeating the prefetcher's latency hiding) needs a queueing
+model of concurrent in-flight fetches and stays at the rule level; this
+simulation validates the capacity mechanism, where cache geometry alone
+decides the outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.caches import LRUCache
+from repro.hardware.des.engine import EventScheduler
+from repro.hardware.pfc import steady_state_pause_ratio
+
+
+@dataclasses.dataclass(frozen=True)
+class RxPipelineParameters:
+    """Receive-path geometry and costs."""
+
+    num_qps: int
+    wq_depth: int  #: receive WQEs kept posted per QP.
+    sender_batch: int  #: messages posted per doorbell (arrive back-to-back).
+    cache_entries: int  #: receive-WQE cache capacity.
+    prefetch_window: int  #: WQEs fetched ahead per QP on a miss.
+    base_service_ns: float = 80.0  #: per-message cost on a cache hit.
+    miss_penalty_ns: float = 900.0  #: PCIe RTT to fetch a missed WQE.
+    arrival_interval_ns: float = 80.0  #: per-message wire spacing at rate.
+
+    def __post_init__(self) -> None:
+        if min(self.num_qps, self.wq_depth, self.sender_batch,
+               self.cache_entries, self.prefetch_window) <= 0:
+            raise ValueError("all pipeline parameters must be positive")
+
+
+@dataclasses.dataclass
+class RxPipelineResult:
+    """Emergent receive-path behaviour."""
+
+    messages: int
+    misses: int
+    busy_ns: float
+    span_ns: float
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.messages if self.messages else 0.0
+
+    @property
+    def service_rate_msgs_per_sec(self) -> float:
+        """Messages per second the engine can sustain when saturated."""
+        if self.busy_ns <= 0:
+            return 0.0
+        return self.messages / self.busy_ns * 1e9
+
+    def pause_ratio_against(self, arrival_msgs_per_sec: float) -> float:
+        """PFC duty cycle when traffic arrives at the given rate."""
+        return steady_state_pause_ratio(
+            arrival_msgs_per_sec, self.service_rate_msgs_per_sec
+        )
+
+
+class RxPipelineSimulation:
+    """Runs the receive engine over a deterministic arrival schedule.
+
+    Arrivals round-robin across QPs in sender batches (QP ``i`` delivers
+    its whole batch before QP ``i+1`` — the doorbell-batched pattern).
+    Each message consumes the QP's next receive WQE; the WQE must be
+    resident in the cache, which prefetches ``prefetch_window`` entries
+    ahead for the missing QP and evicts LRU entries.
+    """
+
+    def __init__(self, params: RxPipelineParameters) -> None:
+        self.params = params
+        self.scheduler = EventScheduler()
+        self.cache = LRUCache(params.cache_entries)
+        #: Next receive-WQE index per QP (consumed in ring order).
+        self._next_wqe = [0] * params.num_qps
+        self._busy_ns = 0.0
+        self._messages = 0
+        #: Demand misses only — prefetch fills touch the cache but are
+        #: not receive-engine stalls.
+        self._demand_misses = 0
+
+        # Warm start: the prefetcher has filled the cache fairly across
+        # QPs before traffic begins, as a real NIC's idle prefetch would.
+        per_qp = max(1, params.cache_entries // params.num_qps)
+        for qp in range(params.num_qps):
+            for slot in range(min(per_qp, params.wq_depth)):
+                self.cache.access((qp, slot))
+        self.cache.reset_stats()
+
+    def _consume(self, qp: int) -> None:
+        params = self.params
+        slot = self._next_wqe[qp]
+        key = (qp, slot % params.wq_depth)
+        self._next_wqe[qp] = slot + 1
+        if self.cache.access(key):
+            self._busy_ns += params.base_service_ns
+        else:
+            # Miss: fetch this WQE plus the prefetch window behind it.
+            self._demand_misses += 1
+            self._busy_ns += params.base_service_ns + params.miss_penalty_ns
+            for ahead in range(1, params.prefetch_window):
+                self.cache.access((qp, (slot + ahead) % params.wq_depth))
+        self._messages += 1
+
+    def run(self, messages: int) -> RxPipelineResult:
+        """Process ``messages`` arrivals; returns emergent rates."""
+        if messages <= 0:
+            raise ValueError("messages must be positive")
+        params = self.params
+        sent = 0
+        qp = 0
+        while sent < messages:
+            for _ in range(params.sender_batch):
+                if sent >= messages:
+                    break
+                self._consume(qp)
+                sent += 1
+            qp = (qp + 1) % params.num_qps
+        span = max(self._busy_ns, sent * params.arrival_interval_ns)
+        return RxPipelineResult(
+            messages=self._messages,
+            misses=self._demand_misses,
+            busy_ns=self._busy_ns,
+            span_ns=span,
+        )

@@ -1,0 +1,108 @@
+"""Workload feature extraction for the rule gates and pressure counters.
+
+Turns a :class:`~repro.hardware.workload.WorkloadDescriptor` evaluated on a
+concrete subsystem into a flat feature vector: the raw search dimensions,
+the derived verbs-level quantities (packets per message, WQE bytes), the
+cache-model outputs (miss fractions), and the host/platform flags (strict
+PCIe ordering, cross-socket paths).  Both the quirk gates
+(:mod:`repro.hardware.rules`) and the diagnostic-counter pressures read
+this vector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.caches import steady_state_miss_rate
+from repro.hardware.workload import WorkloadDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.subsystems import Subsystem
+
+
+def extract_features(
+    workload: WorkloadDescriptor, subsystem: "Subsystem"
+) -> dict:
+    """Compute the feature vector of a workload on a subsystem."""
+    rnic = subsystem.rnic
+    rxq = rnic.rx_wqe_cache
+    src_path = subsystem.topology.dma_path(workload.src_device)
+    dst_path = subsystem.topology.dma_path(workload.dst_device)
+
+    # Receive-WQE cache paths only exist for 2-sided traffic.
+    if workload.uses_recv_wqes:
+        rxq_capacity_miss = rxq.capacity_miss(workload.total_outstanding_recv_wqes)
+        rxq_burst_miss = rxq.burst_miss(workload.wq_depth, workload.wqe_batch)
+    else:
+        rxq_capacity_miss = 0.0
+        rxq_burst_miss = 0.0
+
+    qps_working_set = workload.num_qps * (2 if workload.is_bidirectional else 1)
+    qpc_miss = steady_state_miss_rate(qps_working_set, rnic.qpc_cache_entries)
+    mtt_miss = steady_state_miss_rate(workload.total_mrs, rnic.mtt_cache_entries)
+
+    features: dict = {
+        # raw transport dimensions
+        "qp_type": workload.qp_type.value,
+        "opcode": workload.opcode.value,
+        "bidirectional": 1.0 if workload.is_bidirectional else 0.0,
+        "mtu": float(workload.mtu),
+        "num_qps": float(workload.num_qps),
+        "total_qps": float(qps_working_set),
+        "wqe_batch": float(workload.wqe_batch),
+        "sge_per_wqe": float(workload.sge_per_wqe),
+        "wq_depth": float(workload.wq_depth),
+        # message pattern
+        "avg_msg": workload.avg_msg_bytes,
+        "min_msg": float(workload.min_msg_bytes),
+        "max_msg": float(workload.max_msg_bytes),
+        "avg_pkts_per_msg": workload.packets_per_message(),
+        "small_frac": workload.small_message_fraction,
+        "large_frac": workload.large_message_fraction,
+        "mixes_small_and_large": 1.0 if workload.mixes_small_and_large else 0.0,
+        "sg_entry_mix": 1.0 if workload.sg_entry_mix else 0.0,
+        "sg_layout": workload.sg_layout.value,
+        # memory allocation
+        "mrs_per_qp": float(workload.mrs_per_qp),
+        "total_mrs": float(workload.total_mrs),
+        "mr_bytes": float(workload.mr_bytes),
+        # derived cache metrics
+        "rxq_capacity_miss": rxq_capacity_miss,
+        "rxq_burst_miss": rxq_burst_miss,
+        "qpc_miss": qpc_miss,
+        "mtt_miss": mtt_miss,
+        # load-shape aggregates used by the packet-processing quirks
+        "short_req_outstanding": (
+            workload.num_qps * workload.wqe_batch * workload.small_message_fraction
+        ),
+        "wqe_outstanding_bytes": float(
+            workload.num_qps * workload.wqe_batch * workload.wqe_bytes
+        ),
+        # host topology and platform flags
+        "src_device": workload.src_device,
+        "dst_device": workload.dst_device,
+        "crosses_socket": 1.0
+        if (src_path.crosses_socket or dst_path.crosses_socket)
+        else 0.0,
+        "via_root_complex": 1.0
+        if (src_path.via_root_complex or dst_path.via_root_complex)
+        else 0.0,
+        # The data *sink* sits behind a root-complex detour: the forward
+        # direction's destination always counts; with bidirectional
+        # traffic the source memory is the reverse direction's sink.
+        "sink_via_root_complex": 1.0
+        if (
+            dst_path.via_root_complex
+            or (workload.is_bidirectional and src_path.via_root_complex)
+        )
+        else 0.0,
+        "uses_gpu_memory": 1.0
+        if (src_path.device.kind == "gpu" or dst_path.device.kind == "gpu")
+        else 0.0,
+        "loopback": 1.0 if workload.has_loopback else 0.0,
+        "duty_cycle": workload.duty_cycle,
+        "strict_ordering": 0.0 if subsystem.pcie.relaxed_ordering else 1.0,
+        "weak_cross_socket": 1.0 if subsystem.weak_cross_socket else 0.0,
+        "loopback_unlimited": 0.0 if rnic.loopback_rate_limited else 1.0,
+    }
+    return features

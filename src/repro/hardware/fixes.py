@@ -1,0 +1,134 @@
+"""Vendor fixes and operator mitigations for the 18 anomalies.
+
+The paper reports that 7 of the 18 anomalies were already fixed when it
+went to press — by firmware upgrades, register configuration, PCIe
+platform settings, or deployment policy (Appendix A's per-anomaly
+"solutions").  This module models each fix so the evaluation can verify
+both directions: a fixed subsystem no longer triggers its anomaly, and
+the 11 unfixed anomalies persist.
+
+Fix kinds:
+
+* ``firmware``  — the vendor removed the quirk (the rule disappears):
+  #10 ("announce it fixed in their upcoming firmware release"),
+  #17/#18 ("configure some specific registers of the RNIC");
+* ``platform``  — a host/PCIe setting changes: #9 (RNIC forced into
+  relaxed ordering), #11 (2×100G NICs, one per socket — modelled as a
+  sound cross-socket fabric), #12 (correct PCIe ACSCtl);
+* ``policy``    — a deployment rule constrains workloads: #3 (cluster
+  MTU raised from 1500 to 4200).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.core.space import SearchSpace
+from repro.hardware.subsystems import Subsystem, get_subsystem
+
+
+@dataclasses.dataclass(frozen=True)
+class Fix:
+    """One vendor fix or operator mitigation."""
+
+    tag: str
+    kind: str  #: ``firmware``, ``platform`` or ``policy``.
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("firmware", "platform", "policy"):
+            raise ValueError(f"unknown fix kind {self.kind!r}")
+
+
+#: The paper's seven applied fixes, keyed by Table 2 tag.
+FIXES: dict = {
+    "A3": Fix("A3", "policy",
+              "deployment MTU raised 1500 -> 4200 (4096 for RDMA)"),
+    "A9": Fix("A9", "platform",
+              "RNIC configured as forced relaxed-ordering PCIe device"),
+    "A10": Fix("A10", "firmware",
+               "vendor firmware release fixes the packet processor"),
+    "A11": Fix("A11", "platform",
+               "2x100G NICs, one per socket: no cross-socket DMA"),
+    "A12": Fix("A12", "platform", "correct PCIe ACSCtl bridge configuration"),
+    "A17": Fix("A17", "firmware", "vendor-specified RNIC register settings"),
+    "A18": Fix("A18", "firmware", "vendor-specified RNIC register settings"),
+}
+
+#: Rows the paper reports as still unfixed.
+UNFIXED_TAGS = tuple(
+    f"A{i}" for i in range(1, 19) if f"A{i}" not in FIXES
+)
+
+
+def apply_fixes(
+    subsystem: Subsystem, tags: Iterable[str] = tuple(FIXES)
+) -> Subsystem:
+    """A subsystem with the given fixes applied.
+
+    Firmware fixes remove the quirk rule from the RNIC; platform fixes
+    flip the corresponding host/PCIe flag (which disarms the gate).
+    Policy fixes do not change hardware — see :func:`apply_policy`.
+    """
+    tags = set(tags)
+    unknown = tags - set(FIXES)
+    if unknown:
+        raise KeyError(f"no documented fix for {sorted(unknown)}")
+
+    rnic = subsystem.rnic
+    firmware_removed = {
+        tag for tag in tags if FIXES[tag].kind == "firmware"
+    }
+    if firmware_removed:
+        rnic = dataclasses.replace(
+            rnic,
+            rules=tuple(
+                rule for rule in rnic.rules
+                if rule.tag not in firmware_removed
+            ),
+        )
+
+    pcie = subsystem.pcie
+    topology = subsystem.topology
+    weak_cross_socket = subsystem.weak_cross_socket
+    if "A9" in tags:
+        pcie = dataclasses.replace(pcie, relaxed_ordering=True)
+    if "A11" in tags:
+        weak_cross_socket = False
+    if "A12" in tags:
+        topology = dataclasses.replace(topology, acsctl_correct=True)
+
+    return dataclasses.replace(
+        subsystem,
+        rnic=rnic,
+        pcie=pcie,
+        topology=topology,
+        weak_cross_socket=weak_cross_socket,
+    )
+
+
+def apply_policy(space: SearchSpace, tags: Iterable[str] = ("A3",)) -> SearchSpace:
+    """A search space restricted by the policy fixes.
+
+    The #3 mitigation is a deployment rule, not a hardware change: the
+    cluster's MTU is raised so the small-MTU READ regime cannot occur.
+    """
+    tags = set(tags)
+    if "A3" in tags:
+        mtus = tuple(m for m in space.mtus if m >= 2048)
+        space = dataclasses.replace(space, mtus=mtus)
+    return space
+
+
+def fixed_subsystem(letter: str) -> Subsystem:
+    """A Table 1 preset with every applicable hardware fix applied."""
+    subsystem = get_subsystem(letter)
+    applicable = [
+        tag for tag, fix in FIXES.items()
+        if fix.kind != "policy"
+        and any(rule.tag == tag for rule in subsystem.rnic.rules)
+    ]
+    # Platform fixes apply even when the rule lives on the RNIC table
+    # but is platform-gated.
+    return apply_fixes(subsystem, applicable)

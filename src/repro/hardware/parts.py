@@ -1,0 +1,435 @@
+"""Concrete RNIC parts: ConnectX-5/6 and the Broadcom P2100G.
+
+Each part couples capability numbers (line rate, message rate, cache
+sizes) with its quirk-rule table — the declarative encoding of the
+Appendix A anomaly triggers.  Tags ``A1``–``A18`` follow Table 2's row
+numbers.  Where Table 2 and the Appendix's simplified concrete settings
+disagree on a threshold, the gate follows the concrete setting so the
+replay benchmark reproduces every published trigger (the paper itself
+notes "it is possible to find milder or stricter conditions").
+
+The absolute capability numbers are scaled-down relative to the silicon
+(a simulated part, not a spec sheet); the *relationships* that matter to
+the paper — which workloads hit which bottleneck first, and who pauses —
+are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.rnic import RNICProfile, RxWqeCacheSpec
+from repro.hardware.rules import AnomalyRule, Gate
+
+# Shorthand for bound construction: (low, None) / (None, high) intervals.
+
+
+def _cx6_200_rules() -> tuple[AnomalyRule, ...]:
+    """Quirk table of the 200 Gbps ConnectX-6 (subsystems E/F/G)."""
+    return (
+        AnomalyRule(
+            tag="A1",
+            title="UD SEND, large WQE batch + long WQ overruns the RX WQE "
+            "prefetcher",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={"rxq_burst_miss": (0.45, None)},
+                isin={"qp_type": ("UD",), "opcode": ("SEND",)},
+            ),
+            side="rx",
+            factor=0.78,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A2",
+            title="UD SEND, small batch + long WQ + small messages exhaust "
+            "the RX WQE cache (silent slowdown)",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={
+                    "rxq_capacity_miss": (0.45, None),
+                    "wqe_batch": (None, 8),
+                    "wq_depth": (1024, None),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("UD",), "opcode": ("SEND",)},
+            ),
+            side="tx",
+            factor=0.70,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A3",
+            title="RC READ with large messages at small MTU hits the packet "
+            "processing bottleneck",
+            root_cause="packet_processing",
+            gate=Gate(
+                bounds={"mtu": (None, 1024), "avg_msg": (16384, None)},
+                isin={"qp_type": ("RC",), "opcode": ("READ",)},
+            ),
+            side="rx",
+            factor=0.45,
+            counter="rx_buffer_full_events",
+        ),
+        AnomalyRule(
+            tag="A4",
+            title="Bidirectional RC READ, large WQE batch + long SG list + "
+            "many connections overload WQE fetch",
+            root_cause="wqe_fetch",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "wqe_batch": (32, None),
+                    "sge_per_wqe": (4, None),
+                    "total_qps": (160, None),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("READ",)},
+            ),
+            side="rx",
+            factor=0.65,
+            counter="tx_wqe_fetch_stall",
+        ),
+        AnomalyRule(
+            tag="A5",
+            title="RC SEND, small MTU + large batch + long WQ + 2-8 packet "
+            "messages overrun the RX WQE prefetcher",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={
+                    "rxq_burst_miss": (0.45, None),
+                    "mtu": (None, 1024),
+                    "wq_depth": (1024, None),
+                    "avg_pkts_per_msg": (2, 8),
+                    "avg_msg": (None, 8192),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("SEND",)},
+            ),
+            side="rx",
+            factor=0.75,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A6",
+            title="RC SEND, small MTU + small batch + multi-SGE + long WQ + "
+            "small messages exhaust the RX WQE cache (silent slowdown)",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={
+                    "rxq_capacity_miss": (0.70, None),
+                    "mtu": (None, 1024),
+                    "wqe_batch": (None, 16),
+                    "sge_per_wqe": (2, None),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("SEND",)},
+            ),
+            side="tx",
+            factor=0.70,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A7",
+            title="RC WRITE over ≥~12K MRs with small unbatched messages "
+            "thrashes the MTT cache",
+            root_cause="icm_cache",
+            gate=Gate(
+                bounds={
+                    "mtt_miss": (1 / 3, None),
+                    "wqe_batch": (None, 2),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("WRITE",)},
+            ),
+            side="tx",
+            factor=0.6,
+            scale_feature="mtt_miss",
+            scale_coeff=0.8,
+            counter="mtt_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A8",
+            title="RC WRITE over ≥~500 QPs with shallow WQs and small "
+            "unbatched messages thrashes the QPC cache",
+            root_cause="icm_cache",
+            gate=Gate(
+                bounds={
+                    "qpc_miss": (0.4, None),
+                    "wq_depth": (None, 16),
+                    "wqe_batch": (None, 2),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("WRITE",)},
+            ),
+            side="tx",
+            factor=0.6,
+            scale_feature="qpc_miss",
+            scale_coeff=0.7,
+            counter="qpc_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A9",
+            title="Bidirectional mixed small/large SG traffic stalls strict-"
+            "ordering PCIe root complexes",
+            root_cause="pcie_ordering",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "sge_per_wqe": (3, None),
+                    "sg_entry_mix": (1, 1),
+                    "mixes_small_and_large": (1, 1),
+                    "strict_ordering": (1, 1),
+                },
+            ),
+            side="rx",
+            factor=0.30,
+            counter="pcie_ordering_stall",
+        ),
+        AnomalyRule(
+            tag="A10",
+            title="Bidirectional RC WRITE, large batches of short requests "
+            "mixed with long ones saturate the shared packet processor",
+            root_cause="packet_processing",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "wqe_batch": (64, None),
+                    "num_qps": (300, None),
+                    "wq_depth": (128, None),
+                    "small_frac": (0.7, None),
+                    "mixes_small_and_large": (1, 1),
+                    "short_req_outstanding": (15000, None),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("WRITE",)},
+            ),
+            side="rx",
+            factor=0.40,
+            counter="rx_buffer_full_events",
+        ),
+        AnomalyRule(
+            tag="A11",
+            title="Bidirectional cross-socket DMA on weak SMP fabrics "
+            "backpressures the RNIC",
+            root_cause="host_topology",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "crosses_socket": (1, 1),
+                    "weak_cross_socket": (1, 1),
+                    "avg_msg": (16384, None),
+                },
+            ),
+            side="rx",
+            factor=0.40,
+            counter="cross_socket_pressure",
+        ),
+        AnomalyRule(
+            tag="A12",
+            title="GPU-direct traffic detoured through the root complex "
+            "(misconfigured PCIe ACSCtl)",
+            root_cause="host_topology",
+            gate=Gate(
+                bounds={
+                    "sink_via_root_complex": (1, 1),
+                    "avg_msg": (4096, None),
+                },
+            ),
+            side="rx",
+            factor=0.20,
+            counter="pcie_internal_backpressure",
+        ),
+        AnomalyRule(
+            tag="A13",
+            title="Loopback traffic co-existing with receive traffic causes "
+            "in-NIC incast (no loopback rate limiting)",
+            root_cause="nic_incast",
+            gate=Gate(
+                bounds={
+                    "loopback": (1, 1),
+                    "loopback_unlimited": (1, 1),
+                    "num_qps": (8, None),
+                    "avg_msg": (16384, None),
+                },
+            ),
+            side="rx",
+            factor=0.50,
+            counter="internal_incast_events",
+        ),
+    )
+
+
+def _mellanox_generic_rules() -> tuple[AnomalyRule, ...]:
+    """Generation-independent Mellanox quirks (host/ICM/loopback).
+
+    The paper notes anomalies found on the other subsystems are subsets of
+    those found on F; the mechanisms that do not depend on the 200 Gbps
+    datapath carry over to the CX-5 and 100 Gbps CX-6 parts.
+    """
+    all_rules = {rule.tag: rule for rule in _cx6_200_rules()}
+    return tuple(all_rules[tag] for tag in ("A7", "A8", "A9", "A11", "A12", "A13"))
+
+
+def _p2100g_rules() -> tuple[AnomalyRule, ...]:
+    """Quirk table of the 100 Gbps Broadcom P2100G (subsystem H)."""
+    return (
+        AnomalyRule(
+            tag="A14",
+            title="Bidirectional RC with large MTU, long SG lists and >1K "
+            "connections degrades the TX scheduler",
+            root_cause="wqe_fetch",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "mtu": (4096, None),
+                    "sge_per_wqe": (4, None),
+                    "total_qps": (2048, None),
+                },
+                isin={"qp_type": ("RC",)},
+            ),
+            side="tx",
+            factor=0.60,
+            counter="tx_wqe_fetch_stall",
+        ),
+        AnomalyRule(
+            tag="A15",
+            title="UD SEND with long WQs across tens of connections exhausts "
+            "the (small) RX WQE cache",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={"rxq_capacity_miss": (0.45, None)},
+                isin={"qp_type": ("UD",), "opcode": ("SEND",)},
+            ),
+            side="rx",
+            factor=0.60,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A16",
+            title="RC READ with many connections, batched requests and small "
+            "MTU overloads response processing",
+            root_cause="packet_processing",
+            gate=Gate(
+                bounds={
+                    "mtu": (None, 1024),
+                    "wqe_batch": (8, None),
+                    "num_qps": (500, None),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("READ",)},
+            ),
+            side="rx",
+            factor=0.50,
+            counter="rx_buffer_full_events",
+        ),
+        AnomalyRule(
+            tag="A17",
+            title="RC SEND, small unbatched messages over ≥64 connections "
+            "with ≥128-deep WQs defeat the RX WQE prefetcher",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={
+                    "rxq_capacity_miss": (0.85, None),
+                    "wqe_batch": (None, 16),
+                    "wq_depth": (128, None),
+                    "avg_msg": (None, 1024),
+                    "num_qps": (64, None),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("SEND",)},
+            ),
+            side="rx",
+            factor=0.55,
+            counter="rx_wqe_cache_miss",
+        ),
+        AnomalyRule(
+            tag="A18",
+            title="Bidirectional RC WRITE, batched ≤64KB messages at small "
+            "MTU over ≥32 connections (fixed by register configuration)",
+            root_cause="packet_processing",
+            gate=Gate(
+                bounds={
+                    "bidirectional": (1, 1),
+                    "mtu": (None, 1024),
+                    "wqe_batch": (16, None),
+                    "max_msg": (None, 65536),
+                    "total_qps": (32, None),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("WRITE",)},
+            ),
+            side="rx",
+            factor=0.50,
+            counter="rx_buffer_full_events",
+        ),
+    )
+
+
+def connectx5(line_rate_gbps: float) -> RNICProfile:
+    """Mellanox ConnectX-5 DX at 25 or 100 Gbps (subsystems A/B/C)."""
+    return RNICProfile(
+        name=f"CX-5 DX {int(line_rate_gbps)}G",
+        line_rate_gbps=line_rate_gbps,
+        max_pps=15e6 if line_rate_gbps <= 25 else 50e6,
+        processing_units=2,
+        pipeline_stages=2,
+        qpc_cache_entries=256,
+        mtt_cache_entries=8192,
+        rx_wqe_cache=RxWqeCacheSpec(
+            total_entries=32768, per_qp_entries=1024, prefetch_window=64
+        ),
+        ack_coalesce=8,
+        loopback_rate_limited=False,
+        rules=_mellanox_generic_rules(),
+    )
+
+
+def connectx6_100() -> RNICProfile:
+    """Mellanox ConnectX-6 DX at 100 Gbps (subsystem D)."""
+    return RNICProfile(
+        name="CX-6 DX 100G",
+        line_rate_gbps=100.0,
+        max_pps=50e6,
+        processing_units=2,
+        pipeline_stages=2,
+        qpc_cache_entries=256,
+        mtt_cache_entries=8192,
+        rx_wqe_cache=RxWqeCacheSpec(
+            total_entries=32768, per_qp_entries=1024, prefetch_window=64
+        ),
+        ack_coalesce=8,
+        loopback_rate_limited=False,
+        rules=_mellanox_generic_rules(),
+    )
+
+
+def connectx6_200(vpi: bool = False) -> RNICProfile:
+    """Mellanox ConnectX-6 DX/VPI at 200 Gbps (subsystems E/F/G)."""
+    return RNICProfile(
+        name="CX-6 VPI 200G" if vpi else "CX-6 DX 200G",
+        line_rate_gbps=200.0,
+        max_pps=90e6,
+        processing_units=2,
+        pipeline_stages=4,
+        qpc_cache_entries=256,
+        mtt_cache_entries=8192,
+        rx_wqe_cache=RxWqeCacheSpec(
+            total_entries=8192, per_qp_entries=128, prefetch_window=32
+        ),
+        ack_coalesce=8,
+        loopback_rate_limited=False,
+        rules=_cx6_200_rules(),
+    )
+
+
+def p2100g() -> RNICProfile:
+    """Broadcom P2100G at 100 Gbps (subsystem H)."""
+    return RNICProfile(
+        name="P2100G 100G",
+        line_rate_gbps=100.0,
+        max_pps=36e6,
+        processing_units=2,
+        pipeline_stages=2,
+        qpc_cache_entries=4096,
+        mtt_cache_entries=65536,
+        rx_wqe_cache=RxWqeCacheSpec(
+            total_entries=1024, per_qp_entries=64, prefetch_window=16
+        ),
+        ack_coalesce=8,
+        loopback_rate_limited=True,
+        rules=_p2100g_rules(),
+    )

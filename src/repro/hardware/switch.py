@@ -1,0 +1,68 @@
+"""The two-port lossless switch connecting the testbed hosts.
+
+The paper deliberately evaluates on the simplest possible network — two
+servers, one switch that sustains line rate, no drops (§4) — so the only
+PFC sources are the hosts.  This model exists to keep that assumption
+explicit and testable: it forwards at line rate, honours pause frames
+from either port, and never drops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class SwitchPort:
+    """One switch port with its pause state and byte counters."""
+
+    name: str
+    paused: bool = False
+    forwarded_bytes: int = 0
+    received_pause_frames: int = 0
+
+
+class LosslessSwitch:
+    """Two-port, line-rate, lossless switch.
+
+    ``forward`` moves bytes from one port to the other unless the egress
+    port has been paused by the downstream host; there is no buffer model
+    because at line rate with no fan-in the switch never queues (the
+    paper's assumption that the network itself is congestion-free).
+    """
+
+    def __init__(self, line_rate_gbps: float) -> None:
+        if line_rate_gbps <= 0:
+            raise ValueError("switch line rate must be positive")
+        self.line_rate_gbps = line_rate_gbps
+        self.ports = {"p0": SwitchPort("p0"), "p1": SwitchPort("p1")}
+
+    def _port(self, name: str) -> SwitchPort:
+        if name not in self.ports:
+            raise KeyError(f"switch has no port {name!r}")
+        return self.ports[name]
+
+    def receive_pause(self, from_port: str, pause: bool) -> None:
+        """A host asserts or releases PFC pause toward a port."""
+        port = self._port(from_port)
+        if pause and not port.paused:
+            port.received_pause_frames += 1
+        port.paused = pause
+
+    def forward(self, ingress: str, egress: str, nbytes: int, seconds: float) -> int:
+        """Forward up to line rate × ``seconds`` bytes; returns forwarded.
+
+        A paused egress forwards nothing (the pause applies to the switch
+        queue feeding the host); excess beyond line rate is clipped, never
+        dropped — callers model the resulting backlog on their side.
+        """
+        if nbytes < 0 or seconds < 0:
+            raise ValueError("bytes and seconds must be non-negative")
+        egress_port = self._port(egress)
+        self._port(ingress)
+        if egress_port.paused:
+            return 0
+        capacity = int(self.line_rate_gbps * 1e9 / 8 * seconds)
+        forwarded = min(nbytes, capacity)
+        egress_port.forwarded_bytes += forwarded
+        return forwarded

@@ -1,0 +1,88 @@
+"""A from-scratch software implementation of the RDMA ``verbs`` API.
+
+This package is the "narrow waist" the paper builds its search space on:
+protection domains, memory regions, completion queues, queue pairs with the
+standard RESET/INIT/RTR/RTS state machine, work requests with scatter-gather
+lists, and the three transport types (RC, UC, UD) with SEND/RECV, RDMA WRITE
+and RDMA READ opcodes.
+
+Two layers are provided:
+
+* a **functional layer** (:mod:`repro.verbs.datapath`) that really moves
+  bytes between registered memory regions of two connected contexts, with
+  full access/bounds checking, completion generation and RNR semantics —
+  used by tests and examples to demonstrate that workloads are well formed;
+* a **descriptor layer** (:func:`repro.verbs.qp.QueuePair.describe`) that
+  summarises the verbs-level configuration of a connection for the
+  steady-state hardware performance model in :mod:`repro.hardware`.
+
+The API mirrors libibverbs naming (``reg_mr``, ``create_qp``, ``post_send``,
+``poll_cq`` …) so that workloads read like real RDMA code.
+"""
+
+from repro.verbs.constants import (
+    MTU,
+    AccessFlags,
+    Opcode,
+    QPState,
+    QPType,
+    SendFlags,
+    WCOpcode,
+    WCStatus,
+)
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.datapath import DataPath
+from repro.verbs.device import Context, Device, DeviceAttributes
+from repro.verbs.exceptions import (
+    AccessViolationError,
+    AddressHandleError,
+    CQOverrunError,
+    InvalidStateError,
+    MemoryRegistrationError,
+    QPCapacityError,
+    VerbsError,
+    WorkRequestError,
+)
+from repro.verbs.fabric import Fabric
+from repro.verbs.memory import MemoryAllocator, MemoryRegion
+from repro.verbs.pd import ProtectionDomain
+from repro.verbs.srq import SharedReceiveQueue, SRQAttributes
+from repro.verbs.qp import QPAttributes, QPCapabilities, QueuePair
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+__all__ = [
+    "MTU",
+    "AccessFlags",
+    "Opcode",
+    "QPState",
+    "QPType",
+    "SendFlags",
+    "WCOpcode",
+    "WCStatus",
+    "CompletionQueue",
+    "WorkCompletion",
+    "DataPath",
+    "Context",
+    "Device",
+    "DeviceAttributes",
+    "AccessViolationError",
+    "AddressHandleError",
+    "CQOverrunError",
+    "InvalidStateError",
+    "MemoryRegistrationError",
+    "QPCapacityError",
+    "VerbsError",
+    "WorkRequestError",
+    "Fabric",
+    "MemoryAllocator",
+    "MemoryRegion",
+    "ProtectionDomain",
+    "SharedReceiveQueue",
+    "SRQAttributes",
+    "QPAttributes",
+    "QPCapabilities",
+    "QueuePair",
+    "RecvWorkRequest",
+    "ScatterGatherEntry",
+    "SendWorkRequest",
+]

@@ -1,0 +1,79 @@
+"""Completion queues and work completions."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Optional
+
+from repro.verbs.constants import WCOpcode, WCStatus
+from repro.verbs.exceptions import CQOverrunError
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkCompletion:
+    """One CQE, mirroring ``struct ibv_wc``."""
+
+    wr_id: int
+    status: WCStatus
+    opcode: WCOpcode
+    byte_len: int
+    qp_num: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+
+class CompletionQueue:
+    """A bounded ring of work completions (``struct ibv_cq``).
+
+    Overrunning a real CQ puts the associated QPs into error; here an
+    overrun raises :class:`CQOverrunError` immediately, which is stricter
+    but surfaces the workload bug at the point of the mistake.
+    """
+
+    def __init__(self, cqe: int, handle: int = 0) -> None:
+        if cqe <= 0:
+            raise ValueError(f"CQ depth must be positive, got {cqe}")
+        self.capacity = cqe
+        self.handle = handle
+        self._ring: collections.deque[WorkCompletion] = collections.deque()
+        #: Total completions ever pushed, for monitoring.
+        self.total_completions = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def push(self, completion: WorkCompletion) -> None:
+        """Deliver a completion; raises on overrun."""
+        if len(self._ring) >= self.capacity:
+            raise CQOverrunError(
+                f"CQ {self.handle} overrun: capacity {self.capacity}"
+            )
+        self._ring.append(completion)
+        self.total_completions += 1
+
+    def poll(self, max_entries: int = 16) -> list[WorkCompletion]:
+        """Return up to ``max_entries`` completions, oldest first.
+
+        Like ``ibv_poll_cq`` this never blocks; an empty list means the
+        queue is currently empty.
+        """
+        if max_entries <= 0:
+            return []
+        out = []
+        while self._ring and len(out) < max_entries:
+            out.append(self._ring.popleft())
+        return out
+
+    def poll_one(self) -> Optional[WorkCompletion]:
+        """Convenience single-entry poll."""
+        polled = self.poll(1)
+        return polled[0] if polled else None
+
+    def drain(self) -> list[WorkCompletion]:
+        """Poll everything currently queued."""
+        out = list(self._ring)
+        self._ring.clear()
+        return out

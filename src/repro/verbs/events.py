@@ -1,0 +1,83 @@
+"""Completion channels: event-driven completion notification.
+
+Real applications rarely spin-poll their CQs; they arm a completion
+channel (``ibv_create_comp_channel`` + ``ibv_req_notify_cq``) and sleep
+until the NIC signals the next CQE.  The simulation's equivalent: a
+:class:`CompletionChannel` collects notifications from armed CQs; a CQ
+fires at most one notification per arming (the verbs one-shot contract),
+and the classic "arm → poll leftovers → re-arm" race-avoidance dance is
+testable against it.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional
+
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.exceptions import VerbsError
+
+
+class NotifiableCompletionQueue(CompletionQueue):
+    """A CQ that can be armed to notify a completion channel once."""
+
+    def __init__(self, cqe: int, handle: int = 0, channel=None) -> None:
+        super().__init__(cqe, handle)
+        self.channel: Optional[CompletionChannel] = channel
+        self._armed = False
+
+    def req_notify(self) -> None:
+        """``ibv_req_notify_cq``: arm a single notification."""
+        if self.channel is None:
+            raise VerbsError(
+                f"CQ {self.handle} has no completion channel to notify"
+            )
+        self._armed = True
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def push(self, completion: WorkCompletion) -> None:
+        super().push(completion)
+        if self._armed and self.channel is not None:
+            self._armed = False  # one-shot: consumer must re-arm
+            self.channel._deliver(self)
+
+
+class CompletionChannel:
+    """``struct ibv_comp_channel``: a queue of CQ notifications."""
+
+    def __init__(self) -> None:
+        self._pending: collections.deque = collections.deque()
+        self.notifications = 0
+
+    def _deliver(self, cq: NotifiableCompletionQueue) -> None:
+        self._pending.append(cq)
+        self.notifications += 1
+
+    def get_event(self) -> Optional[NotifiableCompletionQueue]:
+        """``ibv_get_cq_event`` (non-blocking flavour): the next notified
+        CQ, or None when no notification is pending."""
+        if not self._pending:
+            return None
+        return self._pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+def create_notifiable_cq(
+    context, cqe: int, channel: CompletionChannel
+) -> NotifiableCompletionQueue:
+    """``ibv_create_cq`` with a completion channel attached."""
+    if cqe > context.device.attributes.max_cqe:
+        raise VerbsError(
+            f"requested {cqe} CQEs exceeds device max "
+            f"{context.device.attributes.max_cqe}"
+        )
+    cq = NotifiableCompletionQueue(
+        cqe, handle=len(context.cqs) + 1, channel=channel
+    )
+    context.cqs.append(cq)
+    return cq

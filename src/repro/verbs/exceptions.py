@@ -1,0 +1,38 @@
+"""Exception hierarchy for the software verbs implementation.
+
+Real libibverbs reports errors through ``errno`` return codes; raising a
+typed exception is the Pythonic equivalent and keeps workload code explicit
+about which failures it tolerates.
+"""
+
+
+class VerbsError(Exception):
+    """Base class for every error raised by :mod:`repro.verbs`."""
+
+
+class InvalidStateError(VerbsError):
+    """An operation was attempted in a queue-pair state that forbids it."""
+
+
+class MemoryRegistrationError(VerbsError):
+    """Memory-region registration failed (bad length, exhausted device caps)."""
+
+
+class AccessViolationError(VerbsError):
+    """An address range fell outside a registered region or lacked permission."""
+
+
+class QPCapacityError(VerbsError):
+    """A work queue overflowed its ``max_send_wr``/``max_recv_wr`` capacity."""
+
+
+class CQOverrunError(VerbsError):
+    """More completions were generated than the completion queue can hold."""
+
+
+class WorkRequestError(VerbsError):
+    """A work request was malformed (bad SG list, unsupported opcode...)."""
+
+
+class AddressHandleError(VerbsError):
+    """A UD work request carried a missing or invalid address handle."""

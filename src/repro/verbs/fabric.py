@@ -1,0 +1,95 @@
+"""The in-process fabric connecting verbs contexts in functional mode.
+
+The fabric plays the role of the two-server-plus-switch testbed for byte
+movement: it knows which contexts exist, connects QPs, and routes UD
+datagrams by destination QP number.  It moves bytes synchronously and
+losslessly — network behaviour (rates, pauses) is the job of
+:mod:`repro.hardware`, not this layer (the paper likewise assumes a
+congestion-free switch, §4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.verbs.constants import MTU, QPState, QPType
+from repro.verbs.device import Context
+from repro.verbs.exceptions import AddressHandleError, InvalidStateError
+from repro.verbs.qp import QPAttributes, QueuePair
+
+
+class Fabric:
+    """Connects contexts and resolves destination QPs."""
+
+    def __init__(self) -> None:
+        self._contexts: list[Context] = []
+
+    def attach(self, context: Context) -> None:
+        """Register a context (one per host in the two-server setup)."""
+        if context not in self._contexts:
+            self._contexts.append(context)
+
+    def resolve(self, qp_num: int) -> Optional[QueuePair]:
+        """Find a QP anywhere on the fabric by number."""
+        for context in self._contexts:
+            qp = context.lookup_qp(qp_num)
+            if qp is not None:
+                return qp
+        return None
+
+    def connect(
+        self,
+        initiator: QueuePair,
+        responder: QueuePair,
+        path_mtu: MTU = MTU.MTU_1024,
+    ) -> None:
+        """Bring an RC/UC pair to RTS/RTS, exchanging QP numbers.
+
+        Mirrors the paper's out-of-band TCP bootstrap (§6): both sides walk
+        INIT → RTR → RTS with each other's QP number and an agreed MTU.
+        """
+        if initiator.qp_type is not responder.qp_type:
+            raise InvalidStateError(
+                f"cannot connect {initiator.qp_type.value} to "
+                f"{responder.qp_type.value}"
+            )
+        if initiator.qp_type is QPType.UD:
+            raise InvalidStateError(
+                "UD QPs are connectionless; use activate_ud() instead"
+            )
+        for local, remote in ((initiator, responder), (responder, initiator)):
+            local.modify(QPAttributes(state=QPState.INIT))
+            local.modify(
+                QPAttributes(
+                    state=QPState.RTR,
+                    path_mtu=path_mtu,
+                    dest_qp_num=remote.qp_num,
+                )
+            )
+            local.modify(QPAttributes(state=QPState.RTS))
+
+    def activate_ud(self, qp: QueuePair, path_mtu: MTU = MTU.MTU_1024) -> None:
+        """Bring a UD QP to RTS; peers are addressed per-work-request."""
+        if qp.qp_type is not QPType.UD:
+            raise InvalidStateError(f"{qp.qp_type.value} QP is not UD")
+        qp.modify(QPAttributes(state=QPState.INIT))
+        qp.modify(QPAttributes(state=QPState.RTR, path_mtu=path_mtu))
+        qp.modify(QPAttributes(state=QPState.RTS))
+
+    def destination_of(self, qp: QueuePair, ah: Optional[int]) -> QueuePair:
+        """Resolve the responder QP for a send work request."""
+        if qp.qp_type is QPType.UD:
+            if ah is None:
+                raise AddressHandleError("UD work request lacks address handle")
+            dest = self.resolve(ah)
+            if dest is None:
+                raise AddressHandleError(f"no QP {ah} on fabric")
+            return dest
+        if qp.dest_qp_num is None:
+            raise InvalidStateError(f"QP {qp.qp_num} is not connected")
+        dest = self.resolve(qp.dest_qp_num)
+        if dest is None:
+            raise InvalidStateError(
+                f"QP {qp.qp_num} is connected to missing QP {qp.dest_qp_num}"
+            )
+        return dest

@@ -1,0 +1,199 @@
+"""Memory regions and the per-host virtual address allocator.
+
+A :class:`MemoryRegion` is the verbs object the RNIC's MMU translates: it
+pins a byte buffer, records which physical memory device backs it (a NUMA
+node's DRAM or a GPU), and carries the local/remote keys used for access
+checks.  The number of registered regions and their page counts feed the
+MTT-cache model in :mod:`repro.hardware.rnic` (paper §4, Dimension 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.verbs.constants import AccessFlags
+from repro.verbs.exceptions import AccessViolationError, MemoryRegistrationError
+
+#: Page size used for translation-table accounting (x86 default).
+PAGE_BYTES = 4096
+
+#: Upper bound on a single registration; matches common ``ulimit -l`` style
+#: pinning limits rather than any verbs-spec constant.
+MAX_MR_BYTES = 16 * 1024 ** 3
+
+
+class MemoryAllocator:
+    """Hands out non-overlapping virtual address ranges for one host.
+
+    Real applications get addresses from ``malloc``/``cudaMalloc``; the
+    simulation needs the same property — distinct buffers never alias — so
+    registered regions can be identified by address during access checks.
+    """
+
+    #: Base of the simulated heap; arbitrary but non-zero so that a zero
+    #: address is always invalid, like a NULL pointer.
+    BASE_ADDRESS = 0x10_0000_0000
+
+    def __init__(self) -> None:
+        self._next = self.BASE_ADDRESS
+
+    def allocate(self, length: int, alignment: int = PAGE_BYTES) -> int:
+        """Reserve ``length`` bytes and return the starting virtual address."""
+        if length <= 0:
+            raise MemoryRegistrationError(f"cannot allocate {length} bytes")
+        remainder = self._next % alignment
+        if remainder:
+            self._next += alignment - remainder
+        address = self._next
+        self._next += length
+        return address
+
+
+@dataclasses.dataclass
+class MemoryRegion:
+    """A pinned, registered buffer the RNIC may DMA to/from.
+
+    Attributes mirror ``struct ibv_mr``; ``device`` is the simulation's
+    addition naming the physical memory the buffer lives on (used by the
+    host-topology dimension of the search space).
+    """
+
+    addr: int
+    length: int
+    lkey: int
+    rkey: int
+    access: AccessFlags
+    device: str = "numa0"
+    _buffer: bytearray = dataclasses.field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise MemoryRegistrationError(
+                f"memory region length must be positive, got {self.length}"
+            )
+        if self.length > MAX_MR_BYTES:
+            raise MemoryRegistrationError(
+                f"memory region of {self.length} bytes exceeds the "
+                f"{MAX_MR_BYTES}-byte pinning limit"
+            )
+        if self._buffer is None:
+            self._buffer = bytearray(min(self.length, self._MATERIALISE_LIMIT))
+
+    #: Buffers larger than this are backed by a smaller wrap-around bytearray
+    #: so multi-gigabyte registrations do not consume real RAM.  Functional
+    #: data movement only ever touches offsets modulo the backing size.
+    _MATERIALISE_LIMIT = 64 * 1024 * 1024
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address of the region."""
+        return self.addr + self.length
+
+    @property
+    def page_count(self) -> int:
+        """Translation-table entries this region pins (ceil of pages)."""
+        return -(-self.length // PAGE_BYTES)
+
+    def contains(self, addr: int, length: int) -> bool:
+        """Whether ``[addr, addr+length)`` lies entirely inside the region."""
+        return self.addr <= addr and addr + length <= self.end
+
+    def check_access(self, addr: int, length: int, needed: AccessFlags) -> None:
+        """Validate an access or raise :class:`AccessViolationError`.
+
+        A zero-length access is legal at any address inside the region
+        (verbs permits zero-byte messages).
+        """
+        if length < 0:
+            raise AccessViolationError(f"negative access length {length}")
+        if not self.contains(addr, max(length, 0)):
+            raise AccessViolationError(
+                f"access [{addr:#x}, +{length}) outside region "
+                f"[{self.addr:#x}, +{self.length})"
+            )
+        if needed and not (self.access & needed) == needed:
+            raise AccessViolationError(
+                f"region lkey={self.lkey} lacks {needed!r} "
+                f"(has {self.access!r})"
+            )
+
+    # -- functional byte access ------------------------------------------
+
+    def _span(self, addr: int, length: int) -> range:
+        backing = len(self._buffer)
+        offset = (addr - self.addr) % backing
+        return range(offset, offset + length)
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Copy ``length`` bytes out of the region (bounds already checked)."""
+        backing = len(self._buffer)
+        out = bytearray(length)
+        offset = (addr - self.addr) % backing
+        for i in range(length):
+            out[i] = self._buffer[(offset + i) % backing]
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Copy ``data`` into the region at ``addr``."""
+        backing = len(self._buffer)
+        offset = (addr - self.addr) % backing
+        for i, byte in enumerate(data):
+            self._buffer[(offset + i) % backing] = byte
+
+
+class MemoryRegionTable:
+    """Registration table of one protection domain.
+
+    Provides lkey/rkey lookup for the datapath and aggregate statistics
+    (region count, pinned pages) for the MTT-cache model.
+    """
+
+    def __init__(self) -> None:
+        self._by_lkey: dict[int, MemoryRegion] = {}
+        self._by_rkey: dict[int, MemoryRegion] = {}
+
+    def add(self, region: MemoryRegion) -> None:
+        self._by_lkey[region.lkey] = region
+        self._by_rkey[region.rkey] = region
+
+    def remove(self, region: MemoryRegion) -> None:
+        self._by_lkey.pop(region.lkey, None)
+        self._by_rkey.pop(region.rkey, None)
+
+    def by_lkey(self, lkey: int) -> Optional[MemoryRegion]:
+        return self._by_lkey.get(lkey)
+
+    def by_rkey(self, rkey: int) -> Optional[MemoryRegion]:
+        return self._by_rkey.get(rkey)
+
+    def lookup_local(
+        self, lkey: int, addr: int, length: int, needed: AccessFlags
+    ) -> MemoryRegion:
+        """Resolve and access-check a local SG entry."""
+        region = self.by_lkey(lkey)
+        if region is None:
+            raise AccessViolationError(f"unknown lkey {lkey}")
+        region.check_access(addr, length, needed)
+        return region
+
+    def lookup_remote(
+        self, rkey: int, addr: int, length: int, needed: AccessFlags
+    ) -> MemoryRegion:
+        """Resolve and access-check a remote address/rkey pair."""
+        region = self.by_rkey(rkey)
+        if region is None:
+            raise AccessViolationError(f"unknown rkey {rkey}")
+        region.check_access(addr, length, needed)
+        return region
+
+    def __len__(self) -> int:
+        return len(self._by_lkey)
+
+    def __iter__(self):
+        return iter(self._by_lkey.values())
+
+    @property
+    def total_pages(self) -> int:
+        """Total pinned translation entries across all regions."""
+        return sum(region.page_count for region in self._by_lkey.values())

@@ -1,0 +1,75 @@
+"""Protection domains: the ownership scope for MRs and QPs."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.verbs.constants import AccessFlags
+from repro.verbs.exceptions import MemoryRegistrationError
+from repro.verbs.memory import MemoryRegion, MemoryRegionTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verbs.device import Context
+
+
+class ProtectionDomain:
+    """``struct ibv_pd``: groups MRs and QPs that may reference each other.
+
+    Keys are allocated from a context-wide counter so lkeys/rkeys are unique
+    per device, as on real hardware.
+    """
+
+    def __init__(self, context: "Context", handle: int) -> None:
+        self.context = context
+        self.handle = handle
+        self.regions = MemoryRegionTable()
+        self._keys = itertools.count(handle * 1_000_000 + 1)
+
+    def reg_mr(
+        self,
+        length: int,
+        access: AccessFlags = AccessFlags.LOCAL_WRITE,
+        device: str = "numa0",
+    ) -> MemoryRegion:
+        """Allocate and register a buffer of ``length`` bytes.
+
+        ``device`` names the backing memory (``numa0``, ``numa1``,
+        ``gpu0`` …) and must exist on the owning host's topology when the
+        context is attached to one.
+        """
+        attrs = self.context.device.attributes
+        if len(self.regions) >= attrs.max_mr:
+            raise MemoryRegistrationError(
+                f"device supports at most {attrs.max_mr} memory regions"
+            )
+        host = self.context.host
+        if host is not None and not host.has_memory_device(device):
+            raise MemoryRegistrationError(
+                f"host {host.name!r} has no memory device {device!r}"
+            )
+        addr = self.context.allocator.allocate(length)
+        lkey = next(self._keys)
+        rkey = next(self._keys)
+        region = MemoryRegion(
+            addr=addr,
+            length=length,
+            lkey=lkey,
+            rkey=rkey,
+            access=access,
+            device=device,
+        )
+        self.regions.add(region)
+        return region
+
+    def dereg_mr(self, region: MemoryRegion) -> None:
+        """Unregister a region; subsequent key lookups will fail."""
+        self.regions.remove(region)
+
+    @property
+    def mr_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def pinned_pages(self) -> int:
+        return self.regions.total_pages

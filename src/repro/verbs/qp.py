@@ -1,0 +1,286 @@
+"""Queue pairs: the connection object of the verbs API.
+
+Implements the standard state machine (RESET → INIT → RTR → RTS), bounded
+send/receive work queues, opcode validation per transport type, and a
+``describe()`` summary consumed by the hardware performance model.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from repro.verbs.constants import (
+    MTU,
+    Opcode,
+    QP_TRANSITIONS,
+    QPState,
+    QPType,
+    SendFlags,
+    SUPPORTED_OPCODES,
+)
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.exceptions import (
+    AddressHandleError,
+    InvalidStateError,
+    QPCapacityError,
+    WorkRequestError,
+)
+from repro.verbs.wr import RecvWorkRequest, SendWorkRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verbs.pd import ProtectionDomain
+
+
+@dataclasses.dataclass(frozen=True)
+class QPCapabilities:
+    """Queue sizing requested at ``create_qp`` (``struct ibv_qp_cap``).
+
+    ``max_recv_wr`` is the paper's "WQ depth" column in Table 2: anomalies
+    #1, #2, #5, #6, #15 and #17 all hinge on how deep the receive queue is.
+    """
+
+    max_send_wr: int = 128
+    max_recv_wr: int = 128
+    max_send_sge: int = 16
+    max_recv_sge: int = 16
+    max_inline_data: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_send_wr", "max_recv_wr", "max_send_sge", "max_recv_sge"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclasses.dataclass
+class QPAttributes:
+    """Subset of ``struct ibv_qp_attr`` used by ``modify_qp``."""
+
+    state: QPState
+    path_mtu: Optional[MTU] = None
+    dest_qp_num: Optional[int] = None
+    rq_psn: Optional[int] = None
+    sq_psn: Optional[int] = None
+    rnr_retry: int = 7
+    timeout: int = 14
+    retry_cnt: int = 7
+
+
+class QueuePair:
+    """``struct ibv_qp``: one RDMA connection endpoint.
+
+    A QP is created attached to a PD and a send/recv CQ pair, initially in
+    RESET.  ``modify`` walks the verbs state machine; ``post_send`` and
+    ``post_recv`` enqueue validated work requests; the datapath (or the
+    performance model) consumes them.
+    """
+
+    def __init__(
+        self,
+        pd: "ProtectionDomain",
+        qp_type: QPType,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        cap: QPCapabilities,
+        qp_num: int,
+        srq=None,
+    ) -> None:
+        self.pd = pd
+        self.qp_type = qp_type
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.cap = cap
+        self.qp_num = qp_num
+        #: Optional shared receive queue; set at creation (verbs spec:
+        #: an SRQ association is immutable).  With an SRQ, per-QP
+        #: post_recv is illegal and SENDs consume from the shared pool.
+        self.srq = srq
+        if srq is not None:
+            srq.attached_qps += 1
+        self.state = QPState.RESET
+        self.path_mtu: MTU = MTU.MTU_1024
+        self.dest_qp_num: Optional[int] = None
+        self.rnr_retry = 7
+        self.send_queue: collections.deque[SendWorkRequest] = collections.deque()
+        self.recv_queue: collections.deque[RecvWorkRequest] = collections.deque()
+        #: Counts for monitoring and the performance model.
+        self.posted_sends = 0
+        self.posted_recvs = 0
+        self.completed_sends = 0
+        self.completed_recvs = 0
+
+    # -- state machine ----------------------------------------------------
+
+    def modify(self, attr: QPAttributes) -> None:
+        """Transition the QP, validating against the verbs state machine.
+
+        Moving to ERR or RESET is always legal (matching ``ibv_modify_qp``);
+        any other transition must be listed in
+        :data:`repro.verbs.constants.QP_TRANSITIONS`.  Entering ERR
+        flushes every outstanding work request with ``WR_FLUSH_ERR``
+        (verbs spec §10.3.1); RESET silently discards them.
+        """
+        target = attr.state
+        if target in (QPState.ERR, QPState.RESET):
+            self._enter(target, attr)
+            if target is QPState.RESET:
+                self.send_queue.clear()
+                self.recv_queue.clear()
+            else:
+                self._flush_queues()
+            return
+        allowed = QP_TRANSITIONS[self.state]
+        if target not in allowed:
+            raise InvalidStateError(
+                f"QP {self.qp_num}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        if target is QPState.RTR and self._needs_peer() and attr.dest_qp_num is None:
+            raise InvalidStateError(
+                f"{self.qp_type.value} QP needs dest_qp_num to reach RTR"
+            )
+        self._enter(target, attr)
+
+    def _enter(self, state: QPState, attr: QPAttributes) -> None:
+        self.state = state
+        if attr.path_mtu is not None:
+            self.path_mtu = attr.path_mtu
+        if attr.dest_qp_num is not None:
+            self.dest_qp_num = attr.dest_qp_num
+        self.rnr_retry = attr.rnr_retry
+
+    def _needs_peer(self) -> bool:
+        """RC/UC are connected transports; UD addresses peers per-WR."""
+        return self.qp_type in (QPType.RC, QPType.UC)
+
+    def _flush_queues(self) -> None:
+        """Complete every outstanding WQE with ``WR_FLUSH_ERR``."""
+        from repro.verbs.constants import WCOpcode, WCStatus
+        from repro.verbs.cq import WorkCompletion
+
+        while self.send_queue:
+            wr = self.send_queue.popleft()
+            self.send_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    opcode=WCOpcode.SEND,
+                    byte_len=0,
+                    qp_num=self.qp_num,
+                )
+            )
+        while self.recv_queue:
+            wr = self.recv_queue.popleft()
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    opcode=WCOpcode.RECV,
+                    byte_len=0,
+                    qp_num=self.qp_num,
+                )
+            )
+
+    # -- posting ----------------------------------------------------------
+
+    def post_send(self, wr: SendWorkRequest) -> None:
+        """Enqueue a send work request (``ibv_post_send``)."""
+        if self.state is not QPState.RTS:
+            raise InvalidStateError(
+                f"QP {self.qp_num} cannot send in state {self.state.value}"
+            )
+        if wr.opcode not in SUPPORTED_OPCODES[self.qp_type]:
+            raise WorkRequestError(
+                f"{self.qp_type.value} does not support {wr.opcode.value}"
+            )
+        if len(wr.sg_list) > self.cap.max_send_sge:
+            raise WorkRequestError(
+                f"{len(wr.sg_list)} SG entries exceeds max_send_sge="
+                f"{self.cap.max_send_sge}"
+            )
+        if len(self.send_queue) >= self.cap.max_send_wr:
+            raise QPCapacityError(
+                f"send queue full (max_send_wr={self.cap.max_send_wr})"
+            )
+        if self.qp_type is QPType.UD:
+            if wr.ah is None:
+                raise AddressHandleError("UD send requires an address handle")
+            if wr.byte_length > int(self.path_mtu):
+                raise WorkRequestError(
+                    f"UD message of {wr.byte_length}B exceeds path MTU "
+                    f"{int(self.path_mtu)}B"
+                )
+        if wr.send_flags & SendFlags.INLINE:
+            if wr.byte_length > self.cap.max_inline_data:
+                raise WorkRequestError(
+                    f"inline payload of {wr.byte_length}B exceeds "
+                    f"max_inline_data={self.cap.max_inline_data}"
+                )
+        self.send_queue.append(wr)
+        self.posted_sends += 1
+
+    def post_send_batch(self, wrs: list[SendWorkRequest]) -> None:
+        """Post a linked list of WRs with one doorbell, like real verbs.
+
+        Batch size is a search dimension (Table 2's "WQE" column); the
+        performance model reads it off the workload descriptor, but the
+        functional layer still validates every element.
+        """
+        for wr in wrs:
+            self.post_send(wr)
+
+    def post_recv(self, wr: RecvWorkRequest) -> None:
+        """Enqueue a receive work request (``ibv_post_recv``).
+
+        Legal from INIT onward — applications pre-post receives before
+        connecting, and must for SEND-heavy workloads.  Illegal on QPs
+        attached to a shared receive queue.
+        """
+        if self.srq is not None:
+            raise InvalidStateError(
+                f"QP {self.qp_num} draws receives from an SRQ; "
+                "post to the SRQ instead"
+            )
+        if self.state in (QPState.RESET, QPState.ERR):
+            raise InvalidStateError(
+                f"QP {self.qp_num} cannot post recv in state {self.state.value}"
+            )
+        if len(wr.sg_list) > self.cap.max_recv_sge:
+            raise WorkRequestError(
+                f"{len(wr.sg_list)} SG entries exceeds max_recv_sge="
+                f"{self.cap.max_recv_sge}"
+            )
+        if len(self.recv_queue) >= self.cap.max_recv_wr:
+            raise QPCapacityError(
+                f"recv queue full (max_recv_wr={self.cap.max_recv_wr})"
+            )
+        self.recv_queue.append(wr)
+        self.posted_recvs += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def send_queue_depth(self) -> int:
+        return len(self.send_queue)
+
+    @property
+    def recv_queue_depth(self) -> int:
+        return len(self.recv_queue)
+
+    def describe(self) -> dict:
+        """Verbs-level summary for the steady-state performance model."""
+        return {
+            "qp_num": self.qp_num,
+            "qp_type": self.qp_type,
+            "path_mtu": int(self.path_mtu),
+            "max_send_wr": self.cap.max_send_wr,
+            "max_recv_wr": self.cap.max_recv_wr,
+            "dest_qp_num": self.dest_qp_num,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueuePair(num={self.qp_num}, type={self.qp_type.value}, "
+            f"state={self.state.value}, mtu={int(self.path_mtu)})"
+        )

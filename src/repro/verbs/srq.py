@@ -1,0 +1,85 @@
+"""Shared Receive Queues (``ibv_srq``).
+
+An SRQ lets many QPs draw receive WQEs from one pool instead of
+per-QP receive queues — the standard mitigation for receive-buffer
+over-provisioning, and directly relevant to Collie's RX-WQE-cache
+anomalies: with an SRQ the RNIC's receive-WQE working set is the SRQ
+depth, not ``num_qps × wq_depth``.
+
+The verbs API surface mirrors libibverbs: create with a depth and an
+SG-entry limit, post receives to the SRQ, attach QPs at creation time;
+SENDs arriving at an attached QP consume from the shared pool.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Optional
+
+from repro.verbs.exceptions import QPCapacityError, WorkRequestError
+from repro.verbs.wr import RecvWorkRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class SRQAttributes:
+    """``struct ibv_srq_init_attr`` subset."""
+
+    max_wr: int = 1024
+    max_sge: int = 16
+    #: Reclaim watermark: verbs fires an async event when the queue
+    #: drains below this; we expose it as a simple property check.
+    srq_limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_wr <= 0 or self.max_sge <= 0:
+            raise ValueError("max_wr and max_sge must be positive")
+        if not 0 <= self.srq_limit <= self.max_wr:
+            raise ValueError("srq_limit must lie within [0, max_wr]")
+
+
+class SharedReceiveQueue:
+    """``struct ibv_srq``: one receive-WQE pool shared across QPs."""
+
+    def __init__(self, attrs: Optional[SRQAttributes] = None, handle: int = 0):
+        self.attrs = attrs or SRQAttributes()
+        self.handle = handle
+        self._queue: collections.deque[RecvWorkRequest] = collections.deque()
+        self.posted = 0
+        self.consumed = 0
+        self.attached_qps = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def post_recv(self, wr: RecvWorkRequest) -> None:
+        """``ibv_post_srq_recv``."""
+        if len(wr.sg_list) > self.attrs.max_sge:
+            raise WorkRequestError(
+                f"{len(wr.sg_list)} SG entries exceeds SRQ max_sge="
+                f"{self.attrs.max_sge}"
+            )
+        if len(self._queue) >= self.attrs.max_wr:
+            raise QPCapacityError(
+                f"SRQ full (max_wr={self.attrs.max_wr})"
+            )
+        self._queue.append(wr)
+        self.posted += 1
+
+    def take(self) -> Optional[RecvWorkRequest]:
+        """Consume one receive WQE (RNIC side); None when empty."""
+        if not self._queue:
+            return None
+        self.consumed += 1
+        return self._queue.popleft()
+
+    @property
+    def below_limit(self) -> bool:
+        """Whether the armed low-watermark event would have fired."""
+        return len(self._queue) < self.attrs.srq_limit
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedReceiveQueue(depth={len(self._queue)}/"
+            f"{self.attrs.max_wr}, qps={self.attached_qps})"
+        )

@@ -1,0 +1,180 @@
+"""Work requests and scatter-gather lists.
+
+A work queue element (WQE) is what the RNIC fetches over PCIe to learn what
+to transmit; its shape — how many WQEs per doorbell, how many SG entries per
+WQE — is a first-class search dimension in Collie (paper §4, Dimension 3,
+the :math:`\\sum_i m_i = k` formula).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Optional, Sequence
+
+from repro.verbs.constants import Opcode, SendFlags
+from repro.verbs.exceptions import WorkRequestError
+
+#: Bytes of one WQE segment on the wire between host memory and the RNIC.
+#: Mellanox PRM: a send WQE is built from 16-byte control/data segments;
+#: each SG entry adds one 16-byte data segment.
+WQE_BASE_BYTES = 48
+WQE_SEGMENT_BYTES = 16
+
+_wr_ids = itertools.count(1)
+
+
+def next_wr_id() -> int:
+    """Monotonic work-request id generator for callers that don't care."""
+    return next(_wr_ids)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScatterGatherEntry:
+    """One entry of an SG list: a contiguous slice of a registered MR."""
+
+    addr: int
+    length: int
+    lkey: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise WorkRequestError(f"SG entry has negative length {self.length}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SendWorkRequest:
+    """A send-queue work request (``struct ibv_send_wr``).
+
+    ``remote_addr``/``rkey`` are required for one-sided operations;
+    ``ah`` names the destination QP number for UD sends (a simplified
+    address handle — the fabric resolves it).  Atomics carry
+    ``compare_add`` (the addend, or the compare value for CMP_SWAP) and
+    ``swap``; their single SG entry receives the original 8-byte value.
+    ``inline_payload`` carries the bytes of an ``IBV_SEND_INLINE``
+    request, captured at post time so no lkey is consulted.
+    """
+
+    opcode: Opcode
+    sg_list: tuple[ScatterGatherEntry, ...]
+    wr_id: int = dataclasses.field(default_factory=next_wr_id)
+    remote_addr: Optional[int] = None
+    rkey: Optional[int] = None
+    send_flags: SendFlags = SendFlags.SIGNALED
+    ah: Optional[int] = None
+    compare_add: int = 0
+    swap: int = 0
+    inline_payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        from repro.verbs.constants import ATOMIC_BYTES
+
+        object.__setattr__(self, "sg_list", tuple(self.sg_list))
+        if self.opcode.is_one_sided and (
+            self.remote_addr is None or self.rkey is None
+        ):
+            raise WorkRequestError(
+                f"{self.opcode.value} work request needs remote_addr and rkey"
+            )
+        if self.opcode.is_atomic and self.byte_length != ATOMIC_BYTES:
+            raise WorkRequestError(
+                f"atomic operations carry exactly {ATOMIC_BYTES} bytes, "
+                f"got an SG list of {self.byte_length}"
+            )
+        if self.inline_payload is not None and not (
+            self.send_flags & SendFlags.INLINE
+        ):
+            raise WorkRequestError(
+                "inline_payload requires the INLINE send flag"
+            )
+        if (self.send_flags & SendFlags.INLINE) and self.opcode.is_atomic:
+            raise WorkRequestError("atomic operations cannot be inline")
+
+    @property
+    def byte_length(self) -> int:
+        """Total message payload described by the SG list."""
+        if self.inline_payload is not None:
+            return len(self.inline_payload)
+        return sum(entry.length for entry in self.sg_list)
+
+    @property
+    def wqe_bytes(self) -> int:
+        """PCIe bytes the RNIC fetches for this WQE (control + SG segments)."""
+        return WQE_BASE_BYTES + WQE_SEGMENT_BYTES * len(self.sg_list)
+
+    @property
+    def signaled(self) -> bool:
+        return bool(self.send_flags & SendFlags.SIGNALED)
+
+
+@dataclasses.dataclass(frozen=True)
+class RecvWorkRequest:
+    """A receive-queue work request (``struct ibv_recv_wr``)."""
+
+    sg_list: tuple[ScatterGatherEntry, ...]
+    wr_id: int = dataclasses.field(default_factory=next_wr_id)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sg_list", tuple(self.sg_list))
+
+    @property
+    def byte_length(self) -> int:
+        return sum(entry.length for entry in self.sg_list)
+
+    @property
+    def wqe_bytes(self) -> int:
+        """PCIe bytes to fetch this receive WQE (drives the RX WQE cache)."""
+        return WQE_BASE_BYTES + WQE_SEGMENT_BYTES * len(self.sg_list)
+
+
+def chunk_message(
+    total_bytes: int, wqe_count: int, sge_per_wqe: int
+) -> list[list[int]]:
+    """Split ``total_bytes`` across ``wqe_count`` WQEs of ``sge_per_wqe`` SGEs.
+
+    Implements the paper's batching parameterisation
+    :math:`\\sum_{i=1}^{n} m_i = k`: the caller chooses how a logical message
+    of ``k`` bytes is expressed as WQEs and SG entries.  Bytes are spread as
+    evenly as possible; the final entry absorbs the remainder.
+
+    Returns a list of per-WQE lists of SG-entry lengths.
+    """
+    if wqe_count <= 0 or sge_per_wqe <= 0:
+        raise WorkRequestError("wqe_count and sge_per_wqe must be positive")
+    entries = wqe_count * sge_per_wqe
+    base, remainder = divmod(total_bytes, entries)
+    lengths = [base + (1 if i < remainder else 0) for i in range(entries)]
+    return [
+        lengths[i * sge_per_wqe : (i + 1) * sge_per_wqe] for i in range(wqe_count)
+    ]
+
+
+def mixed_entry_lengths(total_bytes: int, sge_count: int) -> list[int]:
+    """Split a message into one large SG entry plus small leading entries.
+
+    The metadata-plus-tensor shape: ``sge_count - 1`` small entries (up
+    to 1KB each) followed by one large entry carrying the remainder.
+    Falls back to an even split when the message is too small to give
+    every entry at least one byte this way.
+    """
+    if sge_count <= 0:
+        raise WorkRequestError("sge_count must be positive")
+    if sge_count == 1:
+        return [total_bytes]
+    small = min(1024, max(1, total_bytes // (2 * sge_count)))
+    remainder = total_bytes - small * (sge_count - 1)
+    if remainder <= 0:
+        return chunk_message(total_bytes, 1, sge_count)[0]
+    return [small] * (sge_count - 1) + [remainder]
+
+
+def build_sg_list(
+    lengths: Sequence[int], base_addr: int, lkey: int
+) -> tuple[ScatterGatherEntry, ...]:
+    """Lay consecutive SG entries of the given lengths from ``base_addr``."""
+    entries = []
+    cursor = base_addr
+    for length in lengths:
+        entries.append(ScatterGatherEntry(addr=cursor, length=length, lkey=lkey))
+        cursor += length
+    return tuple(entries)

@@ -1,0 +1,22 @@
+"""Workload catalogs: the Appendix A trigger settings and the §7.3
+application traffic models (RPC library, distributed ML)."""
+
+from repro.workloads.appendix import (
+    APPENDIX_SETTINGS,
+    AppendixSetting,
+    settings_for_subsystem,
+)
+from repro.workloads.applications import (
+    dml_byteps_workload,
+    rpc_library_space,
+    rpc_library_workload,
+)
+
+__all__ = [
+    "APPENDIX_SETTINGS",
+    "AppendixSetting",
+    "settings_for_subsystem",
+    "dml_byteps_workload",
+    "rpc_library_space",
+    "rpc_library_workload",
+]

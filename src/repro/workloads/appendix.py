@@ -1,0 +1,196 @@
+"""The 18 simplified concrete trigger settings of Appendix A.
+
+Each anomaly in the paper's appendix comes with a "simplified concrete
+trigger setting" — exact QP counts, MR sizes, queue depths, batch sizes
+and message patterns.  This module transcribes all 18 verbatim into
+:class:`~repro.hardware.workload.WorkloadDescriptor` form, with the
+subsystem they were reported on and the symptom Table 2 lists.
+
+Note one numbering subtlety: the appendix presents the QP-scalability
+anomaly as its #7 and the MR-scalability one as its #8, while Table 2's
+rows have them the other way around (row #7 = many MRs, row #8 = many
+QPs).  The ``expected_tag`` fields follow **Table 2 row numbers**, so
+setting 7 (480 QPs) expects tag ``A8`` and setting 8 (24K MRs) expects
+``A7``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.workload import (
+    Colocation,
+    Direction,
+    SGLayout,
+    WorkloadDescriptor,
+)
+from repro.verbs.constants import Opcode, QPType
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class AppendixSetting:
+    """One concrete trigger setting with its expected outcome."""
+
+    number: int  #: appendix setting number (1–18).
+    subsystem: str  #: Table 1 letter it was reported on (F or H).
+    workload: WorkloadDescriptor
+    expected_tag: str  #: Table 2 row tag the setting must trigger.
+    expected_symptom: str  #: ``"pause frame"`` or ``"low throughput"``.
+    is_new: bool  #: green rows of Table 2 (new anomalies found by Collie).
+
+
+def _setting(
+    number, subsystem, expected_tag, expected_symptom, is_new, **kwargs
+) -> AppendixSetting:
+    return AppendixSetting(
+        number=number,
+        subsystem=subsystem,
+        workload=WorkloadDescriptor(**kwargs),
+        expected_tag=expected_tag,
+        expected_symptom=expected_symptom,
+        is_new=is_new,
+    )
+
+
+APPENDIX_SETTINGS: tuple[AppendixSetting, ...] = (
+    _setting(
+        1, "F", "A1", "pause frame", True,
+        qp_type=QPType.UD, opcode=Opcode.SEND, num_qps=1,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=256, mtu=2048,
+        wqe_batch=64, sge_per_wqe=1, msg_sizes_bytes=(2 * KB,),
+    ),
+    _setting(
+        2, "F", "A2", "low throughput", True,
+        qp_type=QPType.UD, opcode=Opcode.SEND, num_qps=16,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=1024, mtu=1024,
+        wqe_batch=4, sge_per_wqe=1, msg_sizes_bytes=(1 * KB,),
+    ),
+    _setting(
+        3, "F", "A3", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.READ, num_qps=8,
+        mrs_per_qp=1, mr_bytes=4 * MB, wq_depth=128, mtu=1024,
+        wqe_batch=1, sge_per_wqe=1, msg_sizes_bytes=(4 * MB,),
+    ),
+    _setting(
+        4, "F", "A4", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.READ,
+        direction=Direction.BIDIRECTIONAL, num_qps=80,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=128, mtu=4096,
+        wqe_batch=128, sge_per_wqe=4, msg_sizes_bytes=(128,),
+    ),
+    _setting(
+        5, "F", "A5", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.SEND, num_qps=1,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=1024, mtu=1024,
+        wqe_batch=64, sge_per_wqe=2, msg_sizes_bytes=(2 * KB,),
+    ),
+    _setting(
+        6, "F", "A6", "low throughput", True,
+        qp_type=QPType.RC, opcode=Opcode.SEND, num_qps=32,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=1024, mtu=1024,
+        wqe_batch=8, sge_per_wqe=2, msg_sizes_bytes=(1 * KB,),
+    ),
+    # Appendix #7 is the QP-scalability trigger -> Table 2 row #8.
+    _setting(
+        7, "F", "A8", "low throughput", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE, num_qps=480,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=16, mtu=1024,
+        wqe_batch=1, sge_per_wqe=1, msg_sizes_bytes=(512,),
+    ),
+    # Appendix #8 is the MR-scalability trigger -> Table 2 row #7.
+    _setting(
+        8, "F", "A7", "low throughput", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE, num_qps=24,
+        mrs_per_qp=1024, mr_bytes=64 * KB, wq_depth=128, mtu=1024,
+        wqe_batch=1, sge_per_wqe=1, msg_sizes_bytes=(512,),
+    ),
+    _setting(
+        9, "F", "A9", "pause frame", False,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=8,
+        mrs_per_qp=1, mr_bytes=4 * MB, wq_depth=128, mtu=4096,
+        wqe_batch=8, sge_per_wqe=3, sg_layout=SGLayout.MIXED,
+        msg_sizes_bytes=(128, 64 * KB, 1 * KB),
+    ),
+    _setting(
+        10, "F", "A10", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=320,
+        mrs_per_qp=1, mr_bytes=64 * KB, wq_depth=128, mtu=1024,
+        wqe_batch=64, sge_per_wqe=1,
+        msg_sizes_bytes=(64 * KB, 128, 128, 128),
+    ),
+    _setting(
+        11, "F", "A11", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=1,
+        mrs_per_qp=32, mr_bytes=4 * MB, wq_depth=128, mtu=4096,
+        wqe_batch=16, sge_per_wqe=1, msg_sizes_bytes=(256 * KB,),
+        src_device="numa0", dst_device="numa1",
+    ),
+    _setting(
+        12, "F", "A12", "pause frame", False,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=8,
+        mrs_per_qp=1, mr_bytes=4 * MB, wq_depth=128, mtu=4096,
+        wqe_batch=8, sge_per_wqe=3, sg_layout=SGLayout.MIXED,
+        msg_sizes_bytes=(128, 64 * KB, 1 * KB),
+        src_device="gpu0", dst_device="gpu0",
+    ),
+    _setting(
+        13, "F", "A13", "pause frame", False,
+        qp_type=QPType.RC, opcode=Opcode.WRITE, num_qps=16,
+        mrs_per_qp=32, mr_bytes=4 * MB, wq_depth=128, mtu=4096,
+        wqe_batch=16, sge_per_wqe=1, msg_sizes_bytes=(256 * KB,),
+        colocation=Colocation.MIXED_LOOPBACK,
+    ),
+    _setting(
+        14, "H", "A14", "low throughput", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=1024,
+        mrs_per_qp=82, mr_bytes=256 * KB, wq_depth=128, mtu=4096,
+        wqe_batch=1, sge_per_wqe=4, msg_sizes_bytes=(64 * KB,),
+    ),
+    _setting(
+        15, "H", "A15", "pause frame", True,
+        qp_type=QPType.UD, opcode=Opcode.SEND, num_qps=32,
+        mrs_per_qp=1, mr_bytes=4 * KB, wq_depth=64, mtu=2048,
+        wqe_batch=1, sge_per_wqe=1,
+        msg_sizes_bytes=(256, 1 * KB, 64, 1 * KB),
+    ),
+    _setting(
+        16, "H", "A16", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.READ, num_qps=500,
+        mrs_per_qp=1, mr_bytes=256 * KB, wq_depth=128, mtu=1024,
+        wqe_batch=8, sge_per_wqe=1, msg_sizes_bytes=(64 * KB,),
+    ),
+    _setting(
+        17, "H", "A17", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.SEND, num_qps=80,
+        mrs_per_qp=1, mr_bytes=1 * MB, wq_depth=128, mtu=1024,
+        wqe_batch=1, sge_per_wqe=1, msg_sizes_bytes=(1 * KB,),
+    ),
+    _setting(
+        18, "H", "A18", "pause frame", True,
+        qp_type=QPType.RC, opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL, num_qps=16,
+        mrs_per_qp=1, mr_bytes=12 * KB, wq_depth=64, mtu=1024,
+        wqe_batch=16, sge_per_wqe=1, msg_sizes_bytes=(64 * KB,),
+    ),
+)
+
+
+def settings_for_subsystem(letter: str) -> list[AppendixSetting]:
+    """The appendix settings reported on one subsystem."""
+    return [s for s in APPENDIX_SETTINGS if s.subsystem == letter.upper()]
+
+
+def setting(number: int) -> AppendixSetting:
+    """Look up one appendix setting by its number (1–18)."""
+    for candidate in APPENDIX_SETTINGS:
+        if candidate.number == number:
+            return candidate
+    raise KeyError(f"no appendix setting #{number}")

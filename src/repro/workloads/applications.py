@@ -1,0 +1,186 @@
+"""Traffic models of the two §7.3 production applications.
+
+* The **RDMA RPC library**: RC-only (it needs one-sided ops and reliable
+  delivery), RDMA WRITE for data in batches, SEND/RECV with a deep receive
+  queue for small control messages.
+* The **distributed ML framework** (BytePS-based): bidirectional RC with
+  long SG lists carrying a tensor plus several small metadata entries —
+  the mixed small/large pattern that tripped anomaly #9 in production.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.workload import Direction, SGLayout, WorkloadDescriptor
+from repro.verbs.constants import Opcode, QPType
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def rpc_library_workload(
+    batch_size: int = 64,
+    sge_per_wqe: int = 4,
+    use_read: bool = True,
+    recv_queue_depth: int = 2048,
+    num_qps: int = 128,
+) -> WorkloadDescriptor:
+    """A throughput-tuned configuration of the RPC library's data path.
+
+    With ``use_read=True``, large batches and long SG lists — the natural
+    "maximise throughput" choices — this lands squarely in anomaly #4's
+    trigger region, which is exactly the design feedback Collie gave the
+    library's developers (§7.3).
+    """
+    return WorkloadDescriptor(
+        qp_type=QPType.RC,
+        opcode=Opcode.READ if use_read else Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL,
+        mtu=4096,
+        num_qps=num_qps,
+        wqe_batch=batch_size,
+        sge_per_wqe=sge_per_wqe,
+        wq_depth=recv_queue_depth,
+        # RPC requests and responses are small; bulk payloads move
+        # separately (that is what suggestion (1) changes to WRITE).
+        msg_sizes_bytes=(256, 512, 1 * KB, 512),
+        mrs_per_qp=4,
+        mr_bytes=1 * MB,
+    )
+
+
+def rpc_library_control_workload(
+    recv_queue_depth: int = 2048, num_qps: int = 64
+) -> WorkloadDescriptor:
+    """The library's small-control-message path: RC SEND, deep RQ.
+
+    Deep receive queues guard against receiver-not-ready errors but, at
+    small MTU with batched sends, reach anomaly #5's trigger region —
+    Collie's second §7.3 design suggestion.
+    """
+    return WorkloadDescriptor(
+        qp_type=QPType.RC,
+        opcode=Opcode.SEND,
+        direction=Direction.UNIDIRECTIONAL,
+        mtu=1024,
+        num_qps=num_qps,
+        wqe_batch=64,
+        sge_per_wqe=2,
+        wq_depth=recv_queue_depth,
+        msg_sizes_bytes=(2 * KB, 4 * KB),
+        mrs_per_qp=2,
+        mr_bytes=64 * KB,
+    )
+
+
+def dml_byteps_workload(
+    tensor_bytes: int = 64 * KB,
+    meta_bytes: int = 128,
+    num_qps: int = 8,
+) -> WorkloadDescriptor:
+    """The distributed-ML push/pull pattern that hit anomaly #9.
+
+    Each transfer is a WQE whose SG list carries metadata, the tensor,
+    and a trailer — a mix of ≤1KB and ≥64KB entries — in both directions
+    (workers push gradients while pulling parameters).
+    """
+    return WorkloadDescriptor(
+        qp_type=QPType.RC,
+        opcode=Opcode.WRITE,
+        direction=Direction.BIDIRECTIONAL,
+        mtu=4096,
+        num_qps=num_qps,
+        wqe_batch=8,
+        sge_per_wqe=3,
+        sg_layout=SGLayout.MIXED,
+        wq_depth=128,
+        msg_sizes_bytes=(meta_bytes, tensor_bytes, 1 * KB),
+        mrs_per_qp=8,
+        mr_bytes=4 * MB,
+    )
+
+
+def dml_byteps_fixed_workload(num_qps: int = 8) -> WorkloadDescriptor:
+    """The workload after applying Collie's MFS-guided fix.
+
+    Breaking one MFS condition suffices; the developers stopped packing
+    metadata and tensor into one SG list (sge_per_wqe drops below 3) and
+    sent metadata in separate small messages.
+    """
+    return dml_byteps_workload(num_qps=num_qps).replace(
+        sge_per_wqe=1, sg_layout=SGLayout.EVEN, msg_sizes_bytes=(64 * KB,)
+    )
+
+
+def herd_style_workload(num_clients: int = 64) -> WorkloadDescriptor:
+    """HERD's design point [16]: UD SEND for requests, prioritising RNIC
+    scalability over reliability.
+
+    HERD-class RPC keeps many small datagrams in flight with deep
+    receive queues — exactly the territory of anomalies #1/#2 (CX-6) and
+    #15 (P2100G).
+    """
+    return WorkloadDescriptor(
+        qp_type=QPType.UD,
+        opcode=Opcode.SEND,
+        mtu=2048,
+        num_qps=num_clients,
+        wqe_batch=4,
+        sge_per_wqe=1,
+        wq_depth=1024,
+        msg_sizes_bytes=(512, 1 * KB, 256, 1 * KB),
+        mrs_per_qp=1,
+        mr_bytes=64 * KB,
+    )
+
+
+def farm_style_workload(num_machines: int = 32) -> WorkloadDescriptor:
+    """FaRM's design point [4]: RC one-sided READs into remote memory.
+
+    Read-dominated key-value access with modest connection counts; at
+    small MTU this is anomaly #3's territory on the 200 Gbps parts.
+    """
+    return WorkloadDescriptor(
+        qp_type=QPType.RC,
+        opcode=Opcode.READ,
+        mtu=1024,
+        num_qps=num_machines,
+        wqe_batch=2,
+        sge_per_wqe=1,
+        wq_depth=128,
+        msg_sizes_bytes=(32 * KB, 64 * KB, 16 * KB, 64 * KB),
+        mrs_per_qp=8,
+        mr_bytes=4 * MB,
+    )
+
+
+def fasst_style_workload(num_machines: int = 128) -> WorkloadDescriptor:
+    """FaSST's design point [18]: two-sided UD datagram RPCs at scale."""
+    return WorkloadDescriptor(
+        qp_type=QPType.UD,
+        opcode=Opcode.SEND,
+        mtu=4096,
+        num_qps=num_machines,
+        wqe_batch=16,
+        sge_per_wqe=1,
+        wq_depth=512,
+        msg_sizes_bytes=(256, 512, 256, 512),
+        mrs_per_qp=1,
+        mr_bytes=64 * KB,
+    )
+
+
+def rpc_library_space(subsystem_letter: str = "B"):
+    """The restricted search space the RPC developers gave Collie (§7.3).
+
+    RC-only transport, the opcodes and batching ranges the library's
+    design permits.  Returns a :class:`repro.core.space.SearchSpace`;
+    imported lazily to keep this module free of a core dependency at
+    import time.
+    """
+    from repro.core.space import SearchSpace
+
+    return SearchSpace.for_subsystem(
+        subsystem_letter,
+        qp_types=(QPType.RC,),
+        opcodes=(Opcode.READ, Opcode.WRITE, Opcode.SEND),
+    )

@@ -1,0 +1,105 @@
+"""Figure series assembly: time-to-find curves and counter traces."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    CounterTrace,
+    counter_trace,
+    time_to_find_series,
+)
+from repro.analysis.render import render_counter_trace, render_time_to_find
+from repro.core.annealing import TraceEvent
+from repro.hardware.workload import WorkloadDescriptor
+
+
+def hits(**tag_hours):
+    return {tag: hours * 3600.0 for tag, hours in tag_hours.items()}
+
+
+class TestTimeToFind:
+    def test_mean_and_support(self):
+        series = time_to_find_series(
+            "collie",
+            [hits(A1=1, A2=3), hits(A1=2, A2=4, A3=9)],
+            max_anomalies=3,
+        )
+        assert series.mean_hours[0] == pytest.approx(1.5)
+        assert series.mean_hours[1] == pytest.approx(3.5)
+        assert series.support == (2, 2, 1)
+        assert series.mean_hours[2] == pytest.approx(9.0)
+
+    def test_kth_time_uses_sorted_discovery_order(self):
+        series = time_to_find_series(
+            "x", [hits(B=5, A=1)], max_anomalies=2
+        )
+        assert series.mean_hours[0] == pytest.approx(1.0)
+        assert series.mean_hours[1] == pytest.approx(5.0)
+
+    def test_unreached_depth_is_nan_with_zero_support(self):
+        series = time_to_find_series("x", [hits(A=1)], max_anomalies=2)
+        assert series.support[1] == 0
+        assert math.isnan(series.mean_hours[1])
+
+    def test_anomalies_found_majority_rule(self):
+        series = time_to_find_series(
+            "x",
+            [hits(A=1, B=2), hits(A=1, B=2), hits(A=1)],
+            max_anomalies=3,
+        )
+        assert series.anomalies_found == 2
+
+    def test_render_produces_one_row_per_k(self):
+        series = time_to_find_series("x", [hits(A=1, B=2)], max_anomalies=2)
+        text = render_time_to_find([series])
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+
+def event(hours, value, counter="c", anomaly=None):
+    return TraceEvent(
+        time_seconds=hours * 3600.0,
+        counter=counter,
+        counter_value=value,
+        symptom="healthy",
+        tags=(),
+        workload=WorkloadDescriptor(),
+        kind="search",
+        new_anomaly_index=anomaly,
+    )
+
+
+class TestCounterTrace:
+    def test_normalisation_by_max(self):
+        trace = counter_trace("x", [event(1, 50), event(2, 100)], "c")
+        assert max(trace.normalised_values) == pytest.approx(1.0)
+        assert trace.normalised_values[0] == pytest.approx(0.5)
+
+    def test_filters_by_counter(self):
+        events = [event(1, 5, counter="c"), event(2, 9, counter="other")]
+        trace = counter_trace("x", events, "c")
+        assert len(trace.hours) == 1
+
+    def test_anomaly_marks(self):
+        events = [event(1, 5), event(2, 9, anomaly=0), event(3, 2, anomaly=1)]
+        trace = counter_trace("x", events, "c")
+        assert trace.anomaly_marks == (2.0, 3.0)
+
+    def test_empty_trace(self):
+        trace = counter_trace("x", [], "c")
+        assert trace.hours == ()
+        assert trace.bucketed() == []
+
+    def test_bucketing_covers_span(self):
+        trace = counter_trace("x", [event(h, h) for h in range(1, 11)], "c")
+        buckets = trace.bucketed(5)
+        assert len(buckets) == 5
+        assert buckets[-1][1] == pytest.approx(1.0)  # max at the end
+
+    def test_render_sparkline(self):
+        trace = counter_trace(
+            "collie", [event(1, 5), event(2, 9, anomaly=0)], "c"
+        )
+        text = render_counter_trace(trace, width=20)
+        assert "X" in text
+        assert "collie / c" in text

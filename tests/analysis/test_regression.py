@@ -1,0 +1,90 @@
+"""Campaign diffing across a vendor fix."""
+
+import pytest
+
+from repro.analysis.regression import diff_anomaly_sets
+from repro.core import Collie
+from repro.core.mfs import (
+    IntervalCondition,
+    MembershipCondition,
+    MinimalFeatureSet,
+)
+from repro.hardware.fixes import apply_fixes
+from repro.hardware.subsystems import get_subsystem
+from repro.hardware.workload import WorkloadDescriptor
+from repro.verbs.constants import Opcode, QPType
+
+
+def region(symptom="pause frame", qp_type="UD", low=256, witness=None):
+    witness = witness or WorkloadDescriptor(
+        qp_type=QPType(qp_type), opcode=Opcode.SEND,
+        wq_depth=max(int(low), 16), msg_sizes_bytes=(512,),
+    )
+    return MinimalFeatureSet(
+        symptom=symptom,
+        witness=witness,
+        memberships=(MembershipCondition("qp_type", (qp_type,)),),
+        intervals=(IntervalCondition("wq_depth", low, None),),
+    )
+
+
+class TestDiffMechanics:
+    def test_identical_sets_all_persist(self):
+        a, b = region(), region()
+        diff = diff_anomaly_sets([a], [b])
+        assert len(diff.persisting) == 1
+        assert not diff.resolved and not diff.appeared
+
+    def test_missing_region_is_resolved(self):
+        diff = diff_anomaly_sets([region()], [])
+        assert len(diff.resolved) == 1
+        assert diff.is_clean_fix
+
+    def test_new_region_appears(self):
+        diff = diff_anomaly_sets([], [region()])
+        assert len(diff.appeared) == 1
+        assert not diff.is_clean_fix
+
+    def test_symptom_class_separates_regions(self):
+        before = region(symptom="pause frame")
+        after = region(symptom="low throughput")
+        diff = diff_anomaly_sets([before], [after])
+        assert diff.resolved == [before]
+        assert diff.appeared == [after]
+
+    def test_summary_mentions_counts(self):
+        diff = diff_anomaly_sets([region()], [])
+        assert "1 resolved" in diff.summary()
+
+
+class TestAcrossARealFix:
+    """End to end: search H, apply the register fixes, search again."""
+
+    @pytest.fixture(scope="class")
+    def campaign_diff(self):
+        before = Collie.for_subsystem("H", seed=3, budget_hours=4.0).run()
+        fixed = apply_fixes(get_subsystem("H"), ["A17", "A18"])
+        after = Collie(fixed, seed=3, budget_hours=4.0).run()
+        return before, after, diff_anomaly_sets(
+            before.anomalies, after.anomalies
+        )
+
+    def test_something_was_found_both_times(self, campaign_diff):
+        before, after, _ = campaign_diff
+        assert before.anomalies and after.anomalies
+
+    def test_fixed_tags_disappear_from_the_after_run(self, campaign_diff):
+        _, after, _ = campaign_diff
+        assert not {"A17", "A18"} & set(after.found_tags())
+
+    def test_diff_reports_resolutions_without_false_fixes(self, campaign_diff):
+        before, after, diff = campaign_diff
+        resolved_or_persisting = len(diff.resolved) + len(diff.persisting)
+        assert resolved_or_persisting == len(before.anomalies)
+        # The UD anomaly (A15, unfixed) must persist through the diff.
+        persisting_tags = set()
+        for match in diff.persisting:
+            persisting_tags.update(
+                t for t in after.found_tags()
+            )
+        assert "A15" in after.found_tags()

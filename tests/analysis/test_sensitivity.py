@@ -1,0 +1,53 @@
+"""Sensitivity profiles around anomalous workloads."""
+
+import pytest
+
+from repro.analysis.sensitivity import SensitivityAnalyzer
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.appendix import setting
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SensitivityAnalyzer(get_subsystem("F"))
+
+
+class TestProfile:
+    def test_rejects_unknown_dimension(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.profile(setting(1).workload, "qp_type")
+
+    def test_mtu_profile_of_anomaly_3_shows_the_boundary(self, analyzer):
+        """#3 is MTU-gated: small MTUs pause, large ones are healthy."""
+        profile = analyzer.profile(setting(3).workload, "mtu")
+        assert profile.boundary is not None
+        healthy_value, anomalous_value = profile.boundary
+        assert anomalous_value <= 1024 < healthy_value <= 4096
+        assert 1024.0 in profile.anomalous_values
+        assert 4096.0 not in profile.anomalous_values
+
+    def test_batch_profile_of_anomaly_1(self, analyzer):
+        """#1 needs a large posting batch; the profile localises it."""
+        profile = analyzer.profile(setting(1).workload, "wqe_batch")
+        assert 64.0 in profile.anomalous_values
+        assert 1.0 not in profile.anomalous_values
+
+    def test_flat_dimension_has_no_boundary(self, analyzer):
+        profile = analyzer.profile(setting(1).workload, "mrs_per_qp")
+        assert profile.boundary is None
+
+    def test_points_cover_the_ladder(self, analyzer):
+        profile = analyzer.profile(setting(3).workload, "mtu")
+        assert [p.value for p in profile.points] == [
+            256.0, 512.0, 1024.0, 2048.0, 4096.0,
+        ]
+
+    def test_render_marks_anomalous_rows(self, analyzer):
+        text = analyzer.profile(setting(3).workload, "mtu").render()
+        assert "sensitivity of mtu" in text
+        assert "!" in text
+
+    def test_profile_all_returns_many_dimensions(self, analyzer):
+        profiles = analyzer.profile_all(setting(1).workload)
+        names = {p.dimension for p in profiles}
+        assert {"mtu", "num_qps", "wqe_batch", "wq_depth"} <= names

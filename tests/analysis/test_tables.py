@@ -1,0 +1,66 @@
+"""Table rendering for the benchmark harness."""
+
+from repro.analysis.render import render_table
+from repro.analysis.tables import TABLE2_COLUMNS, table1_rows, table2_rows
+
+
+class TestTable1:
+    def test_eight_rows_in_order(self):
+        rows = table1_rows()
+        assert [r["Type"] for r in rows] == list("ABCDEFGH")
+
+    def test_columns_match_paper(self):
+        for row in table1_rows():
+            assert set(row) == {
+                "Type", "RNIC", "Speed", "CPU", "PCIe", "NPS", "Memory",
+                "GPU", "BIOS", "Kernel",
+            }
+
+    def test_distinctive_cells(self):
+        rows = {r["Type"]: r for r in table1_rows()}
+        assert rows["A"]["Speed"] == "25 Gbps"
+        assert rows["G"]["NPS"] == 2
+        assert rows["H"]["RNIC"].startswith("P2100G")
+
+
+class TestTable2:
+    def test_eighteen_rows_ordered(self):
+        rows = table2_rows()
+        assert len(rows) == 18
+        assert [r["#"] for r in rows] == [f"A{i}" for i in range(1, 19)]
+
+    def test_found_flag(self):
+        rows = table2_rows(found_tags=["A1", "A13"])
+        by_tag = {r["#"]: r for r in rows}
+        assert by_tag["A1"]["Found"] == "yes"
+        assert by_tag["A2"]["Found"] == "no"
+        assert table2_rows()[0]["Found"] == "n/a"
+
+    def test_symptom_column_matches_catalog(self):
+        by_tag = {r["#"]: r for r in table2_rows()}
+        assert by_tag["A2"]["Symptom"] == "low throughput"
+        assert by_tag["A10"]["Symptom"] == "pause frame"
+
+    def test_rnic_column_splits_f_and_h(self):
+        rows = table2_rows()
+        assert all(r["RNIC"] == "CX-6" for r in rows[:13])
+        assert all(r["RNIC"] == "P2100" for r in rows[13:])
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table([{"a": 1, "bb": "xy"}, {"a": 100, "bb": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_column_subset(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_table2_renders(self):
+        text = render_table(table2_rows(), columns=TABLE2_COLUMNS)
+        assert "A18" in text

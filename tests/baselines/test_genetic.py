@@ -1,0 +1,72 @@
+"""The genetic-algorithm baseline (§8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.genetic import GeneticSearch
+from repro.core.space import SearchSpace
+from repro.hardware.subsystems import get_subsystem
+
+
+class TestConfiguration:
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            GeneticSearch("F", population=2)
+
+    def test_tournament_validation(self):
+        with pytest.raises(ValueError):
+            GeneticSearch("F", population=8, tournament=9)
+
+
+class TestGenetics:
+    def test_crossover_mixes_parents(self):
+        search = GeneticSearch("F", seed=3)
+        space = SearchSpace.for_subsystem(get_subsystem("F"))
+        rng = np.random.default_rng(0)
+        mother, father = space.random(rng), space.random(rng)
+        child = search._crossover(mother, father)
+        parent_values = {
+            dim: {getattr(mother, dim), getattr(father, dim)}
+            for dim in ("mtu", "num_qps", "wqe_batch", "wq_depth")
+        }
+        for dim, values in parent_values.items():
+            assert getattr(child, dim) in values
+
+    def test_crossover_output_is_valid(self):
+        from repro.verbs.constants import SUPPORTED_OPCODES
+
+        search = GeneticSearch("F", seed=4)
+        space = search.space
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            child = search._crossover(space.random(rng), space.random(rng))
+            assert child.opcode in SUPPORTED_OPCODES[child.qp_type]
+
+    def test_tournament_prefers_fitter(self):
+        search = GeneticSearch("F", seed=5, population=8, tournament=8)
+        space = search.space
+        rng = np.random.default_rng(2)
+        individuals = [space.random(rng) for _ in range(8)]
+        scored = [(float(i), ind) for i, ind in enumerate(individuals)]
+        assert search._select(scored) is individuals[-1]
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return GeneticSearch("H", seed=2, budget_hours=2.0).run()
+
+    def test_budget_respected(self, report):
+        assert report.elapsed_seconds <= 2.0 * 3600 + 60
+
+    def test_finds_easy_anomalies(self, report):
+        assert len(report.found_tags()) >= 2
+
+    def test_events_have_genetic_name(self, report):
+        assert report.name == "genetic"
+        assert report.experiments == len(report.events)
+
+    def test_determinism(self):
+        a = GeneticSearch("H", seed=9, budget_hours=0.5).run()
+        b = GeneticSearch("H", seed=9, budget_hours=0.5).run()
+        assert a.found_tags() == b.found_tags()

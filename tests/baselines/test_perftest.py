@@ -1,0 +1,52 @@
+"""The Perftest-style generator and the §7.1 reproducibility claim."""
+
+import pytest
+
+from repro.baselines.perftest import PerftestGenerator
+from repro.verbs.constants import Opcode, QPType
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return PerftestGenerator("F")
+
+
+class TestExpressibleSpace:
+    def test_all_workloads_are_perftest_shaped(self, generator):
+        for workload in generator.workloads():
+            assert workload.wqe_batch == 1  # no batching flag
+            assert workload.sge_per_wqe == 1  # single-SGE WRs
+            assert len(set(workload.msg_sizes_bytes)) == 1  # fixed size
+            assert workload.mrs_per_qp == 1  # one buffer
+
+    def test_transport_validity_respected(self, generator):
+        for workload in generator.workloads():
+            if workload.qp_type is QPType.UD:
+                assert workload.opcode is Opcode.SEND
+                assert workload.max_msg_bytes <= workload.mtu
+            if workload.qp_type is QPType.UC:
+                assert workload.opcode is not Opcode.READ
+
+    def test_space_is_a_few_thousand_points(self, generator):
+        count = sum(1 for _ in generator.workloads())
+        assert 1000 < count < 20000
+
+
+class TestSweep:
+    def test_limit_bounds_experiments(self, generator):
+        found = generator.sweep(limit=50)
+        assert generator.testbed.experiments_run == 50
+        assert isinstance(found, dict)
+
+    @pytest.mark.slow
+    def test_paper_claim_only_a_handful_reproducible(self):
+        """§7.1: only 4 of the 18 anomalies were reproducible with
+        existing workload generators, 'with very careful parameter
+        tuning'.  Our perftest model reaches a similarly small subset."""
+        found_f = set(PerftestGenerator("F").sweep())
+        found_h = set(PerftestGenerator("H").sweep())
+        reachable = found_f | found_h
+        assert 2 <= len(reachable) <= 6
+        # The batching/SG-list anomalies are structurally out of reach.
+        assert not reachable & {"A1", "A4", "A5", "A9", "A10", "A14",
+                                "A16", "A18"}

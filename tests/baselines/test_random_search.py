@@ -1,0 +1,47 @@
+"""The random fuzzing baseline."""
+
+import pytest
+
+from repro.baselines import RandomSearch
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    return RandomSearch("F", budget_hours=2.0, seed=11).run()
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, short_run):
+        assert short_run.elapsed_seconds <= 2.0 * 3600 + 60
+
+    def test_finds_the_easy_anomalies(self, short_run):
+        """Half of F's space is anomalous: two hours must hit several."""
+        assert len(short_run.found_tags()) >= 3
+
+    def test_event_log_is_complete(self, short_run):
+        assert short_run.experiments == len(short_run.events)
+        assert all(e.kind == "search" for e in short_run.events)
+
+    def test_first_hit_times_are_ordered_subset(self, short_run):
+        hits = short_run.first_hit_times()
+        for seconds in hits.values():
+            assert 0 < seconds <= short_run.elapsed_seconds
+
+    def test_determinism(self):
+        a = RandomSearch("F", budget_hours=0.3, seed=7).run()
+        b = RandomSearch("F", budget_hours=0.3, seed=7).run()
+        assert a.found_tags() == b.found_tags()
+
+    def test_different_seeds_differ(self):
+        a = RandomSearch("F", budget_hours=0.3, seed=1).run()
+        b = RandomSearch("F", budget_hours=0.3, seed=2).run()
+        assert [e.workload for e in a.events][:5] != (
+            [e.workload for e in b.events][:5]
+        )
+
+    def test_random_misses_the_hard_anomalies(self):
+        """§5: 'random inputs can only find few anomalies' — the
+        conditions-heavy rows of Table 2 stay out of reach."""
+        run = RandomSearch("F", budget_hours=10.0, seed=3).run()
+        hard = {"A4", "A5", "A6", "A7", "A8"}
+        assert len(hard & set(run.found_tags())) <= 1

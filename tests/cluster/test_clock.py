@@ -1,0 +1,45 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock.hours == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(100)
+        clock.advance(50.5)
+        assert clock.now == pytest.approx(150.5)
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(0)
+
+    def test_budget_expiry(self):
+        clock = SimulatedClock(budget_seconds=100)
+        assert not clock.expired
+        clock.advance(99)
+        assert clock.remaining == pytest.approx(1)
+        clock.advance(2)
+        assert clock.expired
+        assert clock.remaining == 0.0
+
+    def test_unbudgeted_clock_never_expires(self):
+        clock = SimulatedClock()
+        clock.advance(1e12)
+        assert not clock.expired
+
+    def test_hours_conversion(self):
+        clock = SimulatedClock()
+        clock.advance(7200)
+        assert clock.hours == pytest.approx(2.0)

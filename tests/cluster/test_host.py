@@ -1,0 +1,29 @@
+"""Hosts: topology-aware verbs contexts."""
+
+import pytest
+
+from repro.cluster.host import Host
+from repro.hardware.topology import dual_socket_host
+from repro.verbs.constants import AccessFlags
+from repro.verbs.exceptions import MemoryRegistrationError
+
+
+class TestHost:
+    def test_memory_device_queries(self):
+        host = Host("h", dual_socket_host("h", gpus=1))
+        assert host.has_memory_device("numa0")
+        assert host.has_memory_device("gpu0")
+        assert not host.has_memory_device("gpu1")
+        assert host.memory_devices() == ["numa0", "numa1", "gpu0"]
+
+    def test_reg_mr_validates_placement(self):
+        host = Host("h", dual_socket_host("h"))
+        pd = host.context.alloc_pd()
+        region = pd.reg_mr(4096, AccessFlags.all_remote(), device="numa1")
+        assert region.device == "numa1"
+        with pytest.raises(MemoryRegistrationError, match="gpu0"):
+            pd.reg_mr(4096, device="gpu0")
+
+    def test_context_is_attached_to_host(self):
+        host = Host("h", dual_socket_host("h"))
+        assert host.context.host is host

@@ -1,0 +1,49 @@
+"""The experiment runner's time accounting (paper: 20-60s/experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.testbed import Testbed
+from repro.core.space import SearchSpace
+from repro.hardware.workload import WorkloadDescriptor
+
+
+class TestTestbed:
+    def test_accepts_letter_or_subsystem(self, subsystem_f):
+        assert Testbed("F").subsystem.name == "F"
+        assert Testbed(subsystem_f).subsystem.name == "F"
+
+    def test_run_charges_the_clock(self):
+        clock = SimulatedClock()
+        testbed = Testbed("F", clock=clock)
+        result = testbed.run(WorkloadDescriptor())
+        assert clock.now == pytest.approx(result.total_seconds)
+        assert result.started_at == 0.0
+        assert result.finished_at == clock.now
+
+    def test_experiment_cost_in_paper_range(self):
+        """§5: each experiment takes 20-60 s, scaling with QPs and MRs."""
+        testbed = Testbed("F")
+        rng = np.random.default_rng(0)
+        space = SearchSpace.for_subsystem(testbed.subsystem)
+        for _ in range(50):
+            result = testbed.run(space.random(rng), rng=rng)
+            assert 15.0 <= result.total_seconds <= 60.0
+
+    def test_more_qps_cost_more_setup(self):
+        testbed = Testbed("F")
+        small = testbed.run(WorkloadDescriptor(num_qps=1))
+        large = testbed.run(WorkloadDescriptor(num_qps=8192))
+        assert large.setup_seconds > small.setup_seconds
+
+    def test_experiment_counter(self):
+        testbed = Testbed("F")
+        testbed.run(WorkloadDescriptor())
+        testbed.run(WorkloadDescriptor())
+        assert testbed.experiments_run == 2
+
+    def test_functional_check_mode_catches_shape_early(self):
+        testbed = Testbed("F", functional_check=True)
+        result = testbed.run(WorkloadDescriptor(num_qps=2, wqe_batch=4))
+        assert result.measurement.directions[0].achieved_msgs_per_sec > 0

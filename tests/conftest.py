@@ -1,0 +1,70 @@
+"""Shared fixtures: connected verbs endpoints and subsystem handles."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.subsystems import get_subsystem
+from repro.verbs import (
+    MTU,
+    AccessFlags,
+    DataPath,
+    Device,
+    Fabric,
+    QPCapabilities,
+    QPType,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class ConnectedPair:
+    """Two contexts with one connected RC QP pair and registered MRs."""
+
+    def __init__(self, qp_type=QPType.RC, mtu=MTU.MTU_1024, mr_bytes=65536):
+        self.fabric = Fabric()
+        self.ctx_a = Device("rnic-a").open()
+        self.ctx_b = Device("rnic-b").open()
+        self.fabric.attach(self.ctx_a)
+        self.fabric.attach(self.ctx_b)
+        self.pd_a = self.ctx_a.alloc_pd()
+        self.pd_b = self.ctx_b.alloc_pd()
+        self.cq_a = self.ctx_a.create_cq(1024)
+        self.cq_b = self.ctx_b.create_cq(1024)
+        cap = QPCapabilities(max_send_wr=256, max_recv_wr=256)
+        self.qp_a = self.ctx_a.create_qp(
+            self.pd_a, qp_type, self.cq_a, self.cq_a, cap
+        )
+        self.qp_b = self.ctx_b.create_qp(
+            self.pd_b, qp_type, self.cq_b, self.cq_b, cap
+        )
+        if qp_type is QPType.UD:
+            self.fabric.activate_ud(self.qp_a, mtu)
+            self.fabric.activate_ud(self.qp_b, mtu)
+        else:
+            self.fabric.connect(self.qp_a, self.qp_b, mtu)
+        self.mr_a = self.pd_a.reg_mr(mr_bytes, AccessFlags.all_remote())
+        self.mr_b = self.pd_b.reg_mr(mr_bytes, AccessFlags.all_remote())
+        self.datapath = DataPath(self.fabric)
+
+
+@pytest.fixture
+def pair():
+    return ConnectedPair()
+
+
+@pytest.fixture
+def ud_pair():
+    return ConnectedPair(qp_type=QPType.UD, mtu=MTU.MTU_2048)
+
+
+@pytest.fixture
+def subsystem_f():
+    return get_subsystem("F")
+
+
+@pytest.fixture
+def subsystem_h():
+    return get_subsystem("H")

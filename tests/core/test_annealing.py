@@ -1,0 +1,112 @@
+"""SA search mechanics: energy, schedule, and short end-to-end passes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.testbed import Testbed
+from repro.core.annealing import (
+    AnnealingSearch,
+    SAParams,
+    SearchSignal,
+    SearchState,
+)
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.subsystems import get_subsystem
+
+
+class TestSearchSignal:
+    def test_diagnostic_energy_rewards_increase(self):
+        """§5.1: diagnostic counters drive high; (A-B)/B < 0 when B > A."""
+        signal = SearchSignal("rx_wqe_cache_miss")
+        assert signal.diagnostic
+        assert signal.delta_energy(old=100, new=200) < 0
+        assert signal.delta_energy(old=200, new=100) > 0
+
+    def test_performance_energy_rewards_decrease(self):
+        """Performance counters drive low; (B-A)/A < 0 when B < A."""
+        signal = SearchSignal("tx_bytes_per_sec")
+        assert not signal.diagnostic
+        assert signal.lower_is_better
+        assert signal.delta_energy(old=200, new=100) < 0
+        assert signal.delta_energy(old=100, new=200) > 0
+
+    def test_energy_is_relative_not_absolute(self):
+        """The paper's form avoids the value-region problem: the same
+        proportional change yields the same energy at any scale."""
+        signal = SearchSignal("qpc_cache_miss")
+        small = signal.delta_energy(old=10, new=20)
+        large = signal.delta_energy(old=1e9, new=2e9)
+        assert small == pytest.approx(large)
+
+    def test_zero_denominator_is_safe(self):
+        signal = SearchSignal("qpc_cache_miss")
+        assert np.isfinite(signal.delta_energy(old=0.0, new=0.0))
+
+
+class TestSAParams:
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            SAParams(alpha=1.0)
+        with pytest.raises(ValueError):
+            SAParams(t0=0.01, t_min=0.05)
+
+    def test_defaults_are_relaxed(self):
+        """§5.1: "we always set a more relaxed temperature and alpha"."""
+        params = SAParams()
+        assert params.alpha >= 0.8
+        assert params.t0 / params.t_min >= 10
+
+
+def run_short_pass(counter, seed=0, hours=1.5, use_mfs=True):
+    subsystem = get_subsystem("F")
+    clock = SimulatedClock(hours * 3600)
+    testbed = Testbed(subsystem, clock=clock)
+    search = AnnealingSearch(
+        testbed,
+        SearchSpace.for_subsystem(subsystem),
+        AnomalyMonitor(subsystem),
+        np.random.default_rng(seed),
+        use_mfs=use_mfs,
+    )
+    state = SearchState()
+    search.run_pass(state, SearchSignal(counter), deadline=hours * 3600)
+    return state, clock
+
+
+class TestRunPass:
+    def test_respects_deadline(self):
+        state, clock = run_short_pass("rx_wqe_cache_miss", hours=0.5)
+        assert clock.now <= 0.5 * 3600 + 60  # one experiment of slack
+
+    def test_finds_anomalies_in_half_anomalous_space(self):
+        state, _ = run_short_pass("internal_incast_events", hours=2.0)
+        assert len(state.anomalies) >= 1
+        assert state.experiments > 10
+
+    def test_events_are_chronological(self):
+        state, _ = run_short_pass("qpc_cache_miss", hours=1.0)
+        times = [e.time_seconds for e in state.events]
+        assert times == sorted(times)
+
+    def test_mfs_skipping_records_skips(self):
+        state, _ = run_short_pass("internal_incast_events", hours=3.0)
+        assert state.skipped > 0
+
+    def test_without_mfs_no_extraction(self):
+        state, _ = run_short_pass("rx_wqe_cache_miss", hours=1.0,
+                                  use_mfs=False)
+        assert state.anomalies == []
+        assert all(e.kind != "mfs" for e in state.events)
+
+    def test_anomalous_events_carry_ground_truth_tags(self):
+        state, _ = run_short_pass("internal_incast_events", hours=2.0)
+        anomalous = [e for e in state.events if e.symptom != "healthy"]
+        assert anomalous
+        assert any(e.tags for e in anomalous)
+
+    def test_new_anomaly_marked_on_trace(self):
+        state, _ = run_short_pass("internal_incast_events", hours=2.0)
+        marks = [e for e in state.events if e.new_anomaly_index is not None]
+        assert len(marks) == len(state.anomalies)

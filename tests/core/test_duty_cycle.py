@@ -1,0 +1,82 @@
+"""The §8 inter-arrival (duty cycle) search-space extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.hardware.workload import WorkloadDescriptor
+from repro.workloads.appendix import setting
+
+
+def measure(workload, letter="F"):
+    subsystem = get_subsystem(letter)
+    measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+        workload, np.random.default_rng(0)
+    )
+    return measurement, AnomalyMonitor(subsystem).classify(measurement)
+
+
+class TestDescriptor:
+    def test_default_saturates(self):
+        assert WorkloadDescriptor().duty_cycle == 1.0
+
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(duty_cycle=value)
+
+
+class TestModelEffect:
+    def test_injection_scales_with_duty(self):
+        full, _ = measure(WorkloadDescriptor())
+        half, _ = measure(WorkloadDescriptor(duty_cycle=0.5))
+        assert half.directions[0].injection_msgs_per_sec == pytest.approx(
+            full.directions[0].injection_msgs_per_sec * 0.5
+        )
+
+    def test_idle_sender_defuses_pause_anomalies(self):
+        """With enough idle time, even a trigger workload's offered load
+        fits within the degraded service rate — pauses vanish (the §7.4
+        'end-to-end flow control' discussion, made concrete)."""
+        trigger = setting(1).workload
+        _, hot = measure(trigger)
+        assert hot.symptom == "pause frame"
+        _, cool = measure(trigger.replace(duty_cycle=0.5))
+        assert cool.pause_ratio == 0.0
+
+    def test_low_duty_reads_as_low_throughput_not_anomaly(self):
+        """An intentionally idle sender is not a subsystem anomaly...
+        except that the spec-based monitor cannot tell intent: at very
+        low duty the throughput check fires.  The search space therefore
+        keeps duty at 1.0 unless the operator opts in."""
+        _, verdict = measure(WorkloadDescriptor(duty_cycle=0.25))
+        assert verdict.symptom == "low throughput"
+
+
+class TestSpaceExtension:
+    def test_default_space_never_varies_duty(self, rng):
+        space = SearchSpace.for_subsystem(get_subsystem("F"))
+        assert all(
+            space.random(rng).duty_cycle == 1.0 for _ in range(50)
+        )
+
+    def test_extended_space_samples_duty(self, rng):
+        space = SearchSpace.for_subsystem(
+            get_subsystem("F"), duty_cycles=(0.5, 1.0)
+        )
+        seen = {space.random(rng).duty_cycle for _ in range(60)}
+        assert seen == {0.5, 1.0}
+
+    def test_mutation_moves_duty_in_extended_space(self, rng):
+        space = SearchSpace.for_subsystem(
+            get_subsystem("F"), duty_cycles=(0.25, 0.5, 1.0)
+        )
+        current = space.random(rng)
+        seen = {current.duty_cycle}
+        for _ in range(200):
+            current = space.mutate(current, rng)
+            seen.add(current.duty_cycle)
+        assert len(seen) >= 2

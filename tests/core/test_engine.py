@@ -1,0 +1,112 @@
+"""The workload engine: setup, functional bursts, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WorkloadEngine
+from repro.core.space import SearchSpace
+from repro.hardware.subsystems import get_subsystem
+from repro.hardware.workload import (
+    Colocation,
+    Direction,
+    SGLayout,
+    WorkloadDescriptor,
+)
+from repro.verbs.constants import Opcode, QPType
+
+
+@pytest.fixture
+def engine(subsystem_f):
+    return WorkloadEngine(subsystem_f)
+
+
+class TestFunctionalBurst:
+    @pytest.mark.parametrize(
+        "qp_type,opcode",
+        [
+            (QPType.RC, Opcode.WRITE),
+            (QPType.RC, Opcode.READ),
+            (QPType.RC, Opcode.SEND),
+            (QPType.UC, Opcode.WRITE),
+            (QPType.UC, Opcode.SEND),
+            (QPType.UD, Opcode.SEND),
+        ],
+    )
+    def test_every_transport_opcode_combination_runs(
+        self, engine, qp_type, opcode
+    ):
+        workload = WorkloadDescriptor(
+            qp_type=qp_type, opcode=opcode, mtu=2048,
+            msg_sizes_bytes=(1024, 512, 2048, 64)
+            if qp_type is QPType.UD else (4096, 512, 65536, 64),
+            wqe_batch=4, sge_per_wqe=2, num_qps=8,
+        )
+        footprint = engine.functional_burst(workload)
+        assert footprint.functional_messages > 0
+        assert footprint.qps_created <= 8  # scaled down
+
+    def test_mixed_sg_layout_runs(self, engine):
+        workload = WorkloadDescriptor(
+            sge_per_wqe=3, sg_layout=SGLayout.MIXED,
+            msg_sizes_bytes=(128, 65536, 1024),
+        )
+        assert engine.functional_burst(workload).functional_messages > 0
+
+    def test_gpu_placement_runs_on_gpu_hosts(self, engine):
+        workload = WorkloadDescriptor(src_device="gpu0", dst_device="gpu0")
+        engine.functional_burst(workload)
+
+    def test_unknown_placement_fails(self, subsystem_h):
+        engine = WorkloadEngine(subsystem_h)
+        with pytest.raises(Exception):
+            engine.functional_burst(WorkloadDescriptor(src_device="gpu0"))
+
+    def test_random_space_points_are_functionally_legal(self, engine, rng):
+        """Any coerced search point must survive the verbs layer."""
+        space = SearchSpace.for_subsystem(engine.subsystem)
+        for _ in range(25):
+            engine.functional_burst(space.random(rng))
+
+
+class TestMeasure:
+    def test_measure_returns_measurement(self, engine, rng):
+        measurement = engine.measure(WorkloadDescriptor(), rng=rng)
+        assert measurement.subsystem_name == "F"
+        assert measurement.directions[0].achieved_msgs_per_sec > 0
+
+    def test_measure_with_functional_check(self, engine, rng):
+        measurement = engine.measure(
+            WorkloadDescriptor(num_qps=2), rng=rng, functional_check=True
+        )
+        assert measurement.directions[0].wire_gbps > 0
+
+
+class TestCostModel:
+    def test_setup_grows_with_qps_and_mrs(self, engine):
+        base = engine.setup_seconds(WorkloadDescriptor())
+        many_qps = engine.setup_seconds(WorkloadDescriptor(num_qps=8192))
+        many_mrs = engine.setup_seconds(
+            WorkloadDescriptor(num_qps=128, mrs_per_qp=1024)
+        )
+        assert many_qps > base
+        assert many_mrs > base
+
+    def test_bidirectional_doubles_qp_cost(self, engine):
+        uni = engine.setup_seconds(WorkloadDescriptor(num_qps=4096))
+        bi = engine.setup_seconds(
+            WorkloadDescriptor(num_qps=4096,
+                               direction=Direction.BIDIRECTIONAL)
+        )
+        assert bi > uni
+
+    def test_total_cost_stays_in_paper_range(self, engine):
+        total = engine.setup_seconds(
+            WorkloadDescriptor(num_qps=16384, mrs_per_qp=8)
+        ) + engine.measurement_seconds()
+        assert total <= 60.0
+
+    def test_loopback_workload_cost(self, engine):
+        cost = engine.setup_seconds(
+            WorkloadDescriptor(colocation=Colocation.MIXED_LOOPBACK)
+        )
+        assert cost >= 12.0

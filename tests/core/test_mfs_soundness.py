@@ -1,0 +1,92 @@
+"""MFS soundness against the real model: skips never cover healthy space.
+
+The search's correctness hinges on one property: any point matching an
+extracted MFS would itself have been classified anomalous.  These tests
+extract MFSes from randomly found anomalies on the actual subsystems and
+then sample points inside each MFS's region, checking the monitor agrees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mfs import MFSExtractor
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+
+
+def build_oracle(subsystem):
+    model = SteadyStateModel(subsystem, noise=0.0)
+    monitor = AnomalyMonitor(subsystem)
+    rng = np.random.default_rng(0)
+
+    def classify(workload):
+        return monitor.classify(model.evaluate(workload, rng)).symptom
+
+    return classify
+
+
+@pytest.mark.parametrize("letter", ["F", "H"])
+class TestSkipSoundness:
+    WITNESSES = 6
+    SAMPLES_PER_MFS = 120
+
+    def test_sampled_mfs_points_are_anomalous(self, letter):
+        subsystem = get_subsystem(letter)
+        space = SearchSpace.for_subsystem(subsystem)
+        classify = build_oracle(subsystem)
+        rng = np.random.default_rng(77)
+
+        extracted = []
+        attempts = 0
+        while len(extracted) < self.WITNESSES and attempts < 500:
+            attempts += 1
+            witness = space.random(rng)
+            symptom = classify(witness)
+            if symptom == "healthy":
+                continue
+            extractor = MFSExtractor(space, classify)
+            mfs = extractor.construct(witness, symptom, known=extracted)
+            if mfs is not None:
+                extracted.append(mfs)
+        assert extracted, "no anomalies found to extract from"
+
+        false_skips = 0
+        covered = 0
+        for _ in range(self.SAMPLES_PER_MFS * len(extracted)):
+            probe = space.random(rng)
+            for mfs in extracted:
+                if mfs.matches(probe):
+                    covered += 1
+                    if classify(probe) == "healthy":
+                        false_skips += 1
+                    break
+        # Sound to within noise: out of every matched sample, (almost)
+        # none may be healthy.  A tiny tolerance covers interval
+        # interpolation across untested ladder gaps.
+        assert covered > 0
+        assert false_skips <= max(1, covered // 50), (
+            f"{false_skips}/{covered} matched samples were healthy"
+        )
+
+    def test_witnesses_match_their_own_mfs(self, letter):
+        subsystem = get_subsystem(letter)
+        space = SearchSpace.for_subsystem(subsystem)
+        classify = build_oracle(subsystem)
+        rng = np.random.default_rng(13)
+        checked = 0
+        for _ in range(300):
+            witness = space.random(rng)
+            symptom = classify(witness)
+            if symptom == "healthy":
+                continue
+            mfs = MFSExtractor(space, classify).construct(witness, symptom)
+            if mfs is None:
+                continue
+            # The reduced witness is the stored one; it must match.
+            assert mfs.matches(mfs.witness)
+            checked += 1
+            if checked >= 4:
+                break
+        assert checked >= 2

@@ -1,0 +1,96 @@
+"""Vendor reproduction recipes."""
+
+import pytest
+
+from repro.core.reproducer import (
+    appendix_paragraph,
+    engine_command,
+    recipe,
+    verbs_program,
+)
+from repro.hardware.workload import Colocation, SGLayout, WorkloadDescriptor
+from repro.verbs.constants import Opcode, QPType
+from repro.workloads.appendix import setting
+
+
+class TestAppendixParagraph:
+    def test_matches_paper_prose_shape(self):
+        """Setting #1's paragraph must read like the paper's own."""
+        text = appendix_paragraph(setting(1).workload)
+        assert "There are 1 connections of UD QP using SEND/RECV" in text
+        assert "work queue of length 256" in text
+        assert "The MTU is 2KB." in text
+        assert "sending 64 requests in a batch" in text
+        assert "fixed size of 2KB" in text
+
+    def test_mixed_pattern_rendered_as_list(self):
+        text = appendix_paragraph(setting(9).workload)
+        assert "the pattern is [128B, 64KB, 1KB]" in text
+        assert "for each direction" in text
+
+    def test_loopback_and_placement_notes(self):
+        text = appendix_paragraph(setting(13).workload)
+        assert "co-located" in text
+        gpu = appendix_paragraph(setting(12).workload)
+        assert "gpu0" in gpu
+
+    def test_duty_cycle_note(self):
+        text = appendix_paragraph(WorkloadDescriptor(duty_cycle=0.75))
+        assert "idles 25%" in text
+
+
+class TestEngineCommand:
+    def test_one_flag_per_dimension(self):
+        command = engine_command(setting(10).workload)
+        assert "--qp-type rc" in command
+        assert "--opcode write" in command
+        assert "--qp-num 320" in command
+        assert "--batch 64" in command
+        assert "--request-sizes 65536,128,128,128" in command
+        assert "--bidirectional" in command
+
+    def test_optional_flags_only_when_relevant(self):
+        plain = engine_command(WorkloadDescriptor())
+        assert "--bidirectional" not in plain
+        assert "--with-loopback" not in plain
+        loop = engine_command(
+            WorkloadDescriptor(colocation=Colocation.MIXED_LOOPBACK)
+        )
+        assert "--with-loopback" in loop
+
+    def test_sg_layout_flag(self):
+        mixed = engine_command(
+            WorkloadDescriptor(sge_per_wqe=3, sg_layout=SGLayout.MIXED,
+                               msg_sizes_bytes=(65536,))
+        )
+        assert "--sg-layout mixed" in mixed
+
+
+class TestVerbsProgram:
+    def test_program_reflects_transport_and_caps(self):
+        program = verbs_program(setting(5).workload)
+        assert "IBV_QPT_RC" in program
+        assert "max_send_wr = 1024" in program
+        assert "IBV_MTU_1024" in program
+        assert "ibv_post_recv" in program  # SEND needs pre-posted receives
+
+    def test_one_sided_program_posts_no_receives(self):
+        program = verbs_program(setting(10).workload)
+        assert "ibv_post_recv" not in program
+
+    def test_mr_loop_count(self):
+        program = verbs_program(setting(8).workload)
+        assert "m < 1024" in program  # 1024 MRs per QP
+
+
+class TestRecipe:
+    def test_recipe_combines_all_three_forms(self):
+        text = recipe(setting(4).workload, title="Anomaly #4")
+        assert "Reproduction recipe: Anomaly #4" in text
+        assert "Traffic engine invocation" in text
+        assert "Verbs skeleton" in text
+
+    @pytest.mark.parametrize("number", range(1, 19))
+    def test_every_appendix_setting_renders(self, number):
+        text = recipe(setting(number).workload)
+        assert len(text) > 200

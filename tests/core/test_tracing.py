@@ -1,0 +1,64 @@
+"""Traffic tracing: functional slices on the predicted timeline."""
+
+import pytest
+
+from repro.core.tracing import TrafficTracer
+from repro.hardware.workload import WorkloadDescriptor
+from repro.verbs.constants import Opcode, QPType
+from repro.workloads.appendix import setting
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return TrafficTracer("F")
+
+
+class TestTrace:
+    def test_rejects_non_positive_message_count(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.trace(WorkloadDescriptor(), messages=0)
+
+    def test_every_message_posts_delivers_completes(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=8)
+        assert len(log.events_of("post")) == 8
+        assert len(log.events_of("deliver")) == 8
+        assert len(log.events_of("complete")) == 8  # sender CQEs (WRITE)
+
+    def test_send_traffic_completes_on_both_sides(self, tracer):
+        workload = WorkloadDescriptor(
+            opcode=Opcode.SEND, msg_sizes_bytes=(1024,), mtu=1024
+        )
+        log = tracer.trace(workload, messages=6)
+        assert len(log.events_of("complete")) == 12  # sender + receiver
+
+    def test_timeline_is_monotone_and_rate_spaced(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=5)
+        posts = [r.time_us for r in log.events_of("post")]
+        assert posts == sorted(posts)
+        spacing = posts[1] - posts[0]
+        assert spacing == pytest.approx(
+            1e6 / log.predicted_msgs_per_sec, rel=0.01
+        )
+
+    def test_anomalous_workload_traces_slower(self, tracer):
+        healthy = tracer.trace(WorkloadDescriptor(mtu=4096), messages=4)
+        anomalous = tracer.trace(setting(3).workload, messages=4)
+        assert (
+            anomalous.predicted_msgs_per_sec
+            < healthy.predicted_msgs_per_sec
+        )
+
+    def test_ud_workload_traces(self, tracer):
+        log = tracer.trace(setting(1).workload, messages=6)
+        statuses = {r.detail for r in log.events_of("complete")}
+        assert statuses == {"SUCCESS"}
+
+    def test_mixed_sg_layout_traces(self, tracer):
+        log = tracer.trace(setting(9).workload, messages=4)
+        assert any("3-entry SG" in r.detail for r in log.events_of("post"))
+
+    def test_render_is_bounded(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=30)
+        text = log.render(limit=10)
+        assert "more records" in text
+        assert text.count("\n") < 20

@@ -1,0 +1,120 @@
+"""Cache models: exact LRU vs the closed-form steady-state estimate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.caches import LRUCache, pressure_score, steady_state_miss_rate
+
+
+class TestLRUCache:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_hit_after_insert(self):
+        cache = LRUCache(4)
+        assert not cache.access("a")  # miss inserts
+        assert cache.access("a")
+
+    def test_eviction_is_lru_order(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refreshes a; b is now LRU
+        cache.access("c")  # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_never_exceeds_capacity(self):
+        cache = LRUCache(8)
+        for key in range(100):
+            cache.access(key)
+        assert len(cache) == 8
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        keys=st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_property(self, capacity, keys):
+        cache = LRUCache(capacity)
+        for key in keys:
+            cache.access(key)
+        assert len(cache) <= capacity
+        assert cache.hits + cache.misses == len(keys)
+        assert cache.evictions == max(0, cache.misses - min(capacity,
+                                      cache.misses))
+        # distinct keys beyond capacity must have caused evictions
+        assert cache.evictions >= max(0, cache.misses - capacity)
+
+    def test_access_many_counts_misses(self):
+        cache = LRUCache(4)
+        assert cache.access_many(range(6)) == 6
+        assert cache.access_many([4, 5]) == 0
+
+    def test_reset_stats(self):
+        cache = LRUCache(2)
+        cache.access("x")
+        cache.reset_stats()
+        assert cache.hits == cache.misses == cache.evictions == 0
+
+
+class TestSteadyStateMissRate:
+    def test_fits_entirely_no_misses(self):
+        assert steady_state_miss_rate(100, 100) == 0.0
+        assert steady_state_miss_rate(50, 100) == 0.0
+
+    def test_double_working_set_half_misses(self):
+        assert steady_state_miss_rate(200, 100) == pytest.approx(0.5)
+
+    def test_degenerate_inputs(self):
+        assert steady_state_miss_rate(0, 100) == 0.0
+        assert steady_state_miss_rate(100, 0) == 1.0
+
+    def test_matches_lru_on_uniform_trace(self):
+        """The closed form tracks the exact simulator within a few %."""
+        rng = np.random.default_rng(3)
+        capacity, working_set, accesses = 128, 512, 40_000
+        cache = LRUCache(capacity)
+        cache.access_many(rng.integers(0, working_set, accesses))
+        cache.reset_stats()
+        cache.access_many(rng.integers(0, working_set, accesses))
+        predicted = steady_state_miss_rate(working_set, capacity)
+        assert cache.miss_rate == pytest.approx(predicted, abs=0.05)
+
+    @given(
+        working_set=st.integers(min_value=1, max_value=10_000),
+        capacity=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_monotone(self, working_set, capacity):
+        rate = steady_state_miss_rate(working_set, capacity)
+        assert 0.0 <= rate < 1.0
+        # more capacity never hurts
+        assert steady_state_miss_rate(working_set, capacity + 1) <= rate
+
+
+class TestPressureScore:
+    def test_zero_capacity_is_full_pressure(self):
+        assert pressure_score(10, 0) == 1.0
+
+    def test_rises_before_overflow(self):
+        """Unlike the miss rate, pressure is already visible below
+        capacity — that is the search gradient's whole point."""
+        assert pressure_score(50, 100) > 0.0
+        assert steady_state_miss_rate(50, 100) == 0.0
+
+    @given(
+        a=st.floats(min_value=0, max_value=1e9),
+        b=st.floats(min_value=0, max_value=1e9),
+        capacity=st.floats(min_value=1, max_value=1e9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_working_set(self, a, b, capacity):
+        low, high = sorted((a, b))
+        assert pressure_score(low, capacity) <= pressure_score(high, capacity)
+
+    def test_bounded_below_one(self):
+        assert pressure_score(1e12, 1.0) < 1.0

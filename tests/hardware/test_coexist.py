@@ -1,0 +1,101 @@
+"""Co-existence / performance-isolation model (§7.4)."""
+
+import pytest
+
+from repro.hardware.coexist import CoexistenceModel
+from repro.hardware.subsystems import get_subsystem
+from repro.hardware.workload import WorkloadDescriptor
+from repro.verbs.constants import Opcode
+
+
+@pytest.fixture
+def model(subsystem_f):
+    return CoexistenceModel(subsystem_f)
+
+
+def small_message_victim():
+    """A cache-sensitive tenant: small unbatched writes."""
+    return WorkloadDescriptor(
+        opcode=Opcode.WRITE, num_qps=64, wqe_batch=1,
+        msg_sizes_bytes=(512,), mtu=1024,
+    )
+
+
+def cache_thrashing_aggressor():
+    """Stays inside its bandwidth share but floods the QPC/MTT caches."""
+    return WorkloadDescriptor(
+        opcode=Opcode.WRITE, num_qps=4096, mrs_per_qp=32,
+        msg_sizes_bytes=(512,), mtu=1024, wqe_batch=1,
+    )
+
+
+def polite_aggressor():
+    """Few connections, big messages: no opaque-resource pressure."""
+    return WorkloadDescriptor(
+        opcode=Opcode.WRITE, num_qps=4, msg_sizes_bytes=(1048576,), mtu=4096,
+    )
+
+
+class TestValidation:
+    def test_share_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(
+                small_message_victim(), polite_aggressor(), victim_share=0.0
+            )
+
+
+class TestBandwidthIsolation:
+    def test_polite_neighbour_leaves_fair_share_intact(self, model):
+        result = model.evaluate(
+            small_message_victim(), polite_aggressor(), victim_share=0.5
+        )
+        assert result.interference_factor >= 0.95
+
+    def test_fair_share_scales_with_allocation(self, model):
+        half = model.evaluate(
+            small_message_victim(), polite_aggressor(), victim_share=0.5
+        )
+        assert half.fair_share_gbps == pytest.approx(
+            half.alone_gbps * 0.5
+        )
+
+
+class TestOpaqueResourceLeak:
+    def test_cache_thrashing_neighbour_breaks_isolation(self, model):
+        """§7.4's claim: bandwidth isolation does not protect against a
+        tenant that floods the connection/translation caches."""
+        result = model.evaluate(
+            small_message_victim(), cache_thrashing_aggressor(),
+            victim_share=0.5,
+        )
+        assert result.interference_factor < 0.7
+
+    def test_leak_needs_exposed_victims(self, model):
+        """Large-message victims hide the misses behind the pipeline."""
+        bulky_victim = WorkloadDescriptor(
+            opcode=Opcode.WRITE, num_qps=8, msg_sizes_bytes=(1048576,),
+            mtu=4096, wqe_batch=16,
+        )
+        result = model.evaluate(
+            bulky_victim, cache_thrashing_aggressor(), victim_share=0.5
+        )
+        assert result.interference_factor > 0.8
+
+    def test_interference_monotone_in_aggressor_scale(self, model):
+        small = cache_thrashing_aggressor().replace(num_qps=512, mrs_per_qp=2)
+        big = cache_thrashing_aggressor()
+        mild = model.evaluate(small_message_victim(), small, victim_share=0.5)
+        severe = model.evaluate(small_message_victim(), big, victim_share=0.5)
+        assert severe.interference_factor <= mild.interference_factor
+
+    def test_recv_wqe_cache_leak_for_send_victims(self, model):
+        send_victim = WorkloadDescriptor(
+            opcode=Opcode.SEND, num_qps=16, wq_depth=128,
+            msg_sizes_bytes=(1024,), mtu=1024, wqe_batch=1,
+        )
+        recv_flooder = WorkloadDescriptor(
+            opcode=Opcode.SEND, num_qps=512, wq_depth=2048,
+            msg_sizes_bytes=(1024,), mtu=1024,
+        )
+        result = model.evaluate(send_victim, recv_flooder, victim_share=0.5)
+        assert result.interference_factor < 0.9

@@ -1,0 +1,176 @@
+"""Discrete-event engine and flow simulation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.des.engine import EventScheduler
+from repro.hardware.des.flowsim import FlowParameters, FlowSimulation
+from repro.hardware.des.validate import validate_measurement
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.pfc import steady_state_pause_ratio
+from repro.hardware.subsystems import get_subsystem
+
+
+class TestEventScheduler:
+    def test_events_execute_in_time_order(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule(3.0, lambda: log.append("c"))
+        scheduler.schedule(1.0, lambda: log.append("a"))
+        scheduler.schedule(2.0, lambda: log.append("b"))
+        scheduler.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_are_fifo(self):
+        scheduler = EventScheduler()
+        log = []
+        for name in "abc":
+            scheduler.schedule(1.0, lambda n=name: log.append(n))
+        scheduler.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances_with_execution(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(5.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        scheduler = EventScheduler()
+        log = []
+        handle = scheduler.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        scheduler.run()
+        assert log == []
+        assert scheduler.executed == 0
+
+    def test_run_until_stops_at_deadline(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule(1.0, lambda: log.append(1))
+        scheduler.schedule(10.0, lambda: log.append(10))
+        scheduler.run_until(5.0)
+        assert log == [1]
+        assert scheduler.now == 5.0
+        assert scheduler.pending == 1
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                scheduler.schedule(1.0, lambda: chain(n + 1))
+
+        scheduler.schedule(0.0, lambda: chain(0))
+        scheduler.run()
+        assert log == [0, 1, 2, 3]
+        assert scheduler.now == 3.0
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule(0.0, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            scheduler.run(max_events=100)
+
+
+class TestFlowParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowParameters(injection_pps=0, service_pps=1)
+        with pytest.raises(ValueError):
+            FlowParameters(injection_pps=1, service_pps=1,
+                           xoff_fraction=0.2, xon_fraction=0.5)
+
+    def test_threshold_geometry(self):
+        params = FlowParameters(injection_pps=1e6, service_pps=1e6)
+        assert params.xon_bytes < params.xoff_bytes < params.buffer_bytes
+
+
+class TestFlowSimulation:
+    def run_flow(self, injection, service, duration=2.0, **kwargs):
+        params = FlowParameters(
+            injection_pps=injection, service_pps=service, **kwargs
+        )
+        return FlowSimulation(params).run(duration)
+
+    def test_underloaded_flow_never_pauses(self):
+        result = self.run_flow(injection=1e6, service=2e6)
+        assert result.pause_ratio == 0.0
+        assert result.pause_frames == 0
+        assert result.achieved_pps == pytest.approx(1e6, rel=0.05)
+
+    @pytest.mark.parametrize("ratio", [0.3, 0.5, 0.8])
+    def test_overloaded_flow_matches_closed_form(self, ratio):
+        """Emergent pause duty cycle == 1 - service/injection."""
+        injection = 2e6
+        service = injection * ratio
+        result = self.run_flow(injection, service, duration=4.0)
+        expected = steady_state_pause_ratio(injection, service)
+        assert result.pause_ratio == pytest.approx(expected, abs=0.04)
+        assert result.achieved_pps == pytest.approx(service, rel=0.06)
+
+    def test_losslessness(self):
+        result = self.run_flow(injection=4e6, service=1e6)
+        params = FlowParameters(injection_pps=4e6, service_pps=1e6)
+        assert result.max_occupancy_bytes <= params.buffer_bytes
+
+    def test_pause_frames_counted(self):
+        result = self.run_flow(injection=2e6, service=1e6)
+        assert result.pause_frames >= 1
+
+    def test_zero_service_stalls_after_buffer_fills(self):
+        result = self.run_flow(injection=1e6, service=0.0, duration=1.0)
+        assert result.pause_ratio > 0.9
+        assert result.delivered_packets == 0
+
+    def test_duration_validation(self):
+        sim = FlowSimulation(FlowParameters(injection_pps=1e6,
+                                            service_pps=1e6))
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_determinism(self):
+        a = self.run_flow(2e6, 1.3e6)
+        b = self.run_flow(2e6, 1.3e6)
+        assert a.delivered_packets == b.delivered_packets
+        assert a.pause_seconds == b.pause_seconds
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("setting_number", [1, 3, 9, 15, 18])
+    def test_pause_anomalies_agree_with_analytic_model(self, setting_number):
+        from repro.workloads.appendix import setting
+
+        s = setting(setting_number)
+        subsystem = get_subsystem(s.subsystem)
+        measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+            s.workload, np.random.default_rng(0)
+        )
+        for result in validate_measurement(measurement):
+            assert result.agrees, (
+                f"setting {setting_number} {result.direction}: analytic "
+                f"pause {result.analytic_pause_ratio:.3f} vs simulated "
+                f"{result.simulated_pause_ratio:.3f}"
+            )
+
+    def test_healthy_workload_agrees(self):
+        from repro.hardware.workload import WorkloadDescriptor
+
+        subsystem = get_subsystem("F")
+        measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+            WorkloadDescriptor(), np.random.default_rng(0)
+        )
+        (result,) = validate_measurement(measurement)
+        assert result.simulated_pause_ratio == 0.0
+        assert result.agrees

@@ -1,0 +1,168 @@
+"""The steady-state model: healthy baselines, monotonicity, counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AnomalyMonitor
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem, list_subsystems
+from repro.hardware.workload import Direction, WorkloadDescriptor
+from repro.verbs.constants import Opcode, QPType
+
+
+def evaluate(subsystem, workload, seed=0, noise=0.0):
+    model = SteadyStateModel(subsystem, noise=noise)
+    return model.evaluate(workload, np.random.default_rng(seed))
+
+
+def healthy_workloads():
+    return [
+        WorkloadDescriptor(),  # plain 64KB WRITE
+        WorkloadDescriptor(opcode=Opcode.READ, mtu=4096,
+                           msg_sizes_bytes=(1048576,)),
+        WorkloadDescriptor(opcode=Opcode.SEND, mtu=4096,
+                           msg_sizes_bytes=(16384,)),
+        WorkloadDescriptor(qp_type=QPType.UD, opcode=Opcode.SEND, mtu=2048,
+                           msg_sizes_bytes=(1024,), wqe_batch=8),
+        WorkloadDescriptor(msg_sizes_bytes=(64,), wqe_batch=32, num_qps=16),
+        WorkloadDescriptor(direction=Direction.BIDIRECTIONAL, mtu=4096,
+                           msg_sizes_bytes=(262144,)),
+        WorkloadDescriptor(qp_type=QPType.UC, opcode=Opcode.WRITE,
+                           msg_sizes_bytes=(32768,)),
+    ]
+
+
+class TestHealthyBaselines:
+    @pytest.mark.parametrize("letter", [s.name for s in list_subsystems()])
+    def test_standard_workloads_healthy_everywhere(self, letter):
+        subsystem = get_subsystem(letter)
+        monitor = AnomalyMonitor(subsystem)
+        for workload in healthy_workloads():
+            measurement = evaluate(subsystem, workload)
+            verdict = monitor.classify(measurement)
+            assert verdict.symptom == "healthy", (
+                f"{letter}: {workload.summary()} -> {verdict.symptom}"
+            )
+            assert measurement.tags == ()
+
+    def test_large_writes_reach_line_rate(self, subsystem_f):
+        measurement = evaluate(
+            subsystem_f, WorkloadDescriptor(mtu=4096, msg_sizes_bytes=(1048576,))
+        )
+        fwd = measurement.directions[0]
+        assert fwd.wire_gbps == pytest.approx(
+            subsystem_f.rnic.line_rate_gbps, rel=0.01
+        )
+        assert measurement.pause_ratio == 0.0
+
+    def test_tiny_messages_reach_packet_rate(self, subsystem_f):
+        measurement = evaluate(
+            subsystem_f,
+            WorkloadDescriptor(
+                qp_type=QPType.UD, opcode=Opcode.SEND, mtu=1024,
+                msg_sizes_bytes=(64,), wqe_batch=32, num_qps=16,
+            ),
+        )
+        assert measurement.total_packets_per_sec == pytest.approx(
+            subsystem_f.rnic.max_pps, rel=0.05
+        )
+
+
+class TestBidirectional:
+    def test_both_directions_reported(self, subsystem_f):
+        uni = evaluate(subsystem_f, WorkloadDescriptor())
+        bi = evaluate(
+            subsystem_f,
+            WorkloadDescriptor(direction=Direction.BIDIRECTIONAL),
+        )
+        assert len(uni.directions) == 1
+        assert len(bi.directions) == 2
+        assert bi.directions[1].name == "rev"
+
+    def test_full_duplex_wire(self, subsystem_f):
+        bi = evaluate(
+            subsystem_f,
+            WorkloadDescriptor(direction=Direction.BIDIRECTIONAL, mtu=4096,
+                               msg_sizes_bytes=(1048576,)),
+        )
+        for direction in bi.directions:
+            assert direction.wire_gbps == pytest.approx(200.0, rel=0.02)
+
+
+class TestMonotonicity:
+    def test_throughput_never_negative_and_bounded_by_wire(self, subsystem_f):
+        rng = np.random.default_rng(0)
+        from repro.core.space import SearchSpace
+
+        space = SearchSpace.for_subsystem(subsystem_f)
+        for _ in range(100):
+            workload = space.random(rng)
+            measurement = evaluate(subsystem_f, workload)
+            for d in measurement.directions:
+                assert d.achieved_msgs_per_sec >= 0
+                assert d.wire_gbps <= subsystem_f.rnic.line_rate_gbps * 1.01
+                assert 0.0 <= d.pause_ratio <= 1.0
+
+    def test_pause_implies_injection_exceeds_service(self, subsystem_f):
+        from repro.workloads.appendix import setting
+
+        measurement = evaluate(subsystem_f, setting(1).workload)
+        fwd = measurement.directions[0]
+        assert fwd.pause_ratio > 0
+        assert fwd.injection_msgs_per_sec > fwd.achieved_msgs_per_sec
+
+
+class TestCounters:
+    def test_counter_samples_average(self, subsystem_f):
+        measurement = SteadyStateModel(subsystem_f, noise=0.02).evaluate(
+            WorkloadDescriptor(), np.random.default_rng(1), sample_seconds=4
+        )
+        assert len(measurement.samples) == 4
+        values = [s.get("tx_bytes_per_sec") for s in measurement.samples]
+        assert measurement.counters["tx_bytes_per_sec"] == pytest.approx(
+            np.mean(values)
+        )
+
+    def test_pause_counter_reflects_ratio(self, subsystem_f):
+        from repro.workloads.appendix import setting
+
+        measurement = evaluate(subsystem_f, setting(1).workload)
+        assert measurement.counters["pause_duration_us_per_sec"] == (
+            pytest.approx(measurement.pause_ratio * 1e6, rel=0.05)
+        )
+
+    def test_diag_pressure_grows_with_queue_depth(self, subsystem_f):
+        def rx_wqe_counter(wq_depth):
+            w = WorkloadDescriptor(
+                opcode=Opcode.SEND, num_qps=16, wq_depth=wq_depth, mtu=4096,
+                msg_sizes_bytes=(4096,),
+            )
+            return evaluate(subsystem_f, w).counters["rx_wqe_cache_miss"]
+
+        assert rx_wqe_counter(1024) > rx_wqe_counter(64)
+
+    def test_qpc_counter_grows_with_qps(self, subsystem_f):
+        def qpc_counter(qps):
+            w = WorkloadDescriptor(num_qps=qps, msg_sizes_bytes=(512,))
+            return evaluate(subsystem_f, w).counters["qpc_cache_miss"]
+
+        assert qpc_counter(1024) > qpc_counter(8)
+
+    def test_fired_rules_spike_their_counter(self, subsystem_f):
+        from repro.workloads.appendix import setting
+
+        anomalous = evaluate(subsystem_f, setting(1).workload)
+        baseline = evaluate(
+            subsystem_f,
+            setting(1).workload.replace(wq_depth=64, wqe_batch=8),
+        )
+        assert anomalous.counters["rx_wqe_cache_miss"] > (
+            baseline.counters["rx_wqe_cache_miss"]
+        )
+
+
+class TestValidation:
+    def test_unknown_memory_device_rejected(self, subsystem_h):
+        model = SteadyStateModel(subsystem_h)
+        with pytest.raises(ValueError, match="gpu0"):
+            model.evaluate(WorkloadDescriptor(dst_device="gpu0"))

@@ -1,0 +1,97 @@
+"""Model-wide invariants over randomly sampled workloads (all subsystems)."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AnomalyMonitor
+from repro.core.space import SearchSpace
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem, list_subsystems
+
+
+@pytest.mark.parametrize("letter", [s.name for s in list_subsystems()])
+class TestInvariantsEverywhere:
+    """Sampled sweeps per subsystem; cheap enough to run in CI."""
+
+    SAMPLES = 150
+
+    def _sweep(self, letter):
+        subsystem = get_subsystem(letter)
+        space = SearchSpace.for_subsystem(subsystem)
+        model = SteadyStateModel(subsystem, noise=0.0)
+        monitor = AnomalyMonitor(subsystem)
+        rng = np.random.default_rng(1234)
+        for _ in range(self.SAMPLES):
+            workload = space.random(rng)
+            measurement = model.evaluate(workload, rng)
+            yield workload, measurement, monitor.classify(measurement)
+
+    def test_rates_bounded_by_physics(self, letter):
+        subsystem = get_subsystem(letter)
+        line = subsystem.rnic.line_rate_gbps
+        for _, measurement, _ in self._sweep(letter):
+            for direction in measurement.directions:
+                assert 0 <= direction.achieved_msgs_per_sec
+                assert direction.wire_gbps <= line * 1.001
+                assert direction.goodput_gbps <= direction.wire_gbps
+                assert 0.0 <= direction.pause_ratio <= 1.0
+                assert (
+                    direction.achieved_msgs_per_sec
+                    <= direction.injection_msgs_per_sec
+                )
+
+    def test_counters_are_finite_and_non_negative(self, letter):
+        for _, measurement, _ in self._sweep(letter):
+            for name, value in measurement.counters.items():
+                assert np.isfinite(value), name
+                assert value >= 0.0, name
+
+    def test_anomalies_are_documented(self, letter):
+        """Anomalous points carry a quirk-rule tag — the model never
+        produces mystery anomalies (rare spec-boundary knife edges are
+        tolerated at <1%)."""
+        untagged = 0
+        anomalous = 0
+        for _, measurement, verdict in self._sweep(letter):
+            if verdict.is_anomalous:
+                anomalous += 1
+                if not measurement.tags:
+                    untagged += 1
+        assert untagged <= max(1, self.SAMPLES // 100)
+
+    def test_pause_implies_rx_side_rule_or_boundary(self, letter):
+        """Pause anomalies come from receiver-side effects."""
+        for _, measurement, verdict in self._sweep(letter):
+            if verdict.symptom == "pause frame" and measurement.fired:
+                assert any(f.rule.side == "rx" for f in measurement.fired)
+
+    def test_symptoms_follow_dominant_rule_side(self, letter):
+        """A workload firing only tx-side rules never shows pauses."""
+        for _, measurement, verdict in self._sweep(letter):
+            if measurement.fired and all(
+                f.rule.side == "tx" for f in measurement.fired
+            ):
+                assert measurement.pause_ratio == 0.0
+
+
+class TestDeterminism:
+    def test_noiseless_model_is_pure(self):
+        subsystem = get_subsystem("F")
+        space = SearchSpace.for_subsystem(subsystem)
+        model = SteadyStateModel(subsystem, noise=0.0)
+        rng = np.random.default_rng(9)
+        workload = space.random(rng)
+        a = model.evaluate(workload, np.random.default_rng(0))
+        b = model.evaluate(workload, np.random.default_rng(1))
+        assert a.counters == b.counters
+        assert a.tags == b.tags
+
+    def test_noise_only_perturbs_samples_not_rates(self):
+        subsystem = get_subsystem("F")
+        model = SteadyStateModel(subsystem, noise=0.05)
+        from repro.hardware.workload import WorkloadDescriptor
+
+        a = model.evaluate(WorkloadDescriptor(), np.random.default_rng(0))
+        b = model.evaluate(WorkloadDescriptor(), np.random.default_rng(7))
+        assert a.directions == b.directions
+        assert a.counters != b.counters

@@ -1,0 +1,102 @@
+"""Mechanistic receive-path simulation vs the quirk-rule severities."""
+
+import pytest
+
+from repro.hardware.des.nicsim import (
+    RxPipelineParameters,
+    RxPipelineSimulation,
+)
+from repro.hardware.subsystems import get_subsystem
+
+
+def run_pipeline(num_qps=1, wq_depth=256, batch=64, cache=8192, window=32,
+                 messages=50_000):
+    params = RxPipelineParameters(
+        num_qps=num_qps,
+        wq_depth=wq_depth,
+        sender_batch=batch,
+        cache_entries=cache,
+        prefetch_window=window,
+    )
+    return RxPipelineSimulation(params).run(messages)
+
+
+class TestValidation:
+    def test_parameters_positive(self):
+        with pytest.raises(ValueError):
+            RxPipelineParameters(num_qps=0, wq_depth=1, sender_batch=1,
+                                 cache_entries=1, prefetch_window=1)
+
+    def test_messages_positive(self):
+        sim = RxPipelineSimulation(
+            RxPipelineParameters(num_qps=1, wq_depth=8, sender_batch=1,
+                                 cache_entries=64, prefetch_window=8)
+        )
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+
+class TestHealthyRegimes:
+    def test_working_set_inside_cache_is_miss_free(self):
+        """Below capacity, the receive engine never stalls — the quirk
+        gates' zero point."""
+        result = run_pipeline(num_qps=4, wq_depth=256, batch=8)
+        assert result.miss_rate == 0.0
+
+    def test_healthy_regime_sustains_arrival_rate(self):
+        result = run_pipeline(num_qps=4, wq_depth=64, batch=8)
+        assert result.pause_ratio_against(1e9 / 80.0) == pytest.approx(
+            0.0, abs=0.02
+        )
+
+
+class TestCapacityPathEmerges:
+    """The capacity mechanism behind anomalies #2/#15/#17, derived."""
+
+    def test_threshold_sits_exactly_at_cache_capacity(self):
+        """The rule gates use ``num_qps × wq_depth`` vs cache entries;
+        the exact LRU confirms that is the right predicate."""
+        inside = run_pipeline(num_qps=8, wq_depth=64, batch=8, cache=1024)
+        outside = run_pipeline(num_qps=32, wq_depth=64, batch=8, cache=1024)
+        assert inside.miss_rate == 0.0
+        assert outside.miss_rate > 0.02
+
+    def test_emergent_pause_matches_rule_severity_regime(self):
+        """Above capacity the prefetcher bounds stalls at one per window,
+        which at line rate is a 20-25% pause duty cycle — the same
+        regime the A15/A17 rule factors (0.55-0.6 service) encode."""
+        profile = get_subsystem("H").rnic
+        result = run_pipeline(
+            num_qps=32, wq_depth=512, batch=8,
+            cache=profile.rx_wqe_cache.total_entries,
+            window=profile.rx_wqe_cache.prefetch_window,
+        )
+        pause = result.pause_ratio_against(1e9 / 80.0)
+        assert 0.1 < pause < 0.7
+
+    def test_miss_rate_bounded_by_prefetch_window(self):
+        """A sane prefetcher caps the damage at ~1 miss per window."""
+        result = run_pipeline(num_qps=32, wq_depth=512, batch=8,
+                              cache=1024, window=32)
+        assert result.miss_rate <= 1 / 32 + 0.01
+
+    def test_prefetch_window_response_is_u_shaped(self):
+        """Wider windows amortise fetches — until the QPs' combined
+        prefetch footprint overruns the cache and prefetches evict each
+        other (over-aggressive prefetch thrash, a real NIC failure
+        mode).  The sweet spot sits where num_qps × window ≈ capacity."""
+        narrow = run_pipeline(num_qps=32, wq_depth=512, batch=8,
+                              cache=1024, window=8)
+        sweet = run_pipeline(num_qps=32, wq_depth=512, batch=8,
+                             cache=1024, window=32)
+        oversized = run_pipeline(num_qps=32, wq_depth=512, batch=8,
+                                 cache=1024, window=128)
+        assert sweet.miss_rate < narrow.miss_rate
+        assert sweet.miss_rate < oversized.miss_rate
+
+    def test_busy_time_grows_with_misses(self):
+        clean = run_pipeline(num_qps=4, wq_depth=64, batch=8, cache=1024)
+        dirty = run_pipeline(num_qps=32, wq_depth=512, batch=8, cache=1024)
+        assert dirty.service_rate_msgs_per_sec < (
+            clean.service_rate_msgs_per_sec
+        )

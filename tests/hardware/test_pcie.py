@@ -1,0 +1,61 @@
+"""PCIe link arithmetic."""
+
+import pytest
+
+from repro.hardware.pcie import (
+    TLP_HEADER_BYTES,
+    PCIeLink,
+)
+
+
+class TestLinkRates:
+    def test_gen3_x16_raw_rate(self):
+        link = PCIeLink(gen=3, lanes=16)
+        assert link.raw_gbps == pytest.approx(8 * 16 * 128 / 130)
+
+    def test_gen4_doubles_gen3(self):
+        gen3 = PCIeLink(gen=3, lanes=16)
+        gen4 = PCIeLink(gen=4, lanes=16)
+        assert gen4.raw_gbps == pytest.approx(2 * gen3.raw_gbps)
+
+    def test_effective_below_raw(self):
+        link = PCIeLink(gen=4, lanes=16)
+        assert link.effective_gbps < link.raw_gbps
+        assert link.effective_bytes_per_sec == pytest.approx(
+            link.effective_gbps * 1e9 / 8
+        )
+
+    def test_lane_scaling(self):
+        assert PCIeLink(gen=3, lanes=8).raw_gbps == pytest.approx(
+            PCIeLink(gen=3, lanes=16).raw_gbps / 2
+        )
+
+
+class TestValidation:
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeLink(gen=7)
+
+    def test_invalid_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeLink(lanes=12)
+
+
+class TestTransferBytes:
+    def test_zero_payload_is_free(self):
+        assert PCIeLink().transfer_bytes(0) == 0
+
+    def test_single_tlp(self):
+        link = PCIeLink(max_payload_bytes=512)
+        assert link.transfer_bytes(100) == 100 + TLP_HEADER_BYTES
+
+    def test_multi_tlp_overhead(self):
+        link = PCIeLink(max_payload_bytes=512)
+        assert link.transfer_bytes(1024) == 1024 + 2 * TLP_HEADER_BYTES
+        assert link.transfer_bytes(1025) == 1025 + 3 * TLP_HEADER_BYTES
+
+
+class TestDescribe:
+    def test_table1_format(self):
+        assert PCIeLink(gen=3, lanes=16).describe() == "3.0 x16"
+        assert PCIeLink(gen=4, lanes=16).describe() == "4.0 x16"

@@ -1,0 +1,100 @@
+"""PFC: the closed-form pause duty cycle vs an event-level queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.pfc import (
+    PAUSE_RATIO_THRESHOLD,
+    PFCIngressQueue,
+    pause_frames_per_second,
+    steady_state_pause_ratio,
+)
+
+
+class TestSteadyStatePauseRatio:
+    def test_no_pause_when_service_keeps_up(self):
+        assert steady_state_pause_ratio(100, 100) == 0.0
+        assert steady_state_pause_ratio(100, 150) == 0.0
+
+    def test_half_service_pauses_half_the_time(self):
+        assert steady_state_pause_ratio(100, 50) == pytest.approx(0.5)
+
+    def test_degenerate_inputs(self):
+        assert steady_state_pause_ratio(0, 10) == 0.0
+        assert steady_state_pause_ratio(10, 0) == 1.0
+
+    @given(
+        arrival=st.floats(min_value=0.001, max_value=1e12),
+        service=st.floats(min_value=0.0, max_value=1e12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, arrival, service):
+        ratio = steady_state_pause_ratio(arrival, service)
+        assert 0.0 <= ratio <= 1.0
+
+    @given(
+        arrival=st.floats(min_value=1.0, max_value=1e9),
+        s1=st.floats(min_value=0.0, max_value=1e9),
+        s2=st.floats(min_value=0.0, max_value=1e9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_service(self, arrival, s1, s2):
+        low, high = sorted((s1, s2))
+        assert steady_state_pause_ratio(arrival, high) <= (
+            steady_state_pause_ratio(arrival, low)
+        )
+
+    def test_threshold_matches_paper(self):
+        assert PAUSE_RATIO_THRESHOLD == 0.001
+
+
+class TestPauseFrameRate:
+    def test_zero_ratio_means_no_frames(self):
+        assert pause_frames_per_second(0.0, 100.0) == 0.0
+
+    def test_faster_links_need_more_frames(self):
+        slow = pause_frames_per_second(0.1, 25.0)
+        fast = pause_frames_per_second(0.1, 200.0)
+        assert fast > slow
+
+
+class TestIngressQueueSimulation:
+    def make_queue(self):
+        return PFCIngressQueue(
+            capacity_bytes=100_000, xoff_bytes=60_000, xon_bytes=20_000
+        )
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PFCIngressQueue(capacity_bytes=10, xoff_bytes=20, xon_bytes=5)
+        with pytest.raises(ValueError):
+            PFCIngressQueue(capacity_bytes=100, xoff_bytes=50, xon_bytes=60)
+
+    def test_underloaded_queue_never_pauses(self):
+        queue = self.make_queue()
+        for _ in range(1000):
+            queue.tick(arriving_bytes=500, draining_bytes=800)
+        assert queue.pause_ratio == 0.0
+
+    def test_overloaded_queue_matches_closed_form(self):
+        """Event-level duty cycle converges to 1 - service/arrival."""
+        queue = self.make_queue()
+        arrival, service = 1000, 600
+        for _ in range(200_000):
+            queue.tick(arriving_bytes=arrival, draining_bytes=service)
+        expected = steady_state_pause_ratio(arrival, service)
+        assert queue.pause_ratio == pytest.approx(expected, abs=0.02)
+
+    def test_losslessness_invariant(self):
+        """The queue never overflows its capacity (PFC's purpose)."""
+        queue = self.make_queue()
+        for _ in range(50_000):
+            queue.tick(arriving_bytes=5_000, draining_bytes=100)
+        assert queue.occupancy <= queue.capacity_bytes
+
+    def test_hysteresis_produces_transitions(self):
+        queue = self.make_queue()
+        for _ in range(10_000):
+            queue.tick(arriving_bytes=1500, draining_bytes=1000)
+        assert queue.pause_transitions >= 2

@@ -1,0 +1,94 @@
+"""Gate matching and anomaly-rule effect arithmetic."""
+
+import pytest
+
+from repro.hardware.rules import AnomalyRule, Gate, fired_rules
+
+
+def rule(gate=None, **kwargs):
+    defaults = dict(
+        tag="T1", title="test", root_cause="test",
+        gate=gate or Gate(bounds={"x": (1, None)}), side="rx",
+    )
+    defaults.update(kwargs)
+    return AnomalyRule(**defaults)
+
+
+class TestGate:
+    def test_vacuous_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate()
+
+    def test_vacuous_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(bounds={"x": (None, None)})
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(bounds={"x": (5, 3)})
+
+    def test_inclusive_bounds(self):
+        gate = Gate(bounds={"x": (2, 4)})
+        assert gate.matches({"x": 2})
+        assert gate.matches({"x": 4})
+        assert not gate.matches({"x": 1.99})
+        assert not gate.matches({"x": 4.01})
+
+    def test_one_sided_bounds(self):
+        assert Gate(bounds={"x": (None, 10)}).matches({"x": -100})
+        assert Gate(bounds={"x": (10, None)}).matches({"x": 1e9})
+
+    def test_missing_feature_never_matches(self):
+        assert not Gate(bounds={"x": (1, None)}).matches({})
+
+    def test_categorical_membership(self):
+        gate = Gate(isin={"qp_type": ("RC", "UC")})
+        assert gate.matches({"qp_type": "RC"})
+        assert not gate.matches({"qp_type": "UD"})
+        assert not gate.matches({})
+
+    def test_conjunction_of_conditions(self):
+        gate = Gate(bounds={"x": (1, None)}, isin={"k": ("a",)})
+        assert gate.matches({"x": 5, "k": "a"})
+        assert not gate.matches({"x": 5, "k": "b"})
+        assert not gate.matches({"x": 0, "k": "a"})
+
+
+class TestAnomalyRule:
+    def test_side_validation(self):
+        with pytest.raises(ValueError):
+            rule(side="both")
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            rule(factor=0.0)
+        with pytest.raises(ValueError):
+            rule(factor=1.5)
+
+    def test_symptom_follows_side(self):
+        assert rule(side="rx").symptom == "pause frame"
+        assert rule(side="tx").symptom == "low throughput"
+
+    def test_constant_factor(self):
+        assert rule(factor=0.4).effect_factor({"x": 100}) == 0.4
+
+    def test_scaled_factor_degrades_with_feature(self):
+        r = rule(scale_feature="miss", scale_coeff=0.8, floor=0.1)
+        assert r.effect_factor({"miss": 0.0}) == 1.0
+        assert r.effect_factor({"miss": 0.5}) == pytest.approx(0.6)
+        assert r.effect_factor({"miss": 10.0}) == 0.1  # floored
+
+
+class TestFiredRules:
+    def test_only_matching_rules_fire(self):
+        rules = (
+            rule(tag="LOW", gate=Gate(bounds={"x": (None, 5)})),
+            rule(tag="HIGH", gate=Gate(bounds={"x": (5, None)})),
+        )
+        fired = fired_rules(rules, {"x": 10})
+        assert [f.tag for f in fired] == ["HIGH"]
+
+    def test_fired_rule_resolves_factor(self):
+        r = rule(scale_feature="m", scale_coeff=0.5)
+        fired = fired_rules((r,), {"x": 2, "m": 1.0})
+        assert fired[0].factor == pytest.approx(0.5)

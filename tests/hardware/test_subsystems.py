@@ -1,0 +1,105 @@
+"""Table 1 presets and part profiles."""
+
+import pytest
+
+from repro.hardware import parts
+from repro.hardware.subsystems import (
+    SUBSYSTEMS,
+    get_subsystem,
+    list_subsystems,
+)
+
+
+class TestPresets:
+    def test_all_eight_letters_exist(self):
+        assert sorted(SUBSYSTEMS) == list("ABCDEFGH")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_subsystem("f") is get_subsystem("F")
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(KeyError):
+            get_subsystem("Z")
+
+    def test_list_is_table_order(self):
+        assert [s.name for s in list_subsystems()] == list("ABCDEFGH")
+
+    def test_speeds_match_table1(self):
+        speeds = {s.name: s.rnic.line_rate_gbps for s in list_subsystems()}
+        assert speeds == {
+            "A": 25, "B": 100, "C": 100, "D": 100,
+            "E": 200, "F": 200, "G": 200, "H": 100,
+        }
+
+    def test_pcie_generations_match_table1(self):
+        for letter in "ABCDH":
+            assert get_subsystem(letter).pcie.gen == 3
+        for letter in "EFG":
+            assert get_subsystem(letter).pcie.gen == 4
+
+    def test_gpus_match_table1(self):
+        assert get_subsystem("C").gpu == "V100"
+        assert get_subsystem("E").gpu == "A100"
+        assert get_subsystem("F").gpu == "A100"
+        assert get_subsystem("H").gpu is None
+
+    def test_g_runs_nps2(self):
+        g = get_subsystem("G")
+        assert g.nps == 2
+        assert len([d for d in g.topology.memory_devices
+                    if d.kind == "dram"]) == 4
+
+    def test_describe_row_has_table1_columns(self):
+        row = get_subsystem("A").describe_row()
+        assert row["Type"] == "A"
+        assert row["Speed"] == "25 Gbps"
+        assert row["BIOS"] == "INSYDE"
+        assert set(row) == {
+            "Type", "RNIC", "Speed", "CPU", "PCIe", "NPS", "Memory",
+            "GPU", "BIOS", "Kernel",
+        }
+
+
+class TestQuirkTables:
+    def test_f_carries_all_thirteen_cx6_tags(self):
+        tags = {rule.tag for rule in get_subsystem("F").rnic.rules}
+        assert tags == {f"A{i}" for i in range(1, 14)}
+
+    def test_h_carries_the_five_p2100_tags(self):
+        tags = {rule.tag for rule in get_subsystem("H").rnic.rules}
+        assert tags == {f"A{i}" for i in range(14, 19)}
+
+    def test_100g_parts_carry_generation_independent_subset(self):
+        tags = {rule.tag for rule in get_subsystem("D").rnic.rules}
+        assert tags < {f"A{i}" for i in range(1, 14)}
+        assert "A13" in tags  # loopback incast is generation-independent
+        assert "A3" not in tags  # 200G-datapath quirks stay on the 200G part
+
+    def test_rule_sides_match_table2_symptoms(self):
+        """Every rule's side yields the Table 2 symptom for its row."""
+        from repro.workloads.appendix import APPENDIX_SETTINGS
+
+        expected = {s.expected_tag: s.expected_symptom
+                    for s in APPENDIX_SETTINGS}
+        for subsystem in list_subsystems():
+            for rule in subsystem.rnic.rules:
+                assert rule.symptom == expected[rule.tag]
+
+
+class TestProfiles:
+    def test_pattern_length_follows_pu_geometry(self):
+        assert parts.connectx6_200().pattern_length == 8
+        assert parts.p2100g().pattern_length == 4
+
+    def test_wire_payload_cap_accounts_for_headers(self):
+        profile = parts.connectx6_200()
+        assert profile.wire_payload_cap_bytes_per_sec(4096) < (
+            profile.line_rate_bytes_per_sec
+        )
+        assert profile.wire_payload_cap_bytes_per_sec(4096) > (
+            profile.wire_payload_cap_bytes_per_sec(256)
+        )
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            parts.RNICProfile(name="x", line_rate_gbps=0, max_pps=1)

@@ -1,0 +1,51 @@
+"""Lossless switch forwarding and pause handling."""
+
+import pytest
+
+from repro.hardware.switch import LosslessSwitch
+
+
+class TestSwitch:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            LosslessSwitch(0)
+
+    def test_forwards_up_to_line_rate(self):
+        switch = LosslessSwitch(100.0)  # 12.5 GB/s
+        forwarded = switch.forward("p0", "p1", nbytes=10 ** 12, seconds=1.0)
+        assert forwarded == int(12.5e9)
+
+    def test_under_capacity_forwards_everything(self):
+        switch = LosslessSwitch(100.0)
+        assert switch.forward("p0", "p1", 1000, 1.0) == 1000
+
+    def test_paused_egress_forwards_nothing(self):
+        switch = LosslessSwitch(100.0)
+        switch.receive_pause("p1", True)
+        assert switch.forward("p0", "p1", 1000, 1.0) == 0
+        switch.receive_pause("p1", False)
+        assert switch.forward("p0", "p1", 1000, 1.0) == 1000
+
+    def test_pause_frames_counted_on_assertion_edges(self):
+        switch = LosslessSwitch(100.0)
+        switch.receive_pause("p0", True)
+        switch.receive_pause("p0", True)  # still asserted: no new frame
+        switch.receive_pause("p0", False)
+        switch.receive_pause("p0", True)
+        assert switch.ports["p0"].received_pause_frames == 2
+
+    def test_byte_accounting(self):
+        switch = LosslessSwitch(100.0)
+        switch.forward("p0", "p1", 500, 1.0)
+        switch.forward("p0", "p1", 700, 1.0)
+        assert switch.ports["p1"].forwarded_bytes == 1200
+
+    def test_unknown_port_raises(self):
+        switch = LosslessSwitch(100.0)
+        with pytest.raises(KeyError):
+            switch.forward("p0", "p9", 1, 1.0)
+
+    def test_negative_arguments_rejected(self):
+        switch = LosslessSwitch(100.0)
+        with pytest.raises(ValueError):
+            switch.forward("p0", "p1", -1, 1.0)

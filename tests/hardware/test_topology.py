@@ -1,0 +1,84 @@
+"""Host topology: DMA paths and placement semantics."""
+
+import math
+
+import pytest
+
+from repro.hardware.topology import (
+    HostTopology,
+    MemoryDevice,
+    dual_socket_host,
+)
+
+
+class TestDualSocketBuilder:
+    def test_numa_nodes_split_across_sockets(self):
+        host = dual_socket_host("h", numa_per_socket=2)
+        assert host.device("numa0").socket == 0
+        assert host.device("numa1").socket == 0
+        assert host.device("numa2").socket == 1
+        assert host.device("numa3").socket == 1
+
+    def test_gpus_live_on_rnic_socket(self):
+        host = dual_socket_host("h", gpus=2)
+        assert host.device("gpu0").socket == 0
+        assert host.device("gpu1").kind == "gpu"
+
+    def test_device_names_cover_everything(self):
+        host = dual_socket_host("h", gpus=1)
+        assert host.device_names() == ["numa0", "numa1", "gpu0"]
+
+
+class TestLookup:
+    def test_unknown_device_raises_with_available_list(self):
+        host = dual_socket_host("h")
+        with pytest.raises(KeyError, match="numa0"):
+            host.device("gpu7")
+
+    def test_has_device(self):
+        host = dual_socket_host("h", gpus=1)
+        assert host.has_device("gpu0")
+        assert not host.has_device("gpu1")
+
+    def test_has_gpu(self):
+        assert dual_socket_host("h", gpus=1).has_gpu()
+        assert not dual_socket_host("h").has_gpu()
+
+
+class TestDMAPaths:
+    def test_local_dram_is_cheapest(self):
+        host = dual_socket_host("h")
+        path = host.dma_path("numa0")
+        assert not path.crosses_socket
+        assert not path.via_root_complex
+        assert math.isinf(path.bandwidth_gbps)
+
+    def test_cross_socket_adds_latency_and_caps_bandwidth(self):
+        host = dual_socket_host("h")
+        local = host.dma_path("numa0")
+        remote = host.dma_path("numa1")
+        assert remote.crosses_socket
+        assert remote.latency_ns > local.latency_ns
+        assert remote.bandwidth_gbps == host.smp_bandwidth_gbps
+
+    def test_gpu_same_bridge_with_correct_acs_is_direct(self):
+        host = dual_socket_host("h", gpus=1, gpu_same_bridge=True,
+                                acsctl_correct=True)
+        path = host.dma_path("gpu0")
+        assert not path.via_root_complex
+
+    def test_gpu_with_misconfigured_acs_detours(self):
+        host = dual_socket_host("h", gpus=1, acsctl_correct=False)
+        path = host.dma_path("gpu0")
+        assert path.via_root_complex
+        assert path.latency_ns > host.dma_path("numa0").latency_ns
+
+    def test_gpu_on_other_bridge_detours_even_with_correct_acs(self):
+        host = HostTopology(
+            name="h",
+            memory_devices=(
+                MemoryDevice("numa0", "dram", 0),
+                MemoryDevice("gpu0", "gpu", 0, same_bridge_as_rnic=False),
+            ),
+        )
+        assert host.dma_path("gpu0").via_root_complex

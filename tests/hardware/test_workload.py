@@ -1,0 +1,118 @@
+"""Workload descriptor validation and derived statistics."""
+
+import pytest
+
+from repro.hardware.workload import (
+    Colocation,
+    Direction,
+    SGLayout,
+    WorkloadDescriptor,
+)
+from repro.verbs.constants import Opcode, QPType
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        WorkloadDescriptor()
+
+    def test_ud_rejects_read(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(qp_type=QPType.UD, opcode=Opcode.READ)
+
+    def test_uc_rejects_read(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(qp_type=QPType.UC, opcode=Opcode.READ)
+
+    def test_ud_messages_bounded_by_mtu(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(
+                qp_type=QPType.UD, opcode=Opcode.SEND, mtu=1024,
+                msg_sizes_bytes=(2048,),
+            )
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(msg_sizes_bytes=())
+
+    def test_rejects_nonstandard_mtu(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(mtu=1500)
+
+    @pytest.mark.parametrize(
+        "field", ["num_qps", "wqe_batch", "sge_per_wqe", "wq_depth",
+                  "mrs_per_qp", "mr_bytes"],
+    )
+    def test_rejects_non_positive_counts(self, field):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor(**{field: 0})
+
+
+class TestMessageStatistics:
+    def workload(self, sizes=(128, 65536, 1024), mtu=1024):
+        return WorkloadDescriptor(msg_sizes_bytes=sizes, mtu=mtu)
+
+    def test_avg_min_max(self):
+        w = self.workload()
+        assert w.min_msg_bytes == 128
+        assert w.max_msg_bytes == 65536
+        assert w.avg_msg_bytes == pytest.approx((128 + 65536 + 1024) / 3)
+
+    def test_mix_detection(self):
+        assert self.workload().mixes_small_and_large
+        assert not self.workload(sizes=(2048, 4096)).mixes_small_and_large
+        assert not self.workload(sizes=(64, 128)).mixes_small_and_large
+
+    def test_fractions(self):
+        w = self.workload()
+        assert w.small_message_fraction == pytest.approx(2 / 3)
+        assert w.large_message_fraction == pytest.approx(1 / 3)
+
+    def test_packets_per_message(self):
+        w = self.workload(sizes=(1024, 2048), mtu=1024)
+        assert w.packets_per_message(1024) == 1
+        assert w.packets_per_message(2048) == 2
+        assert w.packets_per_message() == pytest.approx(1.5)
+        assert w.packets_per_message(1) == 1  # sub-MTU still one packet
+
+
+class TestDerivedProperties:
+    def test_total_counts(self):
+        w = WorkloadDescriptor(num_qps=10, mrs_per_qp=5, wq_depth=64)
+        assert w.total_mrs == 50
+        assert w.total_outstanding_recv_wqes == 640
+
+    def test_wqe_bytes_grow_with_sge(self):
+        w1 = WorkloadDescriptor(sge_per_wqe=1)
+        w8 = WorkloadDescriptor(sge_per_wqe=8)
+        assert w8.wqe_bytes > w1.wqe_bytes
+
+    def test_recv_wqes_only_for_send(self):
+        assert WorkloadDescriptor(opcode=Opcode.SEND).uses_recv_wqes
+        assert not WorkloadDescriptor(opcode=Opcode.WRITE).uses_recv_wqes
+        assert not WorkloadDescriptor(opcode=Opcode.READ).uses_recv_wqes
+
+    def test_direction_and_loopback_flags(self):
+        bi = WorkloadDescriptor(direction=Direction.BIDIRECTIONAL)
+        assert bi.is_bidirectional
+        loop = WorkloadDescriptor(colocation=Colocation.MIXED_LOOPBACK)
+        assert loop.has_loopback
+
+    def test_sg_entry_mix_needs_layout_sge_and_size(self):
+        base = dict(sge_per_wqe=3, msg_sizes_bytes=(65536,))
+        assert WorkloadDescriptor(sg_layout=SGLayout.MIXED, **base).sg_entry_mix
+        assert not WorkloadDescriptor(sg_layout=SGLayout.EVEN, **base).sg_entry_mix
+        small = WorkloadDescriptor(
+            sg_layout=SGLayout.MIXED, sge_per_wqe=3, msg_sizes_bytes=(4096,)
+        )
+        assert not small.sg_entry_mix
+
+    def test_replace_returns_modified_copy(self):
+        w = WorkloadDescriptor()
+        w2 = w.replace(num_qps=99)
+        assert w2.num_qps == 99 and w.num_qps == 8
+        assert w2 is not w
+
+    def test_summary_is_single_line(self):
+        summary = WorkloadDescriptor().summary()
+        assert "\n" not in summary
+        assert "RC WRITE" in summary

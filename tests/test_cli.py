@@ -1,0 +1,87 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialize import workload_to_dict
+from repro.cli import main
+from repro.hardware.workload import WorkloadDescriptor
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CX-5 DX 25G" in out and "P2100G" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "A18" in out and "pause frame" in out
+
+
+class TestReplay:
+    def test_replay_reproduces_everything(self, capsys):
+        assert main(["replay"]) == 0
+        assert "18/18 reproduced" in capsys.readouterr().out
+
+
+class TestSearch:
+    def test_short_search_prints_summary(self, capsys):
+        code = main(["search", "H", "--hours", "1", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subsystem H" in out
+
+    def test_search_saves_report(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        main(["search", "H", "--hours", "1", "--output", str(path)])
+        data = json.loads(path.read_text())
+        assert data["subsystem"] == "H"
+
+    def test_invalid_subsystem_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "Z"])
+
+
+class TestParallel:
+    def test_fleet_search(self, capsys):
+        code = main(
+            ["parallel", "H", "--machines", "2", "--hours", "1",
+             "--seed", "1"]
+        )
+        assert code == 0
+        assert "fleet of 2 machines" in capsys.readouterr().out
+
+
+class TestDiagnose:
+    def test_diagnose_matches_known_anomaly(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(["search", "H", "--hours", "2", "--seed", "1",
+              "--output", str(report_path)])
+        capsys.readouterr()
+
+        # Every extracted anomaly's own witness must diagnose as covered.
+        report = json.loads(report_path.read_text())
+        assert report["anomalies"], "2h search on H found nothing?"
+        workload_path = tmp_path / "workload.json"
+        workload_path.write_text(
+            json.dumps(report["anomalies"][0]["witness"])
+        )
+        code = main(["diagnose", str(report_path), str(workload_path)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "break one of these conditions" in out
+
+    def test_diagnose_clean_workload(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(["search", "H", "--hours", "0.5", "--seed", "1",
+              "--output", str(report_path)])
+        capsys.readouterr()
+        workload_path = tmp_path / "workload.json"
+        workload_path.write_text(
+            json.dumps(workload_to_dict(WorkloadDescriptor()))
+        )
+        assert main(["diagnose", str(report_path), str(workload_path)]) == 0
+        assert "no known anomaly" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Every example script runs to completion and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_verbs_tour(self):
+        out = run_example("verbs_tour.py")
+        assert "WRITE: remote buffer now holds" in out
+        assert "UD:    datagram delivered" in out
+
+    def test_quickstart_short_budget(self):
+        out = run_example("quickstart.py", "H", "1")
+        assert "Searching subsystem H" in out
+        assert "anomaly 1:" in out
+
+    def test_appendix_replay(self):
+        out = run_example("appendix_replay.py")
+        assert "18/18 published trigger settings reproduced" in out
+
+    def test_rpc_library_design(self):
+        out = run_example("rpc_library_design.py")
+        assert "ANOMALY" in out
+        assert "Both suggested designs are clean" in out
+
+    def test_dml_debugging(self):
+        out = run_example("dml_debugging.py")
+        assert "matches this MFS" in out
+        assert "bypassed" in out
+
+    def test_isolation_study(self):
+        out = run_example("isolation_study.py")
+        assert "isolation held" in out
+        assert "sensitivity of mtu" in out
+
+    def test_traffic_trace(self):
+        out = run_example("traffic_trace.py")
+        assert "deliver" in out and "complete" in out
+
+    def test_fleet_search_small(self):
+        out = run_example("fleet_search.py", "H", "2")
+        assert "machines" in out
+        assert "Fleet (9 machines) anomaly set:" in out

@@ -1,0 +1,89 @@
+"""Enumeration semantics the rest of the stack relies on."""
+
+import pytest
+
+from repro.verbs.constants import (
+    ACK_WIRE_BYTES,
+    GRH_BYTES,
+    MTU,
+    QP_TRANSITIONS,
+    ROCE_HEADER_BYTES,
+    SUPPORTED_OPCODES,
+    AccessFlags,
+    Opcode,
+    QPState,
+    QPType,
+)
+
+
+class TestOpcodes:
+    def test_one_sided_classification(self):
+        assert Opcode.WRITE.is_one_sided
+        assert Opcode.READ.is_one_sided
+        assert not Opcode.SEND.is_one_sided
+
+    def test_only_send_consumes_recv_wqe(self):
+        assert Opcode.SEND.consumes_remote_recv_wqe
+        assert not Opcode.WRITE.consumes_remote_recv_wqe
+        assert not Opcode.READ.consumes_remote_recv_wqe
+
+    def test_transport_opcode_matrix(self):
+        assert SUPPORTED_OPCODES[QPType.RC] == (
+            Opcode.SEND, Opcode.WRITE, Opcode.READ,
+            Opcode.FETCH_ADD, Opcode.CMP_SWAP,
+        )
+        assert Opcode.READ not in SUPPORTED_OPCODES[QPType.UC]
+        assert Opcode.FETCH_ADD not in SUPPORTED_OPCODES[QPType.UC]
+        assert SUPPORTED_OPCODES[QPType.UD] == (Opcode.SEND,)
+
+    def test_atomic_classification(self):
+        assert Opcode.FETCH_ADD.is_atomic and Opcode.CMP_SWAP.is_atomic
+        assert Opcode.FETCH_ADD.is_one_sided
+        assert not Opcode.WRITE.is_atomic
+
+
+class TestStateMachineTable:
+    def test_reset_only_reaches_init(self):
+        assert QP_TRANSITIONS[QPState.RESET] == (QPState.INIT,)
+
+    def test_err_is_terminal_in_table(self):
+        assert QP_TRANSITIONS[QPState.ERR] == ()
+
+    def test_rtr_reaches_rts(self):
+        assert QPState.RTS in QP_TRANSITIONS[QPState.RTR]
+
+    def test_every_state_has_an_entry(self):
+        for state in QPState:
+            assert state in QP_TRANSITIONS
+
+
+class TestMTU:
+    @pytest.mark.parametrize("value", [256, 512, 1024, 2048, 4096])
+    def test_from_bytes_roundtrip(self, value):
+        assert int(MTU.from_bytes(value)) == value
+
+    @pytest.mark.parametrize("value", [0, 100, 1500, 9000])
+    def test_from_bytes_rejects_nonstandard(self, value):
+        with pytest.raises(ValueError):
+            MTU.from_bytes(value)
+
+
+class TestWireConstants:
+    def test_grh_is_forty_bytes(self):
+        assert GRH_BYTES == 40
+
+    def test_roce_header_covers_eth_ip_udp_bth(self):
+        # 14 + 20 + 8 + 12 at minimum, plus trailers and gap.
+        assert ROCE_HEADER_BYTES >= 54
+        assert ACK_WIRE_BYTES > ROCE_HEADER_BYTES
+
+
+class TestAccessFlags:
+    def test_all_remote_includes_each_right(self):
+        flags = AccessFlags.all_remote()
+        assert flags & AccessFlags.LOCAL_WRITE
+        assert flags & AccessFlags.REMOTE_WRITE
+        assert flags & AccessFlags.REMOTE_READ
+
+    def test_none_is_falsy(self):
+        assert not AccessFlags.NONE

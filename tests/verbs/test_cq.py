@@ -1,0 +1,63 @@
+"""Completion queue ring semantics."""
+
+import pytest
+
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.constants import WCOpcode, WCStatus
+from repro.verbs.exceptions import CQOverrunError
+
+
+def wc(wr_id=1, status=WCStatus.SUCCESS):
+    return WorkCompletion(
+        wr_id=wr_id, status=status, opcode=WCOpcode.SEND, byte_len=0, qp_num=17
+    )
+
+
+class TestCompletionQueue:
+    def test_rejects_non_positive_depth(self):
+        with pytest.raises(ValueError):
+            CompletionQueue(0)
+
+    def test_poll_is_fifo(self):
+        cq = CompletionQueue(8)
+        for i in range(5):
+            cq.push(wc(wr_id=i))
+        assert [w.wr_id for w in cq.poll(3)] == [0, 1, 2]
+        assert [w.wr_id for w in cq.poll(8)] == [3, 4]
+
+    def test_poll_empty_returns_nothing(self):
+        cq = CompletionQueue(4)
+        assert cq.poll() == []
+        assert cq.poll_one() is None
+
+    def test_poll_non_positive_count(self):
+        cq = CompletionQueue(4)
+        cq.push(wc())
+        assert cq.poll(0) == []
+        assert len(cq) == 1
+
+    def test_overrun_raises(self):
+        cq = CompletionQueue(2)
+        cq.push(wc())
+        cq.push(wc())
+        with pytest.raises(CQOverrunError):
+            cq.push(wc())
+
+    def test_drain_empties_and_returns_all(self):
+        cq = CompletionQueue(4)
+        for i in range(3):
+            cq.push(wc(wr_id=i))
+        drained = cq.drain()
+        assert [w.wr_id for w in drained] == [0, 1, 2]
+        assert len(cq) == 0
+
+    def test_total_completions_is_cumulative(self):
+        cq = CompletionQueue(4)
+        cq.push(wc())
+        cq.poll()
+        cq.push(wc())
+        assert cq.total_completions == 2
+
+    def test_wc_ok_property(self):
+        assert wc().ok
+        assert not wc(status=WCStatus.REM_ACCESS_ERR).ok

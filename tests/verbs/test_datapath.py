@@ -1,0 +1,218 @@
+"""Functional byte movement: the datapath executed against the fabric."""
+
+import pytest
+
+from repro.verbs import QPCapabilities
+from repro.verbs.constants import (
+    GRH_BYTES,
+    AccessFlags,
+    Opcode,
+    QPState,
+    QPType,
+    SendFlags,
+    WCOpcode,
+    WCStatus,
+)
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+from tests.conftest import ConnectedPair
+
+
+def sg(mr, offset=0, length=64):
+    return ScatterGatherEntry(addr=mr.addr + offset, length=length, lkey=mr.lkey)
+
+
+class TestWrite:
+    def test_write_moves_bytes(self, pair):
+        pair.mr_a.write(pair.mr_a.addr, b"0123456789")
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[sg(pair.mr_a, length=10)],
+                remote_addr=pair.mr_b.addr + 5,
+                rkey=pair.mr_b.rkey,
+            )
+        )
+        assert pair.datapath.process(pair.qp_a) == 1
+        assert pair.mr_b.read(pair.mr_b.addr + 5, 10) == b"0123456789"
+
+    def test_write_generates_no_receiver_completion(self, pair):
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[sg(pair.mr_a)],
+                remote_addr=pair.mr_b.addr,
+                rkey=pair.mr_b.rkey,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_b.poll() == []
+        assert pair.cq_a.poll_one().opcode is WCOpcode.RDMA_WRITE
+
+    def test_write_beyond_region_fails_with_rem_access(self, pair):
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[sg(pair.mr_a, length=64)],
+                remote_addr=pair.mr_b.end - 8,
+                rkey=pair.mr_b.rkey,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        wc = pair.cq_a.poll_one()
+        assert wc.status is WCStatus.REM_ACCESS_ERR
+        assert pair.qp_a.state is QPState.ERR
+
+    def test_write_with_wrong_rkey_fails(self, pair):
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[sg(pair.mr_a)],
+                remote_addr=pair.mr_b.addr,
+                rkey=0xDEAD,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll_one().status is WCStatus.REM_ACCESS_ERR
+
+
+class TestRead:
+    def test_read_pulls_remote_bytes(self, pair):
+        pair.mr_b.write(pair.mr_b.addr + 100, b"remote-data")
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.READ,
+                sg_list=[sg(pair.mr_a, offset=200, length=11)],
+                remote_addr=pair.mr_b.addr + 100,
+                rkey=pair.mr_b.rkey,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.mr_a.read(pair.mr_a.addr + 200, 11) == b"remote-data"
+        assert pair.cq_a.poll_one().opcode is WCOpcode.RDMA_READ
+
+    def test_read_scatter_across_entries(self, pair):
+        pair.mr_b.write(pair.mr_b.addr, b"abcdef")
+        entries = [
+            sg(pair.mr_a, offset=0, length=2),
+            sg(pair.mr_a, offset=512, length=4),
+        ]
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.READ,
+                sg_list=entries,
+                remote_addr=pair.mr_b.addr,
+                rkey=pair.mr_b.rkey,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.mr_a.read(pair.mr_a.addr, 2) == b"ab"
+        assert pair.mr_a.read(pair.mr_a.addr + 512, 4) == b"cdef"
+
+
+class TestSendRecv:
+    def test_send_consumes_recv_and_completes_both_sides(self, pair):
+        pair.mr_a.write(pair.mr_a.addr, b"ping")
+        pair.qp_b.post_recv(
+            RecvWorkRequest(sg_list=[sg(pair.mr_b, length=64)])
+        )
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a, length=4)])
+        )
+        pair.datapath.process(pair.qp_a)
+        recv_wc = pair.cq_b.poll_one()
+        assert recv_wc.opcode is WCOpcode.RECV
+        assert recv_wc.byte_len == 4
+        assert pair.mr_b.read(pair.mr_b.addr, 4) == b"ping"
+        assert pair.qp_b.recv_queue_depth == 0
+
+    def test_rc_send_without_recv_errors_the_qp(self, pair):
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll_one().status is WCStatus.RNR_RETRY_EXC_ERR
+        assert pair.qp_a.state is QPState.ERR
+
+    def test_uc_send_without_recv_silently_drops(self):
+        pair = ConnectedPair(qp_type=QPType.UC)
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.datapath.dropped_messages == 1
+        assert pair.qp_a.state is QPState.RTS
+        assert pair.cq_a.poll_one().status is WCStatus.SUCCESS
+
+    def test_send_overflowing_recv_buffer_is_len_error(self, pair):
+        pair.qp_b.post_recv(RecvWorkRequest(sg_list=[sg(pair.mr_b, length=2)]))
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a, length=64)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_b.poll_one().status is WCStatus.LOC_LEN_ERR
+
+    def test_unsignaled_send_completes_silently(self, pair):
+        pair.qp_b.post_recv(RecvWorkRequest(sg_list=[sg(pair.mr_b, length=64)]))
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.SEND,
+                sg_list=[sg(pair.mr_a, length=8)],
+                send_flags=SendFlags.NONE,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll() == []  # no sender CQE
+        assert pair.cq_b.poll_one() is not None  # receiver still completes
+
+
+class TestUD:
+    def test_grh_prepended_to_ud_delivery(self, ud_pair):
+        ud_pair.mr_a.write(ud_pair.mr_a.addr, b"datagram")
+        ud_pair.qp_b.post_recv(
+            RecvWorkRequest(sg_list=[sg(ud_pair.mr_b, length=128)])
+        )
+        ud_pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.SEND,
+                sg_list=[sg(ud_pair.mr_a, length=8)],
+                ah=ud_pair.qp_b.qp_num,
+            )
+        )
+        ud_pair.datapath.process(ud_pair.qp_a)
+        wc = ud_pair.cq_b.poll_one()
+        assert wc.byte_len == 8 + GRH_BYTES
+        payload = ud_pair.mr_b.read(ud_pair.mr_b.addr + GRH_BYTES, 8)
+        assert payload == b"datagram"
+
+    def test_ud_send_without_recv_drops(self, ud_pair):
+        ud_pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.SEND,
+                sg_list=[sg(ud_pair.mr_a, length=8)],
+                ah=ud_pair.qp_b.qp_num,
+            )
+        )
+        ud_pair.datapath.process(ud_pair.qp_a)
+        assert ud_pair.datapath.dropped_messages == 1
+
+
+class TestProcessAll:
+    def test_round_robin_drains_both_senders(self, pair):
+        for _ in range(3):
+            pair.qp_a.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.WRITE, sg_list=[sg(pair.mr_a)],
+                    remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+                )
+            )
+            pair.qp_b.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.WRITE, sg_list=[sg(pair.mr_b)],
+                    remote_addr=pair.mr_a.addr, rkey=pair.mr_a.rkey,
+                )
+            )
+        executed = pair.datapath.process_all([pair.qp_a, pair.qp_b])
+        assert executed == 6
+        assert pair.qp_a.send_queue_depth == 0
+        assert pair.qp_b.send_queue_depth == 0

@@ -1,0 +1,73 @@
+"""Device/context object creation and capability ceilings."""
+
+import pytest
+
+from repro.verbs import Device, DeviceAttributes, QPCapabilities
+from repro.verbs.constants import QPType
+from repro.verbs.exceptions import MemoryRegistrationError, VerbsError
+
+
+class TestContextCreation:
+    def test_qp_numbers_unique_across_contexts(self):
+        ctx_a = Device("a").open()
+        ctx_b = Device("b").open()
+        numbers = set()
+        for ctx in (ctx_a, ctx_b):
+            pd = ctx.alloc_pd()
+            cq = ctx.create_cq(16)
+            for _ in range(10):
+                numbers.add(ctx.create_qp(pd, QPType.RC, cq, cq).qp_num)
+        assert len(numbers) == 20
+
+    def test_cq_depth_ceiling(self):
+        attrs = DeviceAttributes(max_cqe=100)
+        ctx = Device(attributes=attrs).open()
+        with pytest.raises(VerbsError):
+            ctx.create_cq(101)
+
+    def test_qp_limit(self):
+        ctx = Device(attributes=DeviceAttributes(max_qp=2)).open()
+        pd = ctx.alloc_pd()
+        cq = ctx.create_cq(16)
+        ctx.create_qp(pd, QPType.RC, cq, cq)
+        ctx.create_qp(pd, QPType.RC, cq, cq)
+        with pytest.raises(VerbsError):
+            ctx.create_qp(pd, QPType.RC, cq, cq)
+
+    def test_qp_wr_depth_ceiling(self):
+        ctx = Device(attributes=DeviceAttributes(max_qp_wr=64)).open()
+        pd = ctx.alloc_pd()
+        cq = ctx.create_cq(16)
+        with pytest.raises(VerbsError):
+            ctx.create_qp(pd, QPType.RC, cq, cq, QPCapabilities(max_send_wr=65))
+
+    def test_sge_ceiling(self):
+        ctx = Device(attributes=DeviceAttributes(max_sge=4)).open()
+        pd = ctx.alloc_pd()
+        cq = ctx.create_cq(16)
+        with pytest.raises(VerbsError):
+            ctx.create_qp(pd, QPType.RC, cq, cq, QPCapabilities(max_send_sge=5))
+
+    def test_destroy_qp_frees_lookup(self):
+        ctx = Device().open()
+        pd = ctx.alloc_pd()
+        cq = ctx.create_cq(16)
+        qp = ctx.create_qp(pd, QPType.RC, cq, cq)
+        assert ctx.lookup_qp(qp.qp_num) is qp
+        ctx.destroy_qp(qp)
+        assert ctx.lookup_qp(qp.qp_num) is None
+
+    def test_mr_limit(self):
+        ctx = Device(attributes=DeviceAttributes(max_mr=1)).open()
+        pd = ctx.alloc_pd()
+        pd.reg_mr(4096)
+        with pytest.raises(MemoryRegistrationError):
+            pd.reg_mr(4096)
+
+    def test_counters_aggregate_over_pds(self):
+        ctx = Device().open()
+        pd1, pd2 = ctx.alloc_pd(), ctx.alloc_pd()
+        pd1.reg_mr(4096)
+        pd2.reg_mr(8192)
+        assert ctx.mr_count == 2
+        assert ctx.pinned_pages == 3

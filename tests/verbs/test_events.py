@@ -1,0 +1,96 @@
+"""Completion channels and the arm/poll/re-arm contract."""
+
+import pytest
+
+from repro.verbs import Device, QPCapabilities
+from repro.verbs.constants import AccessFlags, Opcode, QPType
+from repro.verbs.events import (
+    CompletionChannel,
+    create_notifiable_cq,
+)
+from repro.verbs.exceptions import VerbsError
+from repro.verbs.fabric import Fabric
+from repro.verbs.datapath import DataPath
+from repro.verbs.wr import ScatterGatherEntry, SendWorkRequest
+
+
+def notifiable_pair():
+    fabric = Fabric()
+    ctx_a, ctx_b = Device("a").open(), Device("b").open()
+    fabric.attach(ctx_a)
+    fabric.attach(ctx_b)
+    channel = CompletionChannel()
+    cq_a = create_notifiable_cq(ctx_a, 64, channel)
+    cq_b = ctx_b.create_cq(64)
+    pd_a, pd_b = ctx_a.alloc_pd(), ctx_b.alloc_pd()
+    qp_a = ctx_a.create_qp(pd_a, QPType.RC, cq_a, cq_a, QPCapabilities())
+    qp_b = ctx_b.create_qp(pd_b, QPType.RC, cq_b, cq_b, QPCapabilities())
+    fabric.connect(qp_a, qp_b)
+    mr_a = pd_a.reg_mr(4096, AccessFlags.all_remote())
+    mr_b = pd_b.reg_mr(4096, AccessFlags.all_remote())
+    return fabric, channel, cq_a, qp_a, mr_a, mr_b
+
+
+def write_wr(mr_a, mr_b, length=16):
+    return SendWorkRequest(
+        opcode=Opcode.WRITE,
+        sg_list=[ScatterGatherEntry(mr_a.addr, length, mr_a.lkey)],
+        remote_addr=mr_b.addr,
+        rkey=mr_b.rkey,
+    )
+
+
+class TestCompletionChannel:
+    def test_unarmed_cq_never_notifies(self):
+        fabric, channel, cq_a, qp_a, mr_a, mr_b = notifiable_pair()
+        qp_a.post_send(write_wr(mr_a, mr_b))
+        DataPath(fabric).process(qp_a)
+        assert channel.get_event() is None
+        assert cq_a.poll_one() is not None  # the CQE is still there
+
+    def test_armed_cq_notifies_exactly_once(self):
+        fabric, channel, cq_a, qp_a, mr_a, mr_b = notifiable_pair()
+        cq_a.req_notify()
+        datapath = DataPath(fabric)
+        for _ in range(3):
+            qp_a.post_send(write_wr(mr_a, mr_b))
+        datapath.process(qp_a)
+        assert channel.notifications == 1  # one-shot arming
+        assert channel.get_event() is cq_a
+        assert channel.get_event() is None
+
+    def test_re_arming_after_event(self):
+        fabric, channel, cq_a, qp_a, mr_a, mr_b = notifiable_pair()
+        datapath = DataPath(fabric)
+        for round_number in range(3):
+            cq_a.req_notify()
+            qp_a.post_send(write_wr(mr_a, mr_b))
+            datapath.process(qp_a)
+            assert channel.get_event() is cq_a
+            assert len(cq_a.poll()) == 1
+        assert channel.notifications == 3
+
+    def test_arm_poll_rearm_race_pattern(self):
+        """The canonical race-free loop: after arming, poll once more
+        for completions that slipped in before the arm took effect."""
+        fabric, channel, cq_a, qp_a, mr_a, mr_b = notifiable_pair()
+        datapath = DataPath(fabric)
+        qp_a.post_send(write_wr(mr_a, mr_b))
+        datapath.process(qp_a)  # completion lands before arming
+        cq_a.req_notify()
+        leftovers = cq_a.poll()  # the mandatory post-arm poll
+        assert len(leftovers) == 1
+        assert channel.get_event() is None  # nothing new: no event
+
+    def test_req_notify_without_channel_raises(self):
+        ctx = Device().open()
+        cq = ctx.create_cq(16)
+        with pytest.raises(AttributeError):
+            cq.req_notify()  # plain CQs have no notify surface
+
+    def test_notifiable_cq_respects_device_ceiling(self):
+        from repro.verbs.device import DeviceAttributes
+
+        ctx = Device(attributes=DeviceAttributes(max_cqe=10)).open()
+        with pytest.raises(VerbsError):
+            create_notifiable_cq(ctx, 11, CompletionChannel())

@@ -1,0 +1,83 @@
+"""Fabric: connection bootstrap and destination resolution."""
+
+import pytest
+
+from repro.verbs import Device, Fabric, QPCapabilities
+from repro.verbs.constants import MTU, QPState, QPType
+from repro.verbs.exceptions import AddressHandleError, InvalidStateError
+
+
+def two_contexts():
+    fabric = Fabric()
+    ctx_a, ctx_b = Device("a").open(), Device("b").open()
+    fabric.attach(ctx_a)
+    fabric.attach(ctx_b)
+    return fabric, ctx_a, ctx_b
+
+
+def qp_on(ctx, qp_type=QPType.RC):
+    pd = ctx.alloc_pd()
+    cq = ctx.create_cq(16)
+    return ctx.create_qp(pd, qp_type, cq, cq, QPCapabilities())
+
+
+class TestConnect:
+    def test_connect_brings_both_to_rts(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        qp_a, qp_b = qp_on(ctx_a), qp_on(ctx_b)
+        fabric.connect(qp_a, qp_b, MTU.MTU_4096)
+        assert qp_a.state is QPState.RTS and qp_b.state is QPState.RTS
+        assert qp_a.dest_qp_num == qp_b.qp_num
+        assert qp_b.dest_qp_num == qp_a.qp_num
+        assert int(qp_a.path_mtu) == 4096
+
+    def test_connect_rejects_mismatched_transports(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        with pytest.raises(InvalidStateError):
+            fabric.connect(qp_on(ctx_a, QPType.RC), qp_on(ctx_b, QPType.UC))
+
+    def test_connect_rejects_ud(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        with pytest.raises(InvalidStateError):
+            fabric.connect(
+                qp_on(ctx_a, QPType.UD), qp_on(ctx_b, QPType.UD)
+            )
+
+    def test_activate_ud(self):
+        fabric, ctx_a, _ = two_contexts()
+        qp = qp_on(ctx_a, QPType.UD)
+        fabric.activate_ud(qp, MTU.MTU_2048)
+        assert qp.state is QPState.RTS
+
+    def test_activate_ud_rejects_connected_transports(self):
+        fabric, ctx_a, _ = two_contexts()
+        with pytest.raises(InvalidStateError):
+            fabric.activate_ud(qp_on(ctx_a, QPType.RC))
+
+
+class TestResolution:
+    def test_resolve_finds_qps_on_any_context(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        qp_b = qp_on(ctx_b)
+        assert fabric.resolve(qp_b.qp_num) is qp_b
+        assert fabric.resolve(0xFFFF_FFFF) is None
+
+    def test_destination_of_connected_qp(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        qp_a, qp_b = qp_on(ctx_a), qp_on(ctx_b)
+        fabric.connect(qp_a, qp_b)
+        assert fabric.destination_of(qp_a, None) is qp_b
+
+    def test_destination_of_unconnected_qp_raises(self):
+        fabric, ctx_a, _ = two_contexts()
+        with pytest.raises(InvalidStateError):
+            fabric.destination_of(qp_on(ctx_a), None)
+
+    def test_ud_destination_requires_handle(self):
+        fabric, ctx_a, ctx_b = two_contexts()
+        qp_a = qp_on(ctx_a, QPType.UD)
+        fabric.activate_ud(qp_a)
+        with pytest.raises(AddressHandleError):
+            fabric.destination_of(qp_a, None)
+        with pytest.raises(AddressHandleError):
+            fabric.destination_of(qp_a, 0xFFFF)

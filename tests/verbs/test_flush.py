@@ -1,0 +1,61 @@
+"""WQE flushing on the error path (verbs spec §10.3.1)."""
+
+from repro.verbs.constants import Opcode, QPState, WCStatus
+from repro.verbs.qp import QPAttributes
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+
+def sg(mr, length=16):
+    return ScatterGatherEntry(addr=mr.addr, length=length, lkey=mr.lkey)
+
+
+class TestFlushOnError:
+    def test_outstanding_sends_flush_with_wr_flush_err(self, pair):
+        for _ in range(3):
+            pair.qp_a.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.WRITE, sg_list=[sg(pair.mr_a)],
+                    remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+                )
+            )
+        pair.qp_a.modify(QPAttributes(state=QPState.ERR))
+        completions = pair.cq_a.drain()
+        assert len(completions) == 3
+        assert all(wc.status is WCStatus.WR_FLUSH_ERR for wc in completions)
+        assert pair.qp_a.send_queue_depth == 0
+
+    def test_outstanding_recvs_flush(self, pair):
+        for _ in range(2):
+            pair.qp_b.post_recv(
+                RecvWorkRequest(sg_list=[sg(pair.mr_b, 64)])
+            )
+        pair.qp_b.modify(QPAttributes(state=QPState.ERR))
+        completions = pair.cq_b.drain()
+        assert len(completions) == 2
+        assert all(wc.status is WCStatus.WR_FLUSH_ERR for wc in completions)
+
+    def test_rnr_failure_flushes_queued_successors(self, pair):
+        """When a SEND dies on RNR, the WQEs behind it flush — no silent
+        loss of posted work (the application sees every wr_id again)."""
+        ids = []
+        for _ in range(3):
+            wr = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a)])
+            ids.append(wr.wr_id)
+            pair.qp_a.post_send(wr)
+        pair.datapath.process(pair.qp_a)
+        completions = pair.cq_a.drain()
+        assert {wc.wr_id for wc in completions} == set(ids)
+        statuses = sorted(wc.status.value for wc in completions)
+        assert statuses.count("WR_FLUSH_ERR") == 2
+        assert statuses.count("RNR_RETRY_EXC_ERR") == 1
+
+    def test_reset_discards_without_completions(self, pair):
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE, sg_list=[sg(pair.mr_a)],
+                remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+            )
+        )
+        pair.qp_a.modify(QPAttributes(state=QPState.RESET))
+        assert pair.cq_a.drain() == []
+        assert pair.qp_a.send_queue_depth == 0

@@ -1,0 +1,132 @@
+"""Memory regions: registration, bounds, access rights, byte movement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verbs.constants import AccessFlags
+from repro.verbs.exceptions import AccessViolationError, MemoryRegistrationError
+from repro.verbs.memory import (
+    MAX_MR_BYTES,
+    PAGE_BYTES,
+    MemoryAllocator,
+    MemoryRegion,
+    MemoryRegionTable,
+)
+
+
+def region(length=4096, access=AccessFlags.all_remote(), addr=0x1000_0000):
+    return MemoryRegion(addr=addr, length=length, lkey=1, rkey=2, access=access)
+
+
+class TestAllocator:
+    def test_addresses_never_overlap(self):
+        alloc = MemoryAllocator()
+        spans = [(alloc.allocate(n), n) for n in (4096, 1, 123456, 4096)]
+        spans.sort()
+        for (a, n), (b, _) in zip(spans, spans[1:]):
+            assert a + n <= b
+
+    def test_allocations_are_page_aligned_by_default(self):
+        alloc = MemoryAllocator()
+        for _ in range(5):
+            assert alloc.allocate(100) % PAGE_BYTES == 0
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(MemoryRegistrationError):
+            MemoryAllocator().allocate(0)
+
+
+class TestMemoryRegion:
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(MemoryRegistrationError):
+            region(length=0)
+
+    def test_rejects_over_pinning_limit(self):
+        with pytest.raises(MemoryRegistrationError):
+            region(length=MAX_MR_BYTES + 1)
+
+    def test_page_count_rounds_up(self):
+        assert region(length=1).page_count == 1
+        assert region(length=PAGE_BYTES).page_count == 1
+        assert region(length=PAGE_BYTES + 1).page_count == 2
+
+    def test_contains_boundaries(self):
+        r = region(length=4096)
+        assert r.contains(r.addr, 4096)
+        assert r.contains(r.end - 1, 1)
+        assert not r.contains(r.addr - 1, 1)
+        assert not r.contains(r.addr, 4097)
+
+    def test_check_access_rejects_out_of_bounds(self):
+        r = region(length=4096)
+        with pytest.raises(AccessViolationError):
+            r.check_access(r.addr + 4000, 200, AccessFlags.NONE)
+
+    def test_check_access_rejects_missing_permission(self):
+        r = region(access=AccessFlags.LOCAL_WRITE)
+        with pytest.raises(AccessViolationError):
+            r.check_access(r.addr, 16, AccessFlags.REMOTE_WRITE)
+
+    def test_check_access_allows_zero_length_anywhere_inside(self):
+        r = region(length=4096)
+        r.check_access(r.addr + 100, 0, AccessFlags.NONE)
+
+    def test_check_access_rejects_negative_length(self):
+        r = region()
+        with pytest.raises(AccessViolationError):
+            r.check_access(r.addr, -1, AccessFlags.NONE)
+
+    def test_write_read_roundtrip(self):
+        r = region()
+        r.write(r.addr + 17, b"payload bytes")
+        assert r.read(r.addr + 17, 13) == b"payload bytes"
+
+    @given(
+        offset=st.integers(min_value=0, max_value=3000),
+        data=st.binary(min_size=1, max_size=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, offset, data):
+        r = region(length=4096)
+        r.write(r.addr + offset, data)
+        assert r.read(r.addr + offset, len(data)) == data
+
+    def test_huge_region_backed_by_wraparound_buffer(self):
+        r = region(length=1 << 30)  # 1 GiB registration, small backing
+        r.write(r.addr + (1 << 29), b"far")
+        assert r.read(r.addr + (1 << 29), 3) == b"far"
+
+
+class TestRegionTable:
+    def test_lookup_by_keys(self):
+        table = MemoryRegionTable()
+        r = region()
+        table.add(r)
+        assert table.by_lkey(r.lkey) is r
+        assert table.by_rkey(r.rkey) is r
+        assert table.by_lkey(999) is None
+
+    def test_lookup_local_unknown_key(self):
+        table = MemoryRegionTable()
+        with pytest.raises(AccessViolationError):
+            table.lookup_local(5, 0, 1, AccessFlags.NONE)
+
+    def test_remove(self):
+        table = MemoryRegionTable()
+        r = region()
+        table.add(r)
+        table.remove(r)
+        assert len(table) == 0
+        assert table.by_rkey(r.rkey) is None
+
+    def test_total_pages_sums_regions(self):
+        table = MemoryRegionTable()
+        table.add(region(length=PAGE_BYTES, addr=0x1000))
+        table.add(
+            MemoryRegion(
+                addr=0x100000, length=3 * PAGE_BYTES, lkey=9, rkey=10,
+                access=AccessFlags.NONE,
+            )
+        )
+        assert table.total_pages == 4

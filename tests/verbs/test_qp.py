@@ -1,0 +1,173 @@
+"""Queue-pair state machine and posting validation."""
+
+import pytest
+
+from repro.verbs import Device, QPCapabilities
+from repro.verbs.constants import MTU, Opcode, QPState, QPType, SendFlags
+from repro.verbs.exceptions import (
+    AddressHandleError,
+    InvalidStateError,
+    QPCapacityError,
+    WorkRequestError,
+)
+from repro.verbs.qp import QPAttributes
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+
+def make_qp(qp_type=QPType.RC, cap=None):
+    ctx = Device().open()
+    pd = ctx.alloc_pd()
+    cq = ctx.create_cq(64)
+    return ctx.create_qp(pd, qp_type, cq, cq, cap or QPCapabilities())
+
+
+def to_rts(qp, mtu=MTU.MTU_1024):
+    qp.modify(QPAttributes(state=QPState.INIT))
+    qp.modify(
+        QPAttributes(state=QPState.RTR, path_mtu=mtu, dest_qp_num=0xBEEF)
+    )
+    qp.modify(QPAttributes(state=QPState.RTS))
+
+
+def send_wr(opcode=Opcode.SEND, length=64, **kwargs):
+    sg = [ScatterGatherEntry(addr=0x1000, length=length, lkey=1)]
+    return SendWorkRequest(opcode=opcode, sg_list=sg, **kwargs)
+
+
+class TestStateMachine:
+    def test_fresh_qp_is_reset(self):
+        assert make_qp().state is QPState.RESET
+
+    def test_full_walk_to_rts(self):
+        qp = make_qp()
+        to_rts(qp)
+        assert qp.state is QPState.RTS
+        assert qp.dest_qp_num == 0xBEEF
+        assert int(qp.path_mtu) == 1024
+
+    def test_reset_to_rtr_is_illegal(self):
+        qp = make_qp()
+        with pytest.raises(InvalidStateError):
+            qp.modify(QPAttributes(state=QPState.RTR, dest_qp_num=1))
+
+    def test_rc_needs_destination_for_rtr(self):
+        qp = make_qp()
+        qp.modify(QPAttributes(state=QPState.INIT))
+        with pytest.raises(InvalidStateError):
+            qp.modify(QPAttributes(state=QPState.RTR))
+
+    def test_ud_reaches_rtr_without_destination(self):
+        qp = make_qp(QPType.UD)
+        qp.modify(QPAttributes(state=QPState.INIT))
+        qp.modify(QPAttributes(state=QPState.RTR))
+        assert qp.state is QPState.RTR
+
+    def test_any_state_reaches_err(self):
+        qp = make_qp()
+        qp.modify(QPAttributes(state=QPState.ERR))
+        assert qp.state is QPState.ERR
+
+    def test_reset_flushes_queues(self):
+        qp = make_qp()
+        to_rts(qp)
+        qp.post_send(send_wr(opcode=Opcode.SEND))
+        qp.modify(QPAttributes(state=QPState.RESET))
+        assert qp.send_queue_depth == 0
+
+    def test_err_blocks_further_transitions_except_reset(self):
+        qp = make_qp()
+        qp.modify(QPAttributes(state=QPState.ERR))
+        with pytest.raises(InvalidStateError):
+            qp.modify(QPAttributes(state=QPState.INIT))
+        qp.modify(QPAttributes(state=QPState.RESET))
+        assert qp.state is QPState.RESET
+
+
+class TestPostSend:
+    def test_requires_rts(self):
+        qp = make_qp()
+        with pytest.raises(InvalidStateError):
+            qp.post_send(send_wr())
+
+    def test_opcode_transport_validation(self):
+        qp = make_qp(QPType.UC)
+        to_rts(qp)
+        with pytest.raises(WorkRequestError):
+            qp.post_send(send_wr(opcode=Opcode.READ, remote_addr=1, rkey=1))
+
+    def test_sge_cap_enforced(self):
+        qp = make_qp(cap=QPCapabilities(max_send_sge=2))
+        to_rts(qp)
+        sg = [ScatterGatherEntry(0x1000, 8, 1)] * 3
+        with pytest.raises(WorkRequestError):
+            qp.post_send(SendWorkRequest(opcode=Opcode.SEND, sg_list=sg))
+
+    def test_queue_capacity_enforced(self):
+        qp = make_qp(cap=QPCapabilities(max_send_wr=2))
+        to_rts(qp)
+        qp.post_send(send_wr())
+        qp.post_send(send_wr())
+        with pytest.raises(QPCapacityError):
+            qp.post_send(send_wr())
+
+    def test_ud_requires_address_handle(self):
+        qp = make_qp(QPType.UD)
+        to_rts(qp)
+        with pytest.raises(AddressHandleError):
+            qp.post_send(send_wr())
+
+    def test_ud_message_limited_to_mtu(self):
+        qp = make_qp(QPType.UD)
+        to_rts(qp, mtu=MTU.MTU_256)
+        with pytest.raises(WorkRequestError):
+            qp.post_send(send_wr(length=257, ah=1))
+        qp.post_send(send_wr(length=256, ah=1))
+
+    def test_batch_posting_counts(self):
+        qp = make_qp()
+        to_rts(qp)
+        qp.post_send_batch([send_wr() for _ in range(5)])
+        assert qp.posted_sends == 5
+        assert qp.send_queue_depth == 5
+
+
+class TestPostRecv:
+    def test_allowed_from_init(self):
+        qp = make_qp()
+        qp.modify(QPAttributes(state=QPState.INIT))
+        qp.post_recv(RecvWorkRequest(sg_list=[ScatterGatherEntry(0x1, 64, 1)]))
+        assert qp.recv_queue_depth == 1
+
+    def test_rejected_in_reset(self):
+        qp = make_qp()
+        with pytest.raises(InvalidStateError):
+            qp.post_recv(RecvWorkRequest(sg_list=[]))
+
+    def test_capacity_enforced(self):
+        qp = make_qp(cap=QPCapabilities(max_recv_wr=1))
+        qp.modify(QPAttributes(state=QPState.INIT))
+        qp.post_recv(RecvWorkRequest(sg_list=[]))
+        with pytest.raises(QPCapacityError):
+            qp.post_recv(RecvWorkRequest(sg_list=[]))
+
+    def test_recv_sge_cap(self):
+        qp = make_qp(cap=QPCapabilities(max_recv_sge=1))
+        qp.modify(QPAttributes(state=QPState.INIT))
+        with pytest.raises(WorkRequestError):
+            qp.post_recv(
+                RecvWorkRequest(sg_list=[ScatterGatherEntry(0x1, 8, 1)] * 2)
+            )
+
+
+class TestDescribe:
+    def test_describe_reports_verbs_shape(self):
+        qp = make_qp()
+        to_rts(qp)
+        info = qp.describe()
+        assert info["qp_type"] is QPType.RC
+        assert info["path_mtu"] == 1024
+        assert info["dest_qp_num"] == 0xBEEF
+
+    def test_capabilities_validate(self):
+        with pytest.raises(ValueError):
+            QPCapabilities(max_send_wr=0)

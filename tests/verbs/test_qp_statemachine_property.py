@@ -1,0 +1,134 @@
+"""Stateful property test: the QP lifecycle under arbitrary call orders.
+
+Hypothesis drives a random interleaving of ``modify``/``post``/``process``
+calls against a connected QP pair and checks the global invariants the
+rest of the stack depends on: queue depths never exceed caps, every
+posted signalled WR eventually completes exactly once, completions never
+outnumber postings, and illegal calls never corrupt state.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.verbs import (
+    AccessFlags,
+    DataPath,
+    Device,
+    Fabric,
+    QPCapabilities,
+)
+from repro.verbs.constants import MTU, Opcode, QPState, QPType
+from repro.verbs.exceptions import VerbsError
+from repro.verbs.qp import QPAttributes
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+CAP = QPCapabilities(max_send_wr=16, max_recv_wr=16)
+
+
+class QPLifecycle(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fabric = Fabric()
+        ctx_a, ctx_b = Device("a").open(), Device("b").open()
+        self.fabric.attach(ctx_a)
+        self.fabric.attach(ctx_b)
+        self.pd_a, pd_b = ctx_a.alloc_pd(), ctx_b.alloc_pd()
+        self.cq_a = ctx_a.create_cq(4096)
+        cq_b = ctx_b.create_cq(4096)
+        self.qp = ctx_a.create_qp(self.pd_a, QPType.RC, self.cq_a,
+                                  self.cq_a, CAP)
+        self.peer = ctx_b.create_qp(pd_b, QPType.RC, cq_b, cq_b, CAP)
+        self.mr = self.pd_a.reg_mr(4096, AccessFlags.all_remote())
+        self.peer_mr = pd_b.reg_mr(4096, AccessFlags.all_remote())
+        self.datapath = DataPath(self.fabric)
+        self.posted_signaled = 0
+        self.completions_seen = 0
+
+    # -- actions ------------------------------------------------------------
+
+    @rule()
+    def connect(self):
+        try:
+            self.fabric.connect(self.qp, self.peer, MTU.MTU_1024)
+        except VerbsError:
+            pass  # connecting twice (or from ERR) is legal to attempt
+
+    @rule()
+    def error_out(self):
+        self.qp.modify(QPAttributes(state=QPState.ERR))
+        self.completions_seen += len(self.cq_a.drain())
+
+    @rule()
+    def reset(self):
+        lost = self.qp.send_queue_depth  # RESET discards silently
+        self.qp.modify(QPAttributes(state=QPState.RESET))
+        self.posted_signaled -= lost
+
+    @rule(count=st.integers(min_value=1, max_value=4))
+    def post_writes(self, count):
+        for _ in range(count):
+            wr = SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[ScatterGatherEntry(self.mr.addr, 8, self.mr.lkey)],
+                remote_addr=self.peer_mr.addr,
+                rkey=self.peer_mr.rkey,
+            )
+            try:
+                self.qp.post_send(wr)
+                self.posted_signaled += 1
+            except VerbsError:
+                break  # wrong state or full queue: state must not change
+
+    @rule()
+    def post_peer_recv(self):
+        try:
+            self.peer.post_recv(
+                RecvWorkRequest(
+                    sg_list=[
+                        ScatterGatherEntry(
+                            self.peer_mr.addr, 64, self.peer_mr.lkey
+                        )
+                    ]
+                )
+            )
+        except VerbsError:
+            pass
+
+    @precondition(lambda self: self.qp.state is QPState.RTS)
+    @rule()
+    def process(self):
+        self.datapath.process(self.qp)
+        self.completions_seen += len(self.cq_a.drain())
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def queue_depths_respect_caps(self):
+        assert self.qp.send_queue_depth <= CAP.max_send_wr
+        assert self.peer.recv_queue_depth <= CAP.max_recv_wr
+
+    @invariant()
+    def conservation_of_work(self):
+        """Every signalled WR is either still queued or completed exactly
+        once (RESET-discarded ones were subtracted at discard time) —
+        never duplicated, never lost."""
+        assert (
+            self.completions_seen + self.qp.send_queue_depth
+            == self.posted_signaled
+        )
+
+    @invariant()
+    def state_is_always_legal(self):
+        assert self.qp.state in QPState
+
+
+QPLifecycle.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestQPLifecycle = QPLifecycle.TestCase

@@ -1,0 +1,268 @@
+"""Shared receive queues, atomics and inline sends."""
+
+import pytest
+
+from repro.verbs import QPCapabilities, SRQAttributes
+from repro.verbs.constants import (
+    AccessFlags,
+    Opcode,
+    QPState,
+    QPType,
+    SendFlags,
+    WCOpcode,
+    WCStatus,
+)
+from repro.verbs.exceptions import (
+    InvalidStateError,
+    QPCapacityError,
+    VerbsError,
+    WorkRequestError,
+)
+from repro.verbs.wr import RecvWorkRequest, ScatterGatherEntry, SendWorkRequest
+
+from tests.conftest import ConnectedPair
+
+
+def sg(mr, offset=0, length=64):
+    return ScatterGatherEntry(addr=mr.addr + offset, length=length, lkey=mr.lkey)
+
+
+class TestSRQObject:
+    def test_attrs_validation(self):
+        with pytest.raises(ValueError):
+            SRQAttributes(max_wr=0)
+        with pytest.raises(ValueError):
+            SRQAttributes(max_wr=8, srq_limit=9)
+
+    def test_post_and_take_are_fifo(self, pair):
+        srq = pair.ctx_b.create_srq(SRQAttributes(max_wr=4))
+        first = RecvWorkRequest(sg_list=[sg(pair.mr_b, length=8)])
+        second = RecvWorkRequest(sg_list=[sg(pair.mr_b, 8, 8)])
+        srq.post_recv(first)
+        srq.post_recv(second)
+        assert srq.take() is first
+        assert srq.take() is second
+        assert srq.take() is None
+
+    def test_capacity_enforced(self, pair):
+        srq = pair.ctx_b.create_srq(SRQAttributes(max_wr=1))
+        srq.post_recv(RecvWorkRequest(sg_list=[]))
+        with pytest.raises(QPCapacityError):
+            srq.post_recv(RecvWorkRequest(sg_list=[]))
+
+    def test_sge_cap_enforced(self, pair):
+        srq = pair.ctx_b.create_srq(SRQAttributes(max_wr=8, max_sge=1))
+        with pytest.raises(WorkRequestError):
+            srq.post_recv(
+                RecvWorkRequest(sg_list=[sg(pair.mr_b)] * 2)
+            )
+
+    def test_limit_watermark(self, pair):
+        srq = pair.ctx_b.create_srq(SRQAttributes(max_wr=8, srq_limit=2))
+        assert srq.below_limit
+        srq.post_recv(RecvWorkRequest(sg_list=[]))
+        srq.post_recv(RecvWorkRequest(sg_list=[]))
+        assert not srq.below_limit
+
+
+class TestSRQIntegration:
+    def make_srq_pair(self):
+        pair = ConnectedPair()
+        # Fresh QP pair, with the B side drawing receives from an SRQ.
+        srq = pair.ctx_b.create_srq(SRQAttributes(max_wr=64))
+        qp_a = pair.ctx_a.create_qp(
+            pair.pd_a, QPType.RC, pair.cq_a, pair.cq_a, QPCapabilities()
+        )
+        qp_b = pair.ctx_b.create_qp(
+            pair.pd_b, QPType.RC, pair.cq_b, pair.cq_b,
+            QPCapabilities(), srq=srq,
+        )
+        pair.fabric.connect(qp_a, qp_b)
+        pair.qp_a = qp_a
+        return pair, srq, qp_b
+
+    def test_send_consumes_from_srq(self):
+        pair, srq, qp_b = self.make_srq_pair()
+        srq.post_recv(RecvWorkRequest(sg_list=[sg(pair.mr_b, length=64)]))
+        pair.mr_a.write(pair.mr_a.addr, b"via-srq")
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND,
+                            sg_list=[sg(pair.mr_a, length=7)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert srq.consumed == 1
+        assert pair.mr_b.read(pair.mr_b.addr, 7) == b"via-srq"
+        assert pair.cq_b.poll_one().ok
+
+    def test_post_recv_on_srq_qp_is_illegal(self):
+        pair, srq, qp_b = self.make_srq_pair()
+        with pytest.raises(InvalidStateError, match="SRQ"):
+            qp_b.post_recv(RecvWorkRequest(sg_list=[]))
+
+    def test_empty_srq_is_rnr(self):
+        pair, srq, qp_b = self.make_srq_pair()
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll_one().status is WCStatus.RNR_RETRY_EXC_ERR
+
+    def test_foreign_srq_rejected(self, pair):
+        srq = pair.ctx_a.create_srq()
+        with pytest.raises(VerbsError, match="different context"):
+            pair.ctx_b.create_qp(
+                pair.pd_b, QPType.RC, pair.cq_b, pair.cq_b,
+                QPCapabilities(), srq=srq,
+            )
+
+    def test_attached_qp_count(self):
+        pair, srq, qp_b = self.make_srq_pair()
+        assert srq.attached_qps == 1
+
+
+class TestAtomics:
+    def test_fetch_add_returns_original_and_updates_remote(self, pair):
+        pair.mr_b.write(pair.mr_b.addr, (41).to_bytes(8, "little"))
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                sg_list=[sg(pair.mr_a, length=8)],
+                remote_addr=pair.mr_b.addr,
+                rkey=pair.mr_b.rkey,
+                compare_add=1,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        wc = pair.cq_a.poll_one()
+        assert wc.ok and wc.opcode is WCOpcode.FETCH_ADD
+        assert int.from_bytes(pair.mr_b.read(pair.mr_b.addr, 8), "little") == 42
+        assert int.from_bytes(pair.mr_a.read(pair.mr_a.addr, 8), "little") == 41
+
+    def test_cmp_swap_swaps_only_on_match(self, pair):
+        pair.mr_b.write(pair.mr_b.addr, (7).to_bytes(8, "little"))
+        for compare, expected_after in ((9, 7), (7, 99)):
+            pair.qp_a.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.CMP_SWAP,
+                    sg_list=[sg(pair.mr_a, length=8)],
+                    remote_addr=pair.mr_b.addr,
+                    rkey=pair.mr_b.rkey,
+                    compare_add=compare,
+                    swap=99,
+                )
+            )
+            pair.datapath.process(pair.qp_a)
+            assert pair.cq_a.poll_one().ok
+            value = int.from_bytes(pair.mr_b.read(pair.mr_b.addr, 8), "little")
+            assert value == expected_after
+
+    def test_fetch_add_wraps_at_64_bits(self, pair):
+        pair.mr_b.write(pair.mr_b.addr, ((1 << 64) - 1).to_bytes(8, "little"))
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                sg_list=[sg(pair.mr_a, length=8)],
+                remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+                compare_add=2,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert int.from_bytes(pair.mr_b.read(pair.mr_b.addr, 8), "little") == 1
+
+    def test_atomic_requires_eight_bytes(self, pair):
+        with pytest.raises(WorkRequestError):
+            SendWorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                sg_list=[sg(pair.mr_a, length=4)],
+                remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+            )
+
+    def test_atomic_requires_remote_atomic_permission(self):
+        pair = ConnectedPair()
+        restricted = pair.pd_b.reg_mr(
+            4096, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_WRITE
+        )
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                sg_list=[sg(pair.mr_a, length=8)],
+                remote_addr=restricted.addr, rkey=restricted.rkey,
+                compare_add=1,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll_one().status is WCStatus.REM_ACCESS_ERR
+        assert pair.qp_a.state is QPState.ERR
+
+    def test_atomics_are_rc_only(self):
+        pair = ConnectedPair(qp_type=QPType.UC)
+        with pytest.raises(WorkRequestError):
+            pair.qp_a.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.FETCH_ADD,
+                    sg_list=[sg(pair.mr_a, length=8)],
+                    remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+                )
+            )
+
+
+class TestInline:
+    def make_inline_pair(self):
+        pair = ConnectedPair()
+        qp = pair.ctx_a.create_qp(
+            pair.pd_a, QPType.RC, pair.cq_a, pair.cq_a,
+            QPCapabilities(max_inline_data=64),
+        )
+        qp_b = pair.ctx_b.create_qp(
+            pair.pd_b, QPType.RC, pair.cq_b, pair.cq_b, QPCapabilities()
+        )
+        pair.fabric.connect(qp, qp_b)
+        return pair, qp, qp_b
+
+    def test_inline_write_carries_payload_without_lkey(self):
+        pair, qp, _ = self.make_inline_pair()
+        qp.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[],
+                remote_addr=pair.mr_b.addr,
+                rkey=pair.mr_b.rkey,
+                send_flags=SendFlags.SIGNALED | SendFlags.INLINE,
+                inline_payload=b"inline!",
+            )
+        )
+        pair.datapath.process(qp)
+        assert pair.mr_b.read(pair.mr_b.addr, 7) == b"inline!"
+
+    def test_inline_size_cap_enforced(self):
+        pair, qp, _ = self.make_inline_pair()
+        with pytest.raises(WorkRequestError, match="max_inline_data"):
+            qp.post_send(
+                SendWorkRequest(
+                    opcode=Opcode.WRITE,
+                    sg_list=[],
+                    remote_addr=pair.mr_b.addr,
+                    rkey=pair.mr_b.rkey,
+                    send_flags=SendFlags.SIGNALED | SendFlags.INLINE,
+                    inline_payload=b"x" * 65,
+                )
+            )
+
+    def test_inline_payload_requires_flag(self, pair):
+        with pytest.raises(WorkRequestError, match="INLINE"):
+            SendWorkRequest(
+                opcode=Opcode.WRITE,
+                sg_list=[],
+                remote_addr=pair.mr_b.addr,
+                rkey=pair.mr_b.rkey,
+                inline_payload=b"x",
+            )
+
+    def test_atomics_cannot_be_inline(self, pair):
+        with pytest.raises(WorkRequestError, match="inline"):
+            SendWorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                sg_list=[sg(pair.mr_a, length=8)],
+                remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+                send_flags=SendFlags.SIGNALED | SendFlags.INLINE,
+            )

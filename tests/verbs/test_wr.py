@@ -1,0 +1,117 @@
+"""Work requests, SG lists and the batching parameterisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verbs.constants import Opcode, SendFlags
+from repro.verbs.exceptions import WorkRequestError
+from repro.verbs.wr import (
+    WQE_BASE_BYTES,
+    WQE_SEGMENT_BYTES,
+    RecvWorkRequest,
+    ScatterGatherEntry,
+    SendWorkRequest,
+    build_sg_list,
+    chunk_message,
+    mixed_entry_lengths,
+)
+
+
+def sge(length=64, addr=0x1000, lkey=1):
+    return ScatterGatherEntry(addr=addr, length=length, lkey=lkey)
+
+
+class TestScatterGather:
+    def test_negative_length_rejected(self):
+        with pytest.raises(WorkRequestError):
+            sge(length=-1)
+
+    def test_build_sg_list_lays_entries_consecutively(self):
+        entries = build_sg_list([10, 20, 30], base_addr=0x100, lkey=7)
+        assert [e.addr for e in entries] == [0x100, 0x10A, 0x11E]
+        assert sum(e.length for e in entries) == 60
+
+
+class TestSendWorkRequest:
+    def test_one_sided_requires_remote_addressing(self):
+        with pytest.raises(WorkRequestError):
+            SendWorkRequest(opcode=Opcode.WRITE, sg_list=[sge()])
+        with pytest.raises(WorkRequestError):
+            SendWorkRequest(opcode=Opcode.READ, sg_list=[sge()], rkey=3)
+
+    def test_send_needs_no_remote_address(self):
+        wr = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge(10), sge(20)])
+        assert wr.byte_length == 30
+
+    def test_wqe_bytes_scale_with_sg_entries(self):
+        one = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge()])
+        four = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge()] * 4)
+        assert one.wqe_bytes == WQE_BASE_BYTES + WQE_SEGMENT_BYTES
+        assert four.wqe_bytes - one.wqe_bytes == 3 * WQE_SEGMENT_BYTES
+
+    def test_wr_ids_are_unique_by_default(self):
+        a = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge()])
+        b = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge()])
+        assert a.wr_id != b.wr_id
+
+    def test_signaled_flag(self):
+        signaled = SendWorkRequest(opcode=Opcode.SEND, sg_list=[sge()])
+        silent = SendWorkRequest(
+            opcode=Opcode.SEND, sg_list=[sge()], send_flags=SendFlags.NONE
+        )
+        assert signaled.signaled and not silent.signaled
+
+
+class TestRecvWorkRequest:
+    def test_byte_length_and_wqe_bytes(self):
+        wr = RecvWorkRequest(sg_list=[sge(100), sge(28)])
+        assert wr.byte_length == 128
+        assert wr.wqe_bytes == WQE_BASE_BYTES + 2 * WQE_SEGMENT_BYTES
+
+
+class TestChunkMessage:
+    @given(
+        total=st.integers(min_value=0, max_value=1 << 20),
+        wqes=st.integers(min_value=1, max_value=16),
+        sges=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_conservation_and_shape(self, total, wqes, sges):
+        chunks = chunk_message(total, wqes, sges)
+        assert len(chunks) == wqes
+        assert all(len(c) == sges for c in chunks)
+        assert sum(sum(c) for c in chunks) == total
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(WorkRequestError):
+            chunk_message(10, 0, 1)
+        with pytest.raises(WorkRequestError):
+            chunk_message(10, 1, 0)
+
+    def test_even_split_when_divisible(self):
+        assert chunk_message(120, 3, 4) == [[10] * 4] * 3
+
+
+class TestMixedEntryLengths:
+    @given(
+        total=st.integers(min_value=1, max_value=1 << 22),
+        sges=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_conservation(self, total, sges):
+        lengths = mixed_entry_lengths(total, sges)
+        assert sum(lengths) == total
+        assert len(lengths) == sges
+
+    def test_metadata_plus_tensor_shape(self):
+        lengths = mixed_entry_lengths(64 * 1024 + 256, 3)
+        assert lengths[0] == lengths[1] <= 1024
+        assert lengths[2] > 64 * 1024 - 2048
+
+    def test_single_entry_passthrough(self):
+        assert mixed_entry_lengths(500, 1) == [500]
+
+    def test_rejects_non_positive_sge(self):
+        with pytest.raises(WorkRequestError):
+            mixed_entry_lengths(10, 0)

@@ -1,0 +1,131 @@
+"""The 18 Appendix A trigger settings reproduce their published anomaly.
+
+This is the central fidelity test of the reproduction: every simplified
+concrete setting from the paper's appendix must trigger its Table 2 row's
+anomaly with the published symptom, and near-miss variants must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AnomalyMonitor
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.appendix import (
+    APPENDIX_SETTINGS,
+    setting,
+    settings_for_subsystem,
+)
+
+
+def classify(s):
+    subsystem = get_subsystem(s.subsystem)
+    measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+        s.workload, np.random.default_rng(0)
+    )
+    verdict = AnomalyMonitor(subsystem).classify(measurement)
+    return measurement, verdict
+
+
+class TestCatalog:
+    def test_eighteen_settings(self):
+        assert len(APPENDIX_SETTINGS) == 18
+        assert sorted(s.number for s in APPENDIX_SETTINGS) == list(range(1, 19))
+
+    def test_thirteen_on_f_five_on_h(self):
+        assert len(settings_for_subsystem("F")) == 13
+        assert len(settings_for_subsystem("H")) == 5
+
+    def test_fifteen_new_three_old(self):
+        """The paper: 15 new anomalies, 3 known before Collie."""
+        assert sum(1 for s in APPENDIX_SETTINGS if s.is_new) == 15
+        old = {s.expected_tag for s in APPENDIX_SETTINGS if not s.is_new}
+        assert old == {"A9", "A12", "A13"}
+
+    def test_lookup(self):
+        assert setting(4).expected_tag == "A4"
+        with pytest.raises(KeyError):
+            setting(19)
+
+    def test_numbering_swap_between_appendix_and_table2(self):
+        """Appendix #7 is the QP trigger -> Table 2 row 8, and vice versa."""
+        assert setting(7).expected_tag == "A8"
+        assert setting(7).workload.num_qps == 480
+        assert setting(8).expected_tag == "A7"
+        assert setting(8).workload.total_mrs == 24 * 1024
+
+
+@pytest.mark.parametrize(
+    "s", APPENDIX_SETTINGS, ids=[f"setting{s.number}" for s in APPENDIX_SETTINGS]
+)
+class TestEverySettingTriggers:
+    def test_expected_tag_fires(self, s):
+        measurement, _ = classify(s)
+        assert s.expected_tag in measurement.tags
+
+    def test_symptom_matches_table2(self, s):
+        _, verdict = classify(s)
+        assert verdict.symptom == s.expected_symptom
+
+
+def classify_variant(number, **changes):
+    """Classify an appendix setting with one condition broken."""
+    import dataclasses
+
+    s = setting(number)
+    varied = dataclasses.replace(s, workload=s.workload.replace(**changes))
+    return classify(varied)[1]
+
+
+class TestNearMisses:
+    """Breaking one published condition defuses the anomaly."""
+
+    def test_a1_small_batch_is_healthy(self):
+        assert classify_variant(1, wqe_batch=8).symptom == "healthy"
+
+    def test_a1_shallow_wq_is_healthy(self):
+        assert classify_variant(1, wq_depth=64).symptom == "healthy"
+
+    def test_a2_large_batch_changes_symptom_not_health(self):
+        # batch >= 64 with a long WQ flips #2's silent slowdown into
+        # #1's pause storm (the paper presents them as siblings).
+        verdict = classify_variant(2, wqe_batch=64)
+        assert verdict.symptom == "pause frame"
+
+    def test_a3_large_mtu_is_healthy(self):
+        assert classify_variant(3, mtu=4096).symptom == "healthy"
+
+    def test_a4_short_sg_list_is_healthy(self):
+        assert classify_variant(4, sge_per_wqe=2).symptom == "healthy"
+
+    def test_a7_few_mrs_is_healthy(self):
+        assert classify_variant(8, mrs_per_qp=8).symptom == "healthy"
+
+    def test_a8_deep_wq_is_healthy(self):
+        assert classify_variant(7, wq_depth=128).symptom == "healthy"
+
+    def test_a9_even_layout_is_healthy(self):
+        from repro.hardware.workload import SGLayout
+
+        assert classify_variant(
+            9, sg_layout=SGLayout.EVEN
+        ).symptom == "healthy"
+
+    def test_a11_same_socket_is_healthy(self):
+        assert classify_variant(11, dst_device="numa0").symptom == "healthy"
+
+    def test_a13_remote_only_is_healthy(self):
+        from repro.hardware.workload import Colocation
+
+        assert classify_variant(
+            13, colocation=Colocation.REMOTE_ONLY
+        ).symptom == "healthy"
+
+    def test_a15_shallow_wq_is_healthy(self):
+        assert classify_variant(15, wq_depth=16).symptom == "healthy"
+
+    def test_a18_large_messages_are_healthy(self):
+        verdict = classify_variant(
+            18, msg_sizes_bytes=(256 * 1024,), mr_bytes=1024 * 1024
+        )
+        assert verdict.symptom == "healthy"

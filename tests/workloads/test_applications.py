@@ -1,0 +1,109 @@
+"""§7.3 application traffic models hit the documented anomalies."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AnomalyMonitor
+from repro.hardware.model import SteadyStateModel
+from repro.hardware.subsystems import get_subsystem
+from repro.workloads.applications import (
+    dml_byteps_fixed_workload,
+    dml_byteps_workload,
+    farm_style_workload,
+    fasst_style_workload,
+    herd_style_workload,
+    rpc_library_control_workload,
+    rpc_library_space,
+    rpc_library_workload,
+)
+from repro.verbs.constants import Opcode, QPType
+
+
+def classify_on(letter, workload):
+    subsystem = get_subsystem(letter)
+    measurement = SteadyStateModel(subsystem, noise=0.0).evaluate(
+        workload, np.random.default_rng(0)
+    )
+    return measurement, AnomalyMonitor(subsystem).classify(measurement)
+
+
+class TestRPCLibrary:
+    def test_throughput_tuned_read_path_hits_anomaly_4(self):
+        """§7.3 suggestion (1): READ + large batch + long SG list lands
+        in anomaly #4's region on the 200G subsystems."""
+        measurement, verdict = classify_on("F", rpc_library_workload())
+        assert verdict.is_anomalous
+        assert "A4" in measurement.tags
+
+    def test_write_based_data_path_avoids_it(self):
+        """Collie's suggested mitigation: batch WRITEs instead."""
+        _, verdict = classify_on("F", rpc_library_workload(use_read=False))
+        assert verdict.symptom == "healthy"
+
+    def test_deep_control_receive_queue_hits_anomaly_5(self):
+        """§7.3 suggestion (2): deep RQs for small control SENDs."""
+        measurement, verdict = classify_on(
+            "F", rpc_library_control_workload()
+        )
+        assert "A5" in measurement.tags
+
+    def test_careful_queue_depth_avoids_it(self):
+        _, verdict = classify_on(
+            "F", rpc_library_control_workload(recv_queue_depth=128)
+        )
+        assert verdict.symptom == "healthy"
+
+    def test_restricted_space_is_rc_only(self):
+        space = rpc_library_space("B")
+        assert space.qp_types == (QPType.RC,)
+        assert Opcode.READ in space.opcodes
+
+
+class TestDMLFramework:
+    def test_byteps_pattern_hits_anomaly_9_on_e(self):
+        """§7.3 case 2: the tensor+metadata SG mix on subsystem E."""
+        measurement, verdict = classify_on("E", dml_byteps_workload())
+        assert verdict.symptom == "pause frame"
+        assert "A9" in measurement.tags
+
+    def test_mfs_guided_fix_restores_health(self):
+        _, verdict = classify_on("E", dml_byteps_fixed_workload())
+        assert verdict.symptom == "healthy"
+
+    def test_same_pattern_is_fine_on_relaxed_ordering_hosts(self):
+        """The root cause is PCIe strict ordering; subsystem B (Intel,
+        relaxed ordering honoured) digests the same traffic."""
+        _, verdict = classify_on("B", dml_byteps_workload())
+        assert verdict.symptom == "healthy"
+
+
+class TestPublishedDesignPoints:
+    """§9: every published design choice is anomalous *somewhere*."""
+
+    def test_herd_hits_the_ud_anomalies_on_cx6_200(self):
+        measurement, verdict = classify_on("F", herd_style_workload())
+        assert verdict.is_anomalous
+        assert set(measurement.tags) & {"A1", "A2"}
+
+    def test_herd_hits_the_p2100_rx_wqe_cache(self):
+        measurement, verdict = classify_on("H", herd_style_workload())
+        assert "A15" in measurement.tags
+
+    def test_farm_reads_hit_anomaly_3_at_small_mtu(self):
+        measurement, verdict = classify_on("F", farm_style_workload())
+        assert "A3" in measurement.tags
+
+    def test_fasst_clean_on_cx6_but_not_p2100(self):
+        _, on_f = classify_on("F", fasst_style_workload())
+        _, on_h = classify_on("H", fasst_style_workload())
+        assert on_f.symptom == "healthy"
+        assert on_h.symptom == "pause frame"
+
+    def test_every_design_is_clean_somewhere(self):
+        for build in (herd_style_workload, farm_style_workload,
+                      fasst_style_workload):
+            verdicts = [
+                classify_on(letter, build())[1].symptom
+                for letter in ("B", "F", "H")
+            ]
+            assert "healthy" in verdicts
