@@ -5,49 +5,130 @@ this module packages that workflow for downstream users: pick an
 approach, a subsystem and a seed count, get back per-seed reports plus
 the Figure 4-style aggregation, ready for
 :func:`repro.analysis.figures.time_to_find_series`.
+
+Campaigns are embarrassingly parallel across seeds: ``workers > 1``
+fans the per-seed runs across a
+:class:`~repro.core.executor.CampaignExecutor` process pool.  Every
+search constructs its RNG from its own seed inside the worker, so the
+reports are bit-identical to a serial campaign (the determinism suite
+pins this).  An optional :class:`~repro.core.evalcache.EvalCache`
+warm-starts every run and absorbs the evaluations they performed,
+enabling cross-run reuse (``--cache`` on the CLI).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import inspect
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.figures import TimeToFindSeries, time_to_find_series
 from repro.baselines import BayesOptSearch, RandomSearch
 from repro.baselines.genetic import GeneticSearch
 from repro.core import Collie
+from repro.core.evalcache import EvalCache
+from repro.core.executor import CampaignExecutor, ExecutorStats
 
-#: Approach name → factory(subsystem, budget_hours, seed) -> report.
-APPROACHES: dict = {
-    "random": lambda sub, hours, seed: RandomSearch(
-        sub, budget_hours=hours, seed=seed
-    ).run(),
-    "genetic": lambda sub, hours, seed: GeneticSearch(
-        sub, budget_hours=hours, seed=seed
-    ).run(),
-    "bayesopt": lambda sub, hours, seed: BayesOptSearch(
-        sub, budget_hours=hours, seed=seed, use_mfs=False
-    ).run(),
-    "bayesopt+mfs": lambda sub, hours, seed: BayesOptSearch(
-        sub, budget_hours=hours, seed=seed, use_mfs=True
-    ).run(),
-    "sa-perf": lambda sub, hours, seed: Collie.for_subsystem(
+
+# -- approach factories (module-level: picklable for process fan-out) -------
+
+
+def _run_random(sub, hours, seed, cache=None):
+    return RandomSearch(
+        sub, budget_hours=hours, seed=seed, cache=cache
+    ).run()
+
+
+def _run_genetic(sub, hours, seed, cache=None):
+    return GeneticSearch(
+        sub, budget_hours=hours, seed=seed, cache=cache
+    ).run()
+
+
+def _run_bayesopt(sub, hours, seed, cache=None):
+    return BayesOptSearch(
+        sub, budget_hours=hours, seed=seed, use_mfs=False, cache=cache
+    ).run()
+
+
+def _run_bayesopt_mfs(sub, hours, seed, cache=None):
+    return BayesOptSearch(
+        sub, budget_hours=hours, seed=seed, use_mfs=True, cache=cache
+    ).run()
+
+
+def _run_sa_perf(sub, hours, seed, cache=None):
+    return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=False, budget_hours=hours,
-        seed=seed,
-    ).run(),
-    "sa-diag": lambda sub, hours, seed: Collie.for_subsystem(
+        seed=seed, cache=cache,
+    ).run()
+
+
+def _run_sa_diag(sub, hours, seed, cache=None):
+    return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=False, budget_hours=hours,
-        seed=seed,
-    ).run(),
-    "collie-perf": lambda sub, hours, seed: Collie.for_subsystem(
+        seed=seed, cache=cache,
+    ).run()
+
+
+def _run_collie_perf(sub, hours, seed, cache=None):
+    return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=True, budget_hours=hours,
-        seed=seed,
-    ).run(),
-    "collie": lambda sub, hours, seed: Collie.for_subsystem(
+        seed=seed, cache=cache,
+    ).run()
+
+
+def _run_collie(sub, hours, seed, cache=None):
+    return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=True, budget_hours=hours,
-        seed=seed,
-    ).run(),
+        seed=seed, cache=cache,
+    ).run()
+
+
+#: Approach name → factory(subsystem, budget_hours, seed[, cache]) -> report.
+APPROACHES: dict = {
+    "random": _run_random,
+    "genetic": _run_genetic,
+    "bayesopt": _run_bayesopt,
+    "bayesopt+mfs": _run_bayesopt_mfs,
+    "sa-perf": _run_sa_perf,
+    "sa-diag": _run_sa_diag,
+    "collie-perf": _run_collie_perf,
+    "collie": _run_collie,
 }
+
+
+def _accepts_cache(factory: Callable) -> bool:
+    """Whether a factory takes the optional ``cache`` argument."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    return "cache" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _run_seed(payload: dict) -> dict:
+    """One campaign seed, executed inside a worker process."""
+    factory = payload["factory"]
+    if factory is None:
+        factory = APPROACHES[payload["approach"]]
+    cache = EvalCache() if payload["use_cache"] else None
+    if cache is not None and payload["cache_entries"]:
+        cache.import_entries(payload["cache_entries"])
+    args = (payload["subsystem"], payload["budget_hours"], payload["seed"])
+    if cache is not None and _accepts_cache(factory):
+        report = factory(*args, cache=cache)
+    else:
+        report = factory(*args)
+    return {
+        "report": report,
+        "cache_entries": (
+            cache.export_entries(new_only=True) if cache else None
+        ),
+        "cache_stats": cache.stats_dict() if cache else None,
+    }
 
 
 @dataclasses.dataclass
@@ -58,6 +139,9 @@ class CampaignResult:
     subsystem: str
     budget_hours: float
     reports: list
+    #: Fan-out accounting of the run that produced the reports (None for
+    #: pre-executor callers constructing results by hand).
+    executor_stats: Optional[ExecutorStats] = None
 
     @property
     def seeds(self) -> int:
@@ -88,25 +172,48 @@ def run_campaign(
     seeds: Sequence[int] = (1, 2, 3),
     budget_hours: float = 10.0,
     factory: Optional[Callable] = None,
+    workers: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> CampaignResult:
     """Run one approach across seeds.
 
     ``factory`` overrides the approach registry for custom
-    configurations (e.g. restricted spaces).
+    configurations (e.g. restricted spaces); with ``workers > 1`` it
+    must be a module-level (picklable) callable.  ``cache`` warm-starts
+    every seed's evaluations and absorbs what they computed.
     """
-    if factory is None:
-        if approach not in APPROACHES:
-            raise KeyError(
-                f"unknown approach {approach!r}; choose from "
-                f"{sorted(APPROACHES)} or pass a factory"
-            )
-        factory = APPROACHES[approach]
-    reports = [factory(subsystem, budget_hours, seed) for seed in seeds]
+    if factory is None and approach not in APPROACHES:
+        raise KeyError(
+            f"unknown approach {approach!r}; choose from "
+            f"{sorted(APPROACHES)} or pass a factory"
+        )
+    warm_entries = cache.export_entries() if cache is not None else None
+    payloads = [
+        {
+            "approach": approach,
+            "factory": factory,
+            "subsystem": subsystem,
+            "budget_hours": budget_hours,
+            "seed": seed,
+            "use_cache": cache is not None,
+            "cache_entries": warm_entries,
+        }
+        for seed in seeds
+    ]
+    executor = CampaignExecutor(workers=workers)
+    outcomes = executor.map(_run_seed, payloads)
+    if cache is not None:
+        for outcome in outcomes:
+            if outcome["cache_entries"]:
+                cache.import_entries(outcome["cache_entries"])
+            if outcome["cache_stats"]:
+                cache.merge_stats(outcome["cache_stats"])
     return CampaignResult(
         approach=approach,
         subsystem=subsystem,
         budget_hours=budget_hours,
-        reports=reports,
+        reports=[outcome["report"] for outcome in outcomes],
+        executor_stats=executor.last_stats,
     )
 
 
@@ -116,11 +223,14 @@ def compare(
     seeds: Sequence[int] = (1, 2, 3),
     budget_hours: float = 10.0,
     max_anomalies: int = 13,
+    workers: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> list[TimeToFindSeries]:
     """Figure 4 in one call: one series per requested approach."""
     return [
         run_campaign(
-            approach, subsystem, seeds, budget_hours
+            approach, subsystem, seeds, budget_hours,
+            workers=workers, cache=cache,
         ).series(max_anomalies)
         for approach in approaches
     ]

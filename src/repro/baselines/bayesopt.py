@@ -14,7 +14,7 @@ GP's smoothness prior (§7.2).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve
@@ -31,6 +31,9 @@ from repro.hardware.counters import DIAGNOSTIC_COUNTERS
 from repro.hardware.subsystems import Subsystem, get_subsystem
 from repro.hardware.workload import Colocation, Direction, WorkloadDescriptor
 from repro.verbs.constants import Opcode, QPType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
 
 #: Observations beyond this are dropped (oldest first) to bound the
 #: O(n^3) GP fit.
@@ -185,6 +188,7 @@ class BayesOptSearch:
         noise: float = 0.02,
         warmup_points: int = 10,
         encoding: str = "paper",
+        cache: Optional["EvalCache"] = None,
     ) -> None:
         if encoding not in ("paper", "modern"):
             raise ValueError("encoding must be 'paper' or 'modern'")
@@ -197,7 +201,9 @@ class BayesOptSearch:
         self.subsystem = subsystem
         self.space = SearchSpace.for_subsystem(subsystem)
         self.clock = SimulatedClock(budget_hours * 3600.0)
-        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        self.testbed = Testbed(
+            subsystem, clock=self.clock, noise=noise, cache=cache
+        )
         self.monitor = AnomalyMonitor(subsystem)
         self.rng = np.random.default_rng(seed)
         self.use_mfs = use_mfs
@@ -208,7 +214,7 @@ class BayesOptSearch:
     # -- measurement ---------------------------------------------------------
 
     def _measure(self, workload: WorkloadDescriptor, signal: SearchSignal, kind):
-        result = self.testbed.run(workload, rng=self.rng)
+        result = self.testbed.run(workload, rng=self.rng, phase=kind)
         measurement = result.measurement
         verdict = self.monitor.classify(measurement)
         self.events.append(
@@ -246,7 +252,7 @@ class BayesOptSearch:
             self.anomalies.append(mfs)
 
     def _probe_measure(self, workload, signal):
-        result = self.testbed.run(workload, rng=self.rng)
+        result = self.testbed.run(workload, rng=self.rng, phase="mfs")
         verdict = self.monitor.classify(result.measurement)
         self.events.append(
             TraceEvent(

@@ -11,7 +11,7 @@ operator SA uses.  MFS handling matches Collie's for fairness.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.hardware.counters import DIAGNOSTIC_COUNTERS
 from repro.hardware.subsystems import Subsystem, get_subsystem
 from repro.hardware.workload import WorkloadDescriptor
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
+
 
 class GeneticSearch:
     """Population-based counter maximisation with MFS support."""
@@ -44,6 +47,7 @@ class GeneticSearch:
         mutation_rate: float = 0.3,
         use_mfs: bool = True,
         noise: float = 0.02,
+        cache: Optional["EvalCache"] = None,
     ) -> None:
         if population < 4:
             raise ValueError("population must be at least 4")
@@ -54,7 +58,9 @@ class GeneticSearch:
         self.subsystem = subsystem
         self.space = SearchSpace.for_subsystem(subsystem)
         self.clock = SimulatedClock(budget_hours * 3600.0)
-        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        self.testbed = Testbed(
+            subsystem, clock=self.clock, noise=noise, cache=cache
+        )
         self.monitor = AnomalyMonitor(subsystem)
         self.rng = np.random.default_rng(seed)
         self.population_size = population
@@ -67,7 +73,7 @@ class GeneticSearch:
     # -- evaluation ----------------------------------------------------------
 
     def _measure(self, workload, signal, kind="search") -> float:
-        result = self.testbed.run(workload, rng=self.rng)
+        result = self.testbed.run(workload, rng=self.rng, phase=kind)
         measurement = result.measurement
         verdict = self.monitor.classify(measurement)
         self.events.append(

@@ -10,6 +10,7 @@ Figure 4 shows, plateaus well below Collie.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -19,6 +20,9 @@ from repro.core.annealing import TraceEvent
 from repro.core.monitor import AnomalyMonitor
 from repro.core.space import SearchSpace
 from repro.hardware.subsystems import Subsystem, get_subsystem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
 
 
 @dataclasses.dataclass
@@ -53,13 +57,16 @@ class RandomSearch:
         budget_hours: float = 10.0,
         seed: int = 0,
         noise: float = 0.02,
+        cache: Optional["EvalCache"] = None,
     ) -> None:
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
         self.space = SearchSpace.for_subsystem(subsystem)
         self.clock = SimulatedClock(budget_hours * 3600.0)
-        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        self.testbed = Testbed(
+            subsystem, clock=self.clock, noise=noise, cache=cache
+        )
         self.monitor = AnomalyMonitor(subsystem)
         self.rng = np.random.default_rng(seed)
 

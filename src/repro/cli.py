@@ -3,9 +3,15 @@
 Commands mirror how the paper's operators use Collie:
 
 * ``search``      — run Collie on a Table 1 subsystem, print the anomaly
-                    set (optionally save a JSON report);
+                    set (optionally save a JSON report); ``--seeds N``
+                    fans a multi-seed campaign across ``--workers``
+                    processes and ``--cache`` memoizes evaluations;
 * ``parallel``    — the §8 fleet extension: partition counters across
-                    machines;
+                    machines (``--workers``/``--cache`` as above);
+* ``campaign``    — multi-seed comparison campaign for any registered
+                    approach (Figure 4 style);
+* ``stats``       — print hit rates and per-phase wall time from a
+                    saved evaluation cache;
 * ``replay``      — replay the 18 Appendix A trigger settings;
 * ``diagnose``    — match a workload (JSON file) against a saved
                     report's MFS set (§7.3 debugging workflow);
@@ -22,16 +28,58 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _open_cache(args: argparse.Namespace):
+    """Build the EvalCache requested by ``--cache`` (None without it)."""
+    if not getattr(args, "cache", None):
+        return None
+    from repro.core.evalcache import EvalCache
+
+    try:
+        cache = EvalCache(path=args.cache)
+    except ValueError as error:  # bad JSON or wrong format version
+        print(
+            f"cannot load cache store {args.cache}: {error}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if cache.loaded_entries:
+        print(
+            f"cache: warm-started with {cache.loaded_entries} entries "
+            f"from {args.cache}"
+        )
+    return cache
+
+
+def _close_cache(cache) -> None:
+    """Persist and summarise the cache after a command."""
+    if cache is None:
+        return
+    path = cache.save()
+    print(f"\n{cache.describe()}")
+    print(f"cache saved to {path}")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.analysis.serialize import save_report
     from repro.core import Collie
 
+    cache = _open_cache(args)
+    if args.seeds > 1:
+        return _run_search_campaign(args, cache)
     collie = Collie.for_subsystem(
         args.subsystem,
         counter_mode=args.counters,
         use_mfs=not args.no_mfs,
         budget_hours=args.hours,
         seed=args.seed,
+        cache=cache,
     )
     report = collie.run()
     print(report.summary())
@@ -44,17 +92,53 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.output:
         save_report(report, args.output)
         print(f"\nreport saved to {args.output}")
+    _close_cache(cache)
+    return 0
+
+
+def _run_search_campaign(args: argparse.Namespace, cache) -> int:
+    """``search --seeds N``: the multi-seed campaign path."""
+    from repro.analysis.campaign import run_campaign
+
+    if args.no_mfs:
+        approach = "sa-perf" if args.counters == "perf" else "sa-diag"
+    else:
+        approach = "collie-perf" if args.counters == "perf" else "collie"
+    result = run_campaign(
+        approach,
+        subsystem=args.subsystem,
+        seeds=range(args.seed, args.seed + args.seeds),
+        budget_hours=args.hours,
+        workers=args.workers,
+        cache=cache,
+    )
+    print(
+        f"{approach} on subsystem {args.subsystem}: "
+        f"{result.seeds} seeds, {result.mean_found():.1f} anomalies/seed, "
+        f"{sorted(result.union_tags()) or ['-']}"
+    )
+    for seed, report in zip(
+        range(args.seed, args.seed + args.seeds), result.reports
+    ):
+        print(f"  seed {seed}: {len(report.anomalies)} anomalies, "
+              f"{report.experiments} experiments")
+    if result.executor_stats is not None:
+        print(result.executor_stats.describe())
+    _close_cache(cache)
     return 0
 
 
 def _cmd_parallel(args: argparse.Namespace) -> int:
     from repro.core.parallel import ParallelCollie
 
+    cache = _open_cache(args)
     fleet = ParallelCollie(
         args.subsystem,
         machines=args.machines,
         budget_hours=args.hours,
         seed=args.seed,
+        workers=args.workers,
+        cache=cache,
     )
     report = fleet.run()
     print(
@@ -65,6 +149,54 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     )
     for index, mfs in enumerate(report.anomalies, 1):
         print(f"  {index}: {mfs.describe()}")
+    if fleet.executor_stats is not None:
+        print(fleet.executor_stats.describe())
+    _close_cache(cache)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import APPROACHES, run_campaign
+
+    if args.approach not in APPROACHES:
+        print(
+            f"unknown approach {args.approach!r}; choose from "
+            f"{', '.join(sorted(APPROACHES))}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = _open_cache(args)
+    result = run_campaign(
+        args.approach,
+        subsystem=args.subsystem,
+        seeds=range(args.seed, args.seed + args.seeds),
+        budget_hours=args.hours,
+        workers=args.workers,
+        cache=cache,
+    )
+    print(
+        f"{result.approach} on subsystem {result.subsystem}: "
+        f"{result.seeds} seeds x {result.budget_hours:.1f}h, "
+        f"{result.mean_found():.1f} anomalies/seed"
+    )
+    for tag in sorted(result.union_tags()):
+        print(f"  found: {tag}")
+    if result.executor_stats is not None:
+        print(result.executor_stats.describe())
+    _close_cache(cache)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.evalcache import EvalCache, describe_stats
+
+    try:
+        stats = EvalCache.load_stats(args.cache)
+    except FileNotFoundError:
+        print(f"no cache store at {args.cache}", file=sys.stderr)
+        return 1
+    print(f"cache store: {args.cache}")
+    print(describe_stats(stats))
     return 0
 
 
@@ -148,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save the report as JSON")
     search.add_argument("--recipes", action="store_true",
                         help="print a vendor reproduction recipe per anomaly")
+    search.add_argument("--seeds", type=_positive_int, default=1,
+                        help="run a campaign over this many seeds "
+                             "(starting at --seed)")
+    search.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for multi-seed campaigns")
+    search.add_argument("--cache", metavar="PATH",
+                        help="memoize evaluations in this JSON store")
     search.set_defaults(func=_cmd_search)
 
     parallel = sub.add_parser("parallel", help="fleet search (§8 extension)")
@@ -155,7 +294,34 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--machines", type=int, default=3)
     parallel.add_argument("--hours", type=float, default=10.0)
     parallel.add_argument("--seed", type=int, default=0)
+    parallel.add_argument("--workers", type=_positive_int, default=1,
+                          help="worker processes for the machine fleet")
+    parallel.add_argument("--cache", metavar="PATH",
+                          help="memoize evaluations in this JSON store")
     parallel.set_defaults(func=_cmd_parallel)
+
+    campaign = sub.add_parser(
+        "campaign", help="multi-seed campaign for one approach"
+    )
+    campaign.add_argument("approach",
+                          help="approach name (e.g. collie, random, genetic)")
+    campaign.add_argument("--subsystem", choices=list("ABCDEFGH"),
+                          default="F")
+    campaign.add_argument("--seeds", type=_positive_int, default=3)
+    campaign.add_argument("--seed", type=int, default=1,
+                          help="first seed of the campaign")
+    campaign.add_argument("--hours", type=float, default=10.0)
+    campaign.add_argument("--workers", type=_positive_int, default=1)
+    campaign.add_argument("--cache", metavar="PATH",
+                          help="memoize evaluations in this JSON store")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    stats = sub.add_parser(
+        "stats", help="print statistics from a saved evaluation cache"
+    )
+    stats.add_argument("cache", metavar="PATH",
+                       help="JSON store written by --cache")
+    stats.set_defaults(func=_cmd_stats)
 
     replay = sub.add_parser(
         "replay", help="replay the 18 Appendix A trigger settings"

@@ -5,7 +5,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hardware.topology import HostTopology
-from repro.verbs.device import Context, Device, DeviceAttributes
+from repro.verbs.device import (
+    Context,
+    Device,
+    DeviceAttributes,
+    QPNumberAllocator,
+)
 
 
 class Host:
@@ -21,11 +26,14 @@ class Host:
         name: str,
         topology: HostTopology,
         device_attrs: Optional[DeviceAttributes] = None,
+        qpn_allocator: Optional[QPNumberAllocator] = None,
     ) -> None:
         self.name = name
         self.topology = topology
         self.device = Device(name=f"{name}-rnic", attributes=device_attrs)
-        self.context: Context = self.device.open(host=self)
+        self.context: Context = self.device.open(
+            host=self, qpn_allocator=qpn_allocator
+        )
 
     def has_memory_device(self, device_name: str) -> bool:
         """Placement check used by ``ProtectionDomain.reg_mr``."""

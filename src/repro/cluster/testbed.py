@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -11,6 +11,9 @@ from repro.cluster.clock import SimulatedClock
 from repro.hardware.model import Measurement
 from repro.hardware.subsystems import Subsystem, get_subsystem
 from repro.hardware.workload import WorkloadDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +53,7 @@ class Testbed:
         clock: Optional[SimulatedClock] = None,
         noise: float = 0.02,
         functional_check: bool = False,
+        cache: Optional["EvalCache"] = None,
     ) -> None:
         from repro.core.engine import WorkloadEngine
 
@@ -57,24 +61,31 @@ class Testbed:
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
         self.clock = clock or SimulatedClock()
-        self.engine = WorkloadEngine(subsystem, noise=noise)
+        self.engine = WorkloadEngine(subsystem, noise=noise, cache=cache)
         #: Functional bursts catch malformed workloads but cost real CPU;
         #: searches (thousands of experiments) disable them and rely on
         #: the space's coercion invariants, which the test suite verifies.
         self.functional_check = functional_check
         self.experiments_run = 0
 
+    @property
+    def cache(self) -> Optional["EvalCache"]:
+        """The evaluation cache, if one is attached."""
+        return self.engine.cache
+
     def run(
         self,
         workload: WorkloadDescriptor,
         rng: Optional[np.random.Generator] = None,
+        phase: str = "search",
     ) -> ExperimentResult:
         """Run one experiment, charging the simulated clock."""
         started = self.clock.now
         setup = self.engine.setup_seconds(workload)
         measure = self.engine.measurement_seconds()
         measurement = self.engine.measure(
-            workload, rng=rng, functional_check=self.functional_check
+            workload, rng=rng, functional_check=self.functional_check,
+            phase=phase,
         )
         self.clock.advance(setup + measure)
         self.experiments_run += 1

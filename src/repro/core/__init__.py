@@ -11,6 +11,8 @@ The quickest route in::
 
 from repro.core.collie import Collie, SearchReport
 from repro.core.engine import WorkloadEngine
+from repro.core.evalcache import EvalCache
+from repro.core.executor import CampaignExecutor, ExecutorStats
 from repro.core.mfs import MinimalFeatureSet
 from repro.core.monitor import AnomalyMonitor, AnomalyVerdict
 from repro.core.space import SearchSpace
@@ -19,6 +21,9 @@ __all__ = [
     "Collie",
     "SearchReport",
     "WorkloadEngine",
+    "EvalCache",
+    "CampaignExecutor",
+    "ExecutorStats",
     "MinimalFeatureSet",
     "AnomalyMonitor",
     "AnomalyVerdict",

@@ -131,7 +131,7 @@ class AnnealingSearch:
         self, state: SearchState, workload: WorkloadDescriptor,
         signal: SearchSignal, kind: str,
     ) -> Measurement:
-        result = self.testbed.run(workload, rng=self.rng)
+        result = self.testbed.run(workload, rng=self.rng, phase=kind)
         state.experiments += 1
         measurement = result.measurement
         verdict = self.monitor.classify(measurement)

@@ -18,7 +18,7 @@ into the plain SA baseline of Figure 5.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.core.monitor import AnomalyMonitor
 from repro.core.space import SearchSpace
 from repro.hardware.counters import DIAGNOSTIC_COUNTERS, MINIMIZED_COUNTERS
 from repro.hardware.subsystems import Subsystem, get_subsystem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
 
 #: §7.2: "we first generate 10 random points" to rank counters.
 RANKING_PROBES = 10
@@ -112,6 +115,7 @@ class Collie:
         noise: float = 0.02,
         mfs_probes_per_dimension: int = 2,
         counters: Optional[tuple] = None,
+        cache: Optional["EvalCache"] = None,
     ) -> None:
         if counter_mode not in ("diag", "perf"):
             raise ValueError("counter_mode must be 'diag' or 'perf'")
@@ -125,7 +129,12 @@ class Collie:
         self.budget_seconds = budget_hours * 3600.0
         self.rng = np.random.default_rng(seed)
         self.clock = SimulatedClock(self.budget_seconds)
-        self.testbed = Testbed(subsystem, clock=self.clock, noise=noise)
+        #: Memoized evaluation (transparent: results are bit-identical
+        #: with or without it; MFS probing is where it pays off most).
+        self.cache = cache
+        self.testbed = Testbed(
+            subsystem, clock=self.clock, noise=noise, cache=cache
+        )
         self.monitor = AnomalyMonitor(subsystem)
         self.search = AnnealingSearch(
             self.testbed,

@@ -24,7 +24,7 @@ checked here for real.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.hardware.workload import WorkloadDescriptor
 from repro.verbs.constants import MTU, AccessFlags, Opcode, QPType
 from repro.verbs.datapath import DataPath
 from repro.verbs.fabric import Fabric
+from repro.verbs.device import QPNumberAllocator
 from repro.verbs.qp import QPCapabilities
 from repro.hardware.workload import SGLayout
 from repro.verbs.wr import (
@@ -44,6 +45,9 @@ from repro.verbs.wr import (
     chunk_message,
     mixed_entry_lengths,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
 
 #: Scale caps for the functional burst.
 _FUNCTIONAL_MAX_QPS = 4
@@ -64,20 +68,39 @@ class SetupFootprint:
 class WorkloadEngine:
     """Runs experiments for one subsystem."""
 
-    def __init__(self, subsystem: Subsystem, noise: float = 0.02) -> None:
+    def __init__(
+        self,
+        subsystem: Subsystem,
+        noise: float = 0.02,
+        cache: Optional["EvalCache"] = None,
+    ) -> None:
         self.subsystem = subsystem
-        self.model = SteadyStateModel(subsystem, noise=noise)
+        self.model = SteadyStateModel(subsystem, noise=noise, cache=cache)
+
+    @property
+    def cache(self) -> Optional["EvalCache"]:
+        return self.model.cache
 
     def measure(
         self,
         workload: WorkloadDescriptor,
         rng: Optional[np.random.Generator] = None,
         functional_check: bool = True,
+        phase: str = "search",
     ) -> Measurement:
-        """Set up, optionally validate functionally, and measure."""
-        if functional_check:
+        """Set up, optionally validate functionally, and measure.
+
+        Memoized points skip the functional burst: the burst is
+        deterministic validation (no RNG draws) and the point already
+        passed it when its cache entry was created, so skipping changes
+        no observable — only real wall time.
+        """
+        cache = self.cache
+        if functional_check and not (
+            cache is not None and cache.contains(self.subsystem, workload)
+        ):
             self.functional_burst(workload)
-        return self.model.evaluate(workload, rng=rng)
+        return self.model.evaluate(workload, rng=rng, phase=phase)
 
     # -- functional validation ---------------------------------------------
 
@@ -89,8 +112,13 @@ class WorkloadEngine:
         exceeding caps, messages that cannot fit receive buffers...).
         """
         sub = self.subsystem
-        host_a = Host(f"{sub.name}-a", sub.topology)
-        host_b = Host(f"{sub.name}-b", sub.topology)
+        # One fresh QPN allocator per burst, shared by both hosts: QP
+        # numbering is reproducible regardless of how many experiments
+        # ran earlier in this process (and of process fan-out), while
+        # staying alias-free within the burst's fabric.
+        qpns = QPNumberAllocator()
+        host_a = Host(f"{sub.name}-a", sub.topology, qpn_allocator=qpns)
+        host_b = Host(f"{sub.name}-b", sub.topology, qpn_allocator=qpns)
         fabric = Fabric()
         fabric.attach(host_a.context)
         fabric.attach(host_b.context)

@@ -1,0 +1,129 @@
+"""Process-parallel campaign execution, bit-identical to serial runs.
+
+The paper argues for fleet-parallel search (§8); this repo's campaigns —
+multi-seed Figure 4/5 benches, :mod:`repro.analysis.campaign`, the
+:class:`~repro.core.parallel.ParallelCollie` machine fleet — are
+embarrassingly parallel across seeds/machines, yet ran serially.
+
+:class:`CampaignExecutor` fans an ordered list of picklable task
+payloads across :class:`concurrent.futures.ProcessPoolExecutor` workers
+and returns results in task order.  Determinism contract: every task
+carries its *own* seed and the worker constructs its
+``numpy.random.Generator`` from that seed inside the task function —
+never from process-global RNG state — so a task's result is a pure
+function of its payload and fan-out is bit-identical to a serial loop
+(the determinism suite pins this for Collie, random and GA campaigns).
+
+When process pools are unavailable (restricted sandboxes), the executor
+degrades to an in-process serial loop and records that it did.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+from typing import Callable, Optional, Sequence
+
+
+@dataclasses.dataclass
+class ExecutorStats:
+    """Wall-time accounting of one fan-out."""
+
+    workers: int
+    tasks: int
+    wall_seconds: float = 0.0
+    #: Sum of per-task in-worker durations — what a serial loop would
+    #: roughly have cost; ``speedup`` compares it against wall time.
+    busy_seconds: float = 0.0
+    fell_back_serial: bool = False
+
+    @property
+    def speedup(self) -> float:
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.busy_seconds / self.wall_seconds
+
+    def describe(self) -> str:
+        mode = "serial (fallback)" if self.fell_back_serial else (
+            "serial" if self.workers <= 1 else f"{self.workers} workers"
+        )
+        return (
+            f"{self.tasks} tasks via {mode}: "
+            f"{self.wall_seconds:.3f}s wall, "
+            f"{self.busy_seconds:.3f}s busy, "
+            f"{self.speedup:.2f}x parallel speedup"
+        )
+
+
+def _timed_call(fn: Callable, payload) -> tuple:
+    """Run one task in the worker, returning (result, in-worker seconds)."""
+    started = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - started
+
+
+class CampaignExecutor:
+    """Deterministic fan-out of campaign tasks across worker processes.
+
+    ``workers <= 1`` runs the tasks serially in-process — the reference
+    behaviour the parallel path must reproduce bit-for-bit.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.last_stats: Optional[ExecutorStats] = None
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        """Apply ``fn`` to every payload; results come back in order.
+
+        ``fn`` must be a module-level callable and each payload picklable
+        when ``workers > 1`` (the standard multiprocessing contract).  A
+        worker exception propagates to the caller after the pool drains.
+        """
+        payloads = list(payloads)
+        stats = ExecutorStats(
+            workers=min(self.workers, max(len(payloads), 1)),
+            tasks=len(payloads),
+        )
+        started = time.perf_counter()
+        if self.workers <= 1 or len(payloads) <= 1:
+            results = self._run_serial(fn, payloads, stats)
+        else:
+            results = self._run_pooled(fn, payloads, stats)
+        stats.wall_seconds = time.perf_counter() - started
+        self.last_stats = stats
+        return results
+
+    # -- strategies ----------------------------------------------------------
+
+    def _run_serial(self, fn, payloads, stats: ExecutorStats) -> list:
+        results = []
+        for payload in payloads:
+            result, seconds = _timed_call(fn, payload)
+            stats.busy_seconds += seconds
+            results.append(result)
+        return results
+
+    def _run_pooled(self, fn, payloads, stats: ExecutorStats) -> list:
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(payloads))
+            )
+        except (OSError, PermissionError, ValueError):
+            # No process support here (restricted sandbox): same results,
+            # serially — the determinism contract makes this transparent.
+            stats.fell_back_serial = True
+            return self._run_serial(fn, payloads, stats)
+        with pool:
+            futures = [
+                pool.submit(_timed_call, fn, payload) for payload in payloads
+            ]
+            results = []
+            for future in futures:  # submit order == task order
+                result, seconds = future.result()
+                stats.busy_seconds += seconds
+                results.append(result)
+        return results

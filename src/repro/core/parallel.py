@@ -9,6 +9,12 @@ full SA search on its counter share for the whole budget.  Results merge
 by earliest discovery; wall-clock time is the *maximum* machine clock
 (they run concurrently), so a counter that previously shared a 10-hour
 budget with eight siblings now gets hours of dedicated attention.
+
+With ``workers > 1`` the machines really do run concurrently: each
+machine is one task for the :class:`~repro.core.executor.CampaignExecutor`
+process pool.  Every machine's RNG and clock are built inside the worker
+from the machine's own seed, so the merged report is bit-identical to a
+serial fleet run.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ import numpy as np
 
 from repro.core.annealing import SAParams, TraceEvent
 from repro.core.collie import Collie, SearchReport
+from repro.core.evalcache import EvalCache
+from repro.core.executor import CampaignExecutor, ExecutorStats
 from repro.core.mfs import MinimalFeatureSet
 from repro.core.space import SearchSpace
 from repro.hardware.counters import DIAGNOSTIC_COUNTERS
@@ -64,6 +72,37 @@ class ParallelReport:
         return sorted(merged, key=lambda e: e.time_seconds)
 
 
+def _run_machine(payload: dict) -> dict:
+    """One fleet machine, executed inside a worker process.
+
+    The Collie instance — clock, RNG, testbed — is built here from the
+    payload's seed, so the machine's trajectory does not depend on which
+    process runs it.  A per-machine :class:`EvalCache` is attached when
+    requested; its entries and stats travel back for merging.
+    """
+    cache = EvalCache() if payload["use_cache"] else None
+    if cache is not None and payload["cache_entries"]:
+        cache.import_entries(payload["cache_entries"])
+    collie = Collie(
+        payload["subsystem"],
+        space=payload["space"],
+        counters=payload["share"],
+        budget_hours=payload["budget_hours"],
+        seed=payload["seed"],
+        sa_params=payload["sa_params"],
+        noise=payload["noise"],
+        cache=cache,
+    )
+    report = collie.run()
+    return {
+        "report": report,
+        "cache_entries": (
+            cache.export_entries(new_only=True) if cache else None
+        ),
+        "cache_stats": cache.stats_dict() if cache else None,
+    }
+
+
 class ParallelCollie:
     """Runs Collie's counter passes across a fleet of testbeds."""
 
@@ -76,6 +115,8 @@ class ParallelCollie:
         space: Optional[SearchSpace] = None,
         sa_params: SAParams = SAParams(),
         noise: float = 0.02,
+        workers: int = 1,
+        cache: Optional[EvalCache] = None,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
@@ -88,6 +129,14 @@ class ParallelCollie:
         self.space = space or SearchSpace.for_subsystem(subsystem)
         self.sa_params = sa_params
         self.noise = noise
+        self.executor = CampaignExecutor(workers=workers)
+        #: Parent-side cache: warm-starts every machine and absorbs
+        #: their entries/stats after the fleet completes.
+        self.cache = cache
+
+    @property
+    def executor_stats(self) -> Optional[ExecutorStats]:
+        return self.executor.last_stats
 
     def _rank_counters(self) -> list[str]:
         """Shared ranking pass: 10 random probes, std/mean descending."""
@@ -116,18 +165,31 @@ class ParallelCollie:
 
     def run(self) -> ParallelReport:
         ranked = self._rank_counters()
-        reports = []
-        for machine, share in enumerate(self._partition(ranked)):
-            collie = Collie(
-                self.subsystem,
-                space=self.space,
-                counters=share,
-                budget_hours=self.budget_hours,
-                seed=self.seed * 1000 + machine,
-                sa_params=self.sa_params,
-                noise=self.noise,
-            )
-            reports.append(collie.run())
+        warm_entries = (
+            self.cache.export_entries() if self.cache is not None else None
+        )
+        payloads = [
+            {
+                "subsystem": self.subsystem,
+                "space": self.space,
+                "share": share,
+                "budget_hours": self.budget_hours,
+                "seed": self.seed * 1000 + machine,
+                "sa_params": self.sa_params,
+                "noise": self.noise,
+                "use_cache": self.cache is not None,
+                "cache_entries": warm_entries,
+            }
+            for machine, share in enumerate(self._partition(ranked))
+        ]
+        outcomes = self.executor.map(_run_machine, payloads)
+        reports = [outcome["report"] for outcome in outcomes]
+        if self.cache is not None:
+            for outcome in outcomes:
+                if outcome["cache_entries"]:
+                    self.cache.import_entries(outcome["cache_entries"])
+                if outcome["cache_stats"]:
+                    self.cache.merge_stats(outcome["cache_stats"])
         return ParallelReport(
             subsystem_name=self.subsystem.name,
             machines=self.machines,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.hardware.workload import WorkloadDescriptor
 from repro.verbs.constants import ROCE_HEADER_BYTES, Opcode, QPType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.evalcache import EvalCache
     from repro.hardware.subsystems import Subsystem
 
 
@@ -97,11 +99,26 @@ class Measurement:
 
 
 class SteadyStateModel:
-    """Resolves workloads against one subsystem."""
+    """Resolves workloads against one subsystem.
 
-    def __init__(self, subsystem: "Subsystem", noise: float = 0.02) -> None:
+    With an :class:`~repro.core.evalcache.EvalCache` attached, the
+    deterministic half of each evaluation — feature extraction, rule
+    firing, the per-direction solve and the ideal counter synthesis — is
+    memoized by canonical workload point.  Observation noise is *never*
+    cached: it is re-sampled from the caller's RNG on every call, hit or
+    miss, consuming exactly the same draws either way, so attaching a
+    cache cannot change any result bit.
+    """
+
+    def __init__(
+        self,
+        subsystem: "Subsystem",
+        noise: float = 0.02,
+        cache: Optional["EvalCache"] = None,
+    ) -> None:
         self.subsystem = subsystem
         self.noise = noise
+        self.cache = cache
 
     # -- public API -----------------------------------------------------------
 
@@ -110,29 +127,54 @@ class SteadyStateModel:
         workload: WorkloadDescriptor,
         rng: Optional[np.random.Generator] = None,
         sample_seconds: int = 4,
+        phase: str = "search",
     ) -> Measurement:
         """Run one experiment and return its measurement.
 
         ``sample_seconds`` mirrors the paper's monitor, which fetches
-        counters four times per iteration and averages (§6).
+        counters four times per iteration and averages (§6).  ``phase``
+        attributes the evaluation in the cache's statistics (``probe``,
+        ``search``, ``mfs``...).
         """
         rng = rng if rng is not None else np.random.default_rng(0)
-        self._validate(workload)
-        features = extract_features(workload, self.subsystem)
-        fired = tuple(fired_rules(self.subsystem.rnic.rules, features))
-        directions = self._solve_directions(workload, features, fired)
-        ideal = self._ideal_counters(workload, features, fired, directions)
+        solve = self._solve(workload, phase)
         monitor = VendorMonitor(rng, noise=self.noise)
-        samples = monitor.sample_window(ideal, sample_seconds)
+        samples = monitor.sample_window(solve.ideal_counters, sample_seconds)
         return Measurement(
             workload=workload,
             subsystem_name=self.subsystem.name,
             samples=samples,
             counters=average_counters(samples),
+            directions=solve.directions,
+            fired=solve.fired,
+            features=solve.features,
+        )
+
+    def _solve(self, workload: WorkloadDescriptor, phase: str):
+        """Deterministic solve, memoized when a cache is attached."""
+        from repro.core.evalcache import CachedSolve
+
+        cache = self.cache
+        if cache is not None:
+            cached = cache.lookup(self.subsystem, workload, phase=phase)
+            if cached is not None:
+                return cached
+        started = time.perf_counter()
+        self._validate(workload)
+        features = extract_features(workload, self.subsystem)
+        fired = tuple(fired_rules(self.subsystem.rnic.rules, features))
+        directions = self._solve_directions(workload, features, fired)
+        ideal = self._ideal_counters(workload, features, fired, directions)
+        solve = CachedSolve(
             directions=directions,
             fired=fired,
             features=features,
+            ideal_counters=ideal,
         )
+        if cache is not None:
+            cache.store(self.subsystem, workload, solve)
+            cache.charge("solve", time.perf_counter() - started)
+        return solve
 
     # -- validation -----------------------------------------------------------
 

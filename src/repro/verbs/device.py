@@ -39,11 +39,32 @@ class DeviceAttributes:
     max_mr_size: int = 2 ** 46
 
 
-#: QP numbers are allocated from a process-global counter so every QP on a
-#: fabric has a distinct number.  Real RoCE scopes QPNs per device and
-#: disambiguates by GID; a global counter gives the same no-aliasing
-#: property without modelling GIDs.
-_GLOBAL_QP_NUMBERS = itertools.count(0x11)
+class QPNumberAllocator:
+    """Explicit QP-number state for a group of contexts.
+
+    Real RoCE scopes QPNs per device and disambiguates by GID; sharing
+    one allocator across every context of a fabric gives the same
+    no-aliasing property without modelling GIDs.  Callers that need
+    *reproducible* numbering independent of process history — the
+    workload engine's functional bursts, anything running under process
+    fan-out — pass a fresh allocator per experiment instead of relying
+    on the process-global default.
+    """
+
+    FIRST_QPN = 0x11
+
+    def __init__(self, start: int = FIRST_QPN) -> None:
+        self._numbers = itertools.count(start)
+
+    def next(self) -> int:
+        return next(self._numbers)
+
+
+#: Default allocator for bare contexts (``Device().open()``): process-
+#: global, so ad-hoc contexts never alias — at the cost of numbering that
+#: depends on everything the process created before.  State-sensitive
+#: paths pass their own allocator.
+_GLOBAL_QP_NUMBERS = QPNumberAllocator()
 
 
 class Device:
@@ -57,9 +78,13 @@ class Device:
         self.name = name
         self.attributes = attributes or DeviceAttributes()
 
-    def open(self, host: Optional["Host"] = None) -> "Context":
+    def open(
+        self,
+        host: Optional["Host"] = None,
+        qpn_allocator: Optional[QPNumberAllocator] = None,
+    ) -> "Context":
         """Open the device, optionally attaching it to a simulated host."""
-        return Context(self, host=host)
+        return Context(self, host=host, qpn_allocator=qpn_allocator)
 
     def __repr__(self) -> str:
         return f"Device({self.name!r})"
@@ -68,9 +93,15 @@ class Device:
 class Context:
     """``struct ibv_context``: the handle all other verbs objects hang off."""
 
-    def __init__(self, device: Device, host: Optional["Host"] = None) -> None:
+    def __init__(
+        self,
+        device: Device,
+        host: Optional["Host"] = None,
+        qpn_allocator: Optional[QPNumberAllocator] = None,
+    ) -> None:
         self.device = device
         self.host = host
+        self._qpn_allocator = qpn_allocator or _GLOBAL_QP_NUMBERS
         self.allocator = MemoryAllocator()
         self._pd_handles = itertools.count(1)
         self._cq_handles = itertools.count(1)
@@ -133,7 +164,7 @@ class Context:
         if srq is not None and srq not in self.srqs:
             raise VerbsError("SRQ belongs to a different context")
         qp = QueuePair(
-            pd, qp_type, send_cq, recv_cq, cap, next(_GLOBAL_QP_NUMBERS),
+            pd, qp_type, send_cq, recv_cq, cap, self._qpn_allocator.next(),
             srq=srq,
         )
         self.qps[qp.qp_num] = qp

@@ -1,0 +1,86 @@
+"""CampaignExecutor: ordering, stats, serial/pooled equivalence."""
+
+import pytest
+
+from repro.core.executor import CampaignExecutor, ExecutorStats
+
+
+def square(payload):
+    return payload * payload
+
+
+def describe_payload(payload):
+    return {"seed": payload["seed"], "value": payload["seed"] * 10}
+
+
+def boom(payload):
+    raise RuntimeError(f"task {payload} failed")
+
+
+class TestSerial:
+    def test_results_in_payload_order(self):
+        executor = CampaignExecutor(workers=1)
+        assert executor.map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_stats_recorded(self):
+        executor = CampaignExecutor(workers=1)
+        executor.map(square, [1, 2, 3])
+        stats = executor.last_stats
+        assert stats.tasks == 3
+        assert stats.workers == 1
+        assert not stats.fell_back_serial
+        assert stats.wall_seconds >= stats.busy_seconds >= 0.0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            CampaignExecutor(workers=0)
+
+    def test_empty_payloads(self):
+        executor = CampaignExecutor(workers=4)
+        assert executor.map(square, []) == []
+        assert executor.last_stats.tasks == 0
+
+    def test_single_payload_skips_the_pool(self):
+        executor = CampaignExecutor(workers=4)
+        assert executor.map(square, [5]) == [25]
+        assert executor.last_stats.workers == 1
+
+
+class TestPooled:
+    def test_matches_serial_results_in_order(self):
+        payloads = [{"seed": seed} for seed in range(7)]
+        serial = CampaignExecutor(workers=1).map(describe_payload, payloads)
+        pooled = CampaignExecutor(workers=4).map(describe_payload, payloads)
+        assert pooled == serial
+
+    def test_pool_stats(self):
+        executor = CampaignExecutor(workers=3)
+        executor.map(square, list(range(6)))
+        stats = executor.last_stats
+        assert stats.tasks == 6
+        assert stats.workers == 3
+        assert stats.wall_seconds > 0.0
+
+    def test_worker_exception_propagates(self):
+        executor = CampaignExecutor(workers=2)
+        with pytest.raises(RuntimeError, match="failed"):
+            executor.map(boom, [1, 2])
+
+
+class TestStatsSurface:
+    def test_speedup_guarded_against_zero_wall(self):
+        stats = ExecutorStats(workers=2, tasks=4)
+        assert stats.speedup == 1.0
+        stats.wall_seconds, stats.busy_seconds = 2.0, 6.0
+        assert stats.speedup == pytest.approx(3.0)
+
+    def test_describe_mentions_mode(self):
+        stats = ExecutorStats(workers=4, tasks=8, wall_seconds=1.0,
+                              busy_seconds=3.0)
+        assert "4 workers" in stats.describe()
+        assert "3.00x" in stats.describe()
+        fallback = ExecutorStats(workers=4, tasks=8, fell_back_serial=True)
+        assert "serial (fallback)" in fallback.describe()
+        serial = ExecutorStats(workers=1, tasks=2, wall_seconds=0.1,
+                               busy_seconds=0.1)
+        assert "serial" in serial.describe()

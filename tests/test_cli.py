@@ -44,6 +44,73 @@ class TestSearch:
         with pytest.raises(SystemExit):
             main(["search", "Z"])
 
+    def test_search_prints_recipes(self, capsys):
+        code = main(["search", "H", "--hours", "1", "--seed", "2",
+                     "--recipes"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anomaly 1" in out
+
+    def test_search_with_cache_store(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        code = main(["search", "H", "--hours", "0.3", "--seed", "3",
+                     "--cache", str(cache)])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "cache saved to" in first
+        assert cache.exists()
+        # Warm rerun reports the warm start and serves hits.
+        code = main(["search", "H", "--hours", "0.3", "--seed", "3",
+                     "--cache", str(cache)])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "warm-started" in second
+        assert "100.0% hit rate" in second
+
+    def test_search_multi_seed_campaign_with_workers(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        code = main(["search", "H", "--hours", "0.2", "--seed", "1",
+                     "--seeds", "3", "--workers", "3",
+                     "--cache", str(cache)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 seeds" in out
+        assert "seed 1:" in out and "seed 3:" in out
+        assert "3 tasks" in out  # executor stats surfaced
+
+    def test_zero_workers_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["search", "H", "--hours", "0.2", "--seeds", "2",
+                  "--workers", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1, got 0" in capsys.readouterr().err
+
+    def test_zero_seeds_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["search", "H", "--hours", "0.2", "--seeds", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1, got 0" in capsys.readouterr().err
+
+    def test_corrupt_cache_store_rejected_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(SystemExit) as exc:
+            main(["search", "H", "--hours", "0.2", "--cache", str(bad)])
+        assert exc.value.code == 2
+        assert "cannot load cache store" in capsys.readouterr().err
+
+    def test_wrong_format_cache_store_rejected_cleanly(
+        self, tmp_path, capsys
+    ):
+        stale = tmp_path / "v99.json"
+        stale.write_text(json.dumps({"format_version": 99, "entries": {}}))
+        with pytest.raises(SystemExit) as exc:
+            main(["search", "H", "--hours", "0.2", "--cache", str(stale)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot load cache store" in err
+        assert "unsupported cache format 99" in err
+
 
 class TestParallel:
     def test_fleet_search(self, capsys):
@@ -53,6 +120,54 @@ class TestParallel:
         )
         assert code == 0
         assert "fleet of 2 machines" in capsys.readouterr().out
+
+    def test_fleet_with_workers_and_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        code = main(
+            ["parallel", "H", "--machines", "2", "--hours", "0.3",
+             "--seed", "1", "--workers", "2", "--cache", str(cache)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 machines" in out
+        assert "2 tasks" in out
+        assert cache.exists()
+
+
+class TestCampaign:
+    def test_campaign_runs_and_reports(self, capsys):
+        code = main(["campaign", "random", "--subsystem", "H",
+                     "--hours", "0.2", "--seeds", "2", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random on subsystem H" in out
+        assert "2 seeds" in out
+
+    def test_unknown_approach_rejected(self, capsys):
+        code = main(["campaign", "gradient-descent"])
+        assert code == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_prints_hit_rates_and_phase_walltime(
+        self, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache.json"
+        main(["search", "H", "--hours", "0.3", "--seed", "3",
+              "--cache", str(cache)])
+        capsys.readouterr()
+        code = main(["stats", str(cache)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "phase mfs" in out
+        assert "s wall" in out
+
+    def test_stats_missing_store(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "no cache store" in capsys.readouterr().err
 
 
 class TestDiagnose:
