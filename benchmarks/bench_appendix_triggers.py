@@ -6,7 +6,7 @@ checks the expected Table 2 anomaly fires with the published symptom.
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.monitor import AnomalyMonitor
 from repro.hardware.model import SteadyStateModel
@@ -46,6 +46,11 @@ def replay_all():
 
 def test_appendix_triggers(benchmark):
     rows = benchmark(replay_all)
+    record_result(
+        "appendix_triggers",
+        settings=len(rows),
+        reproduced=sum(1 for row in rows if row["reproduced"] == "yes"),
+    )
     assert all(row["reproduced"] == "yes" for row in rows)
     print_artifact(
         "Appendix A: concrete trigger settings, replayed", render_table(rows)

@@ -17,7 +17,12 @@ everywhere.
 import os
 import time
 
-from benchmarks.conftest import BUDGET_HOURS, SEEDS, print_artifact
+from benchmarks.conftest import (
+    BUDGET_HOURS,
+    SEEDS,
+    print_artifact,
+    record_result,
+)
 from repro.analysis.campaign import run_campaign
 from repro.analysis.serialize import mfs_to_dict
 from repro.core import EvalCache
@@ -74,6 +79,14 @@ def test_cache_executor_speedup(benchmark):
     data = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
     speedup = data["serial_seconds"] / max(data["parallel_seconds"], 1e-9)
     stats = data["parallel"].executor_stats
+    record_result(
+        "cache_executor",
+        serial_seconds=data["serial_seconds"],
+        parallel_seconds=data["parallel_seconds"],
+        speedup=speedup,
+        warm_hit_rate=data["warm_hit_rate"],
+        fell_back_serial=stats.fell_back_serial,
+    )
     print_artifact(
         "Campaign acceleration: 3-seed Collie campaign on subsystem F "
         f"({BUDGET_HOURS:.0f}h budget/seed)",

@@ -9,7 +9,7 @@ its own assumptions.
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.hardware.des.validate import validate_measurement
 from repro.hardware.model import SteadyStateModel
@@ -48,4 +48,9 @@ def test_des_validation(benchmark):
         render_table(rows),
     )
     disagreements = [r for r in rows if r["agrees"] != "yes"]
+    record_result(
+        "des_validation",
+        directions=len(rows),
+        disagreements=len(disagreements),
+    )
     assert not disagreements

@@ -11,7 +11,7 @@ rate (a poor man's end-to-end flow control) eliminates the pause storms
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.monitor import AnomalyMonitor
 from repro.hardware.model import SteadyStateModel
@@ -58,6 +58,13 @@ def test_duty_cycle_extension(benchmark):
         "End-to-end throttling (duty-cycle extension) vs the 13 "
         "pause-frame triggers",
         render_table(rows),
+    )
+    record_result(
+        "duty_cycle_extension",
+        pause_triggers=len(rows),
+        storms_eliminated=sum(
+            1 for row in rows if row["pause after"] == "0.0%"
+        ),
     )
     assert all(row["pause after"] == "0.0%" for row in rows)
     # The price: none of these keep full offered load (that is exactly

@@ -6,7 +6,7 @@ Optimization improves only marginally (8), and Collie's counter-guided
 annealing finds substantially more within the same 10-hour budget.
 """
 
-from benchmarks.conftest import F_TAGS, print_artifact
+from benchmarks.conftest import F_TAGS, print_artifact, record_result
 from repro.analysis import time_to_find_series
 from repro.analysis.render import render_time_to_find
 
@@ -43,6 +43,7 @@ def test_fig4(benchmark, campaigns):
         render_time_to_find(series),
     )
     found = {s.approach: s.anomalies_found for s in series}
+    record_result("fig4_search_time", **found)
     print_artifact(
         "Figure 4 summary: anomalies found (majority of seeds)",
         "\n".join(f"  {name}: {count}/13" for name, count in found.items()),

@@ -8,7 +8,7 @@ cache-thrash anomalies (#7/#8 class), and MFS roughly halves the time by
 eliminating redundant tests.
 """
 
-from benchmarks.conftest import F_TAGS, print_artifact
+from benchmarks.conftest import F_TAGS, print_artifact, record_result
 from repro.analysis import time_to_find_series
 from repro.analysis.render import render_time_to_find
 
@@ -41,6 +41,11 @@ def test_fig5(benchmark, campaigns):
         name: sum(r.skipped_points for r in reports) / len(reports)
         for name, reports in variants.items()
     }
+    record_result(
+        "fig5_ablation",
+        **{f"{name} found": found[name] for name in variants},
+        **{f"{name} skipped": skipped[name] for name in variants},
+    )
     print_artifact(
         "Figure 5 summary",
         "\n".join(

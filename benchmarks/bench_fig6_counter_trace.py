@@ -6,7 +6,7 @@ already-found regions; full Collie both climbs and moves on, with most
 anomalies discovered in high-counter regions.
 """
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import counter_trace
 from repro.analysis.render import render_counter_trace
 
@@ -61,6 +61,16 @@ def test_fig6(benchmark, campaigns):
     collie_peak, collie_median = stats(collie_trace)
     no_mfs_peak, no_mfs_median = stats(no_mfs_trace)
     random_peak, random_median = stats(random_trace)
+    record_result(
+        "fig6_counter_trace",
+        collie_peak=collie_peak,
+        collie_median=collie_median,
+        no_mfs_peak=no_mfs_peak,
+        no_mfs_median=no_mfs_median,
+        random_peak=random_peak,
+        random_median=random_median,
+        anomaly_marks=len(collie_trace.anomaly_marks),
+    )
     print_artifact(
         "Figure 6 summary (normalised counter values)",
         f"  Collie:         peak {collie_peak:.2f}, median {collie_median:.4f}\n"

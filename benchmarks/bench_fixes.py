@@ -8,7 +8,7 @@ anomalies, the 11 open ones persist.
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.monitor import AnomalyMonitor
 from repro.hardware.fixes import FIXES, fixed_subsystem
@@ -58,6 +58,12 @@ def test_fix_ledger(benchmark):
         "Fix ledger: Appendix A triggers replayed on post-fix subsystems "
         "(paper: 7 fixed, 11 open)",
         render_table(rows),
+    )
+    record_result(
+        "fixes",
+        fixed=sum(1 for r in rows if r["ledger"] == "fixed"),
+        open=sum(1 for r in rows if r["ledger"] == "open"),
+        mismatches=sum(1 for r in rows if r["ledger"] == "MISMATCH"),
     )
     assert sum(1 for r in rows if r["ledger"] == "fixed") == 7
     assert sum(1 for r in rows if r["ledger"] == "open") == 11

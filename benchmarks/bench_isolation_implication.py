@@ -11,7 +11,7 @@ perfect by construction; the interference factor below 1.0 is entirely
 the cache-occupancy leak.
 """
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.hardware.coexist import CoexistenceModel
 from repro.hardware.subsystems import get_subsystem
@@ -66,6 +66,11 @@ def test_isolation_implication(benchmark):
         render_table(rows),
     )
     held = [float(r["isolation held"].rstrip("%")) for r in rows]
+    record_result(
+        "isolation_implication",
+        polite_neighbour_held_pct=held[0],
+        worst_neighbour_held_pct=held[-1],
+    )
     assert held[0] >= 95  # polite neighbour: isolation works
     assert held[-1] <= 40  # cache-thrashing neighbour: it does not
     assert all(a >= b for a, b in zip(held, held[1:]))  # monotone decay

@@ -14,7 +14,7 @@ and measuring
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.mfs import MFSExtractor
 from repro.core.monitor import AnomalyMonitor
@@ -103,6 +103,17 @@ def test_mfs_ablation(benchmark):
     print_artifact(
         "MFS design-choice ablation (subsystem F, 6 extractions each)",
         render_table(printable),
+    )
+    record_result(
+        "mfs_ablation",
+        **{
+            f"{row['variant']} false skips": row["_false"]
+            for row in rows
+        },
+        **{
+            f"{row['variant']} probes per MFS": row["probes per MFS"]
+            for row in rows
+        },
     )
     by_name = {row["variant"]: row for row in rows}
     full = by_name["full (reduce + symptom + validate)"]

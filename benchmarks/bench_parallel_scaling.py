@@ -8,7 +8,12 @@ Table 2 suite — quantifying how much of the single-machine gap to the
 paper's 13/13 is budget dilution rather than search quality.
 """
 
-from benchmarks.conftest import BUDGET_HOURS, SEEDS, print_artifact
+from benchmarks.conftest import (
+    BUDGET_HOURS,
+    SEEDS,
+    print_artifact,
+    record_result,
+)
 from repro.analysis import render_table
 from repro.core.parallel import ParallelCollie
 
@@ -45,5 +50,12 @@ def test_parallel_scaling(benchmark):
     def mean(row):
         return float(row["mean"].split("/")[0])
 
+    record_result(
+        "parallel_scaling",
+        **{
+            f"{row['machines']} machines mean found": mean(row)
+            for row in rows
+        },
+    )
     assert mean(rows[-1]) >= mean(rows[0]) + 2  # 9 machines >> 1 machine
     assert mean(rows[-1]) >= 12  # near-complete Table 2 coverage

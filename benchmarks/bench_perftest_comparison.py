@@ -6,7 +6,7 @@ parameter tuning.  This bench sweeps the whole Perftest-expressible
 space on both evaluation subsystems and reports the reachable subset.
 """
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.baselines.perftest import PerftestGenerator
 
@@ -33,6 +33,11 @@ def test_perftest_comparison(benchmark):
         f"Perftest-style generator reproduces {len(found)}/18 anomalies "
         "(paper: 4/18)",
         render_table(rows),
+    )
+    record_result(
+        "perftest_comparison",
+        reachable=len(found),
+        total=18,
     )
     # The claim's shape: only a small subset, and never the anomalies
     # that need batching, SG-list shaping or mixed patterns.

@@ -15,7 +15,7 @@ Three observations the paper draws from the anomaly suite:
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.monitor import AnomalyMonitor
 from repro.hardware.model import SteadyStateModel
@@ -85,6 +85,12 @@ def test_s74_implications(benchmark):
     assert by_key[("A14", 4096)] == "low throughput"
     assert by_key[("A14", 1024)] == "healthy"
 
+    record_result(
+        "s74_implications",
+        mtu_sweep_rows=len(rows),
+        host_generated_pauses=host_side,
+        pause_anomalies=total,
+    )
     print_artifact(
         "§7.4 claim 3: hosts, not switches, generate the pause frames",
         f"  {host_side}/{total} pause anomalies originate at a host RNIC "

@@ -12,7 +12,7 @@ certain performance anomalies)."  Two regenerations:
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table
 from repro.core.monitor import AnomalyMonitor
 from repro.hardware.model import SteadyStateModel
@@ -72,6 +72,17 @@ def test_s9_design_choices(benchmark):
         "§9: published design points across subsystems (B=100G CX-5, "
         "F=200G CX-6, H=P2100G)",
         render_table(rows),
+    )
+    record_result(
+        "s9_design_choices",
+        **{
+            f"{qp_type} anomalies": len(tags)
+            for qp_type, tags in sorted(transports.items())
+        },
+        designs_anomalous_somewhere=sum(
+            1 for row in rows
+            if any(row[letter] != "ok" for letter in ("B", "F", "H"))
+        ),
     )
     # Every transport type carries anomalies...
     assert set(transports) == {"RC", "UD"}

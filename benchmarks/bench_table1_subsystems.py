@@ -6,7 +6,7 @@ every subsystem stands up and measures a baseline workload.
 
 import numpy as np
 
-from benchmarks.conftest import print_artifact
+from benchmarks.conftest import print_artifact, record_result
 from repro.analysis import render_table, table1_rows
 from repro.hardware.model import SteadyStateModel
 from repro.hardware.subsystems import list_subsystems
@@ -27,6 +27,11 @@ def build_and_probe_all():
 
 def test_table1(benchmark):
     rows, rates = benchmark(build_and_probe_all)
+    record_result(
+        "table1_subsystems",
+        subsystems=len(rows),
+        **{f"{name} baseline Gbps": rate for name, rate in rates.items()},
+    )
     assert len(rows) == 8
     for row in rows:
         nominal = float(row["Speed"].split()[0])

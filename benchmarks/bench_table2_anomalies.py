@@ -5,7 +5,12 @@ and reports which Table 2 rows the campaigns reproduce, alongside the
 extracted minimal feature sets.
 """
 
-from benchmarks.conftest import F_TAGS, H_TAGS, print_artifact
+from benchmarks.conftest import (
+    F_TAGS,
+    H_TAGS,
+    print_artifact,
+    record_result,
+)
 from repro.analysis import render_table, table2_rows
 from repro.analysis.tables import TABLE2_COLUMNS
 
@@ -26,6 +31,13 @@ def test_table2(benchmark, campaigns):
 
     reports_f, reports_h = benchmark.pedantic(campaign, rounds=1, iterations=1)
     found = found_tags_across(reports_f) | found_tags_across(reports_h)
+    record_result(
+        "table2_anomalies",
+        reproduced=len(found),
+        total=18,
+        f_found=len(found & set(F_TAGS)),
+        h_found=len(found & set(H_TAGS)),
+    )
 
     rows = table2_rows(found_tags=found)
     print_artifact(

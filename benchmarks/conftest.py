@@ -5,8 +5,15 @@ them once per session keeps ``pytest benchmarks/ --benchmark-only``
 affordable.  ``REPRO_BENCH_SEEDS`` (default 3) and
 ``REPRO_BENCH_HOURS`` (default 10, the paper's budget) scale the
 campaigns.
+
+Machine-readable summaries: every bench calls :func:`record_result`
+with its headline metrics; ``--bench-json OUT.json`` (or the
+``REPRO_BENCH_JSON`` environment variable) writes them all as one JSON
+document at session end, so the perf trajectory can be tracked across
+PRs instead of scraped from text logs.
 """
 
+import json
 import os
 
 import pytest
@@ -80,3 +87,54 @@ def print_artifact(title, body):
     """Emit a regenerated paper artifact to the bench log."""
     print(f"\n=== {title} ===")
     print(body)
+
+
+# -- machine-readable bench summaries ----------------------------------------
+
+#: bench name -> headline metrics, collected across the whole session.
+_RESULTS = {}
+
+
+def record_result(bench, **metrics):
+    """Record one bench's headline numbers for the JSON summary."""
+    _RESULTS.setdefault(bench, {}).update(metrics)
+
+
+def _coerce(value):
+    """JSON-ify numpy scalars and other number-likes."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serialisable: {value!r}")
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--bench-json",
+            action="store",
+            default=None,
+            help="write machine-readable bench summaries to this path",
+        )
+    except ValueError:
+        pass  # already registered (e.g. by another conftest)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        target = session.config.getoption("--bench-json", default=None)
+    except (ValueError, KeyError):
+        target = None
+    target = target or os.environ.get("REPRO_BENCH_JSON")
+    if not target or not _RESULTS:
+        return
+    payload = {
+        "seeds": SEEDS,
+        "budget_hours": BUDGET_HOURS,
+        "benches": {name: _RESULTS[name] for name in sorted(_RESULTS)},
+    }
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True,
+                  default=_coerce)
+        handle.write("\n")
+    print(f"\nbench summaries written to {target}")

@@ -174,6 +174,7 @@ def run_campaign(
     factory: Optional[Callable] = None,
     workers: int = 1,
     cache: Optional[EvalCache] = None,
+    recorder=None,
 ) -> CampaignResult:
     """Run one approach across seeds.
 
@@ -181,6 +182,11 @@ def run_campaign(
     configurations (e.g. restricted spaces); with ``workers > 1`` it
     must be a module-level (picklable) callable.  ``cache`` warm-starts
     every seed's evaluations and absorbs what they computed.
+
+    ``recorder`` (a flight recorder) observes the fan-out live and
+    journals every seed's report post-hoc — a journal's file handle
+    cannot travel into worker processes, so campaigns replay the
+    returned reports instead of journaling in-flight.
     """
     if factory is None and approach not in APPROACHES:
         raise KeyError(
@@ -200,8 +206,19 @@ def run_campaign(
         }
         for seed in seeds
     ]
-    executor = CampaignExecutor(workers=workers)
+    executor = CampaignExecutor(
+        workers=workers,
+        metrics=recorder.metrics if recorder is not None else None,
+        progress=recorder.task_progress if recorder is not None else None,
+    )
     outcomes = executor.map(_run_seed, payloads)
+    if recorder is not None:
+        if executor.last_stats is not None:
+            recorder.fanout(executor.last_stats)
+        for seed, outcome in zip(seeds, outcomes):
+            recorder.record_report(
+                outcome["report"], budget_hours, seed=seed
+            )
     if cache is not None:
         for outcome in outcomes:
             if outcome["cache_entries"]:

@@ -10,22 +10,34 @@ Commands mirror how the paper's operators use Collie:
                     machines (``--workers``/``--cache`` as above);
 * ``campaign``    — multi-seed comparison campaign for any registered
                     approach (Figure 4 style);
+* ``report``      — re-render a run journal (``--journal``): summary,
+                    anomaly timeline, counter trajectory export;
 * ``stats``       — print hit rates and per-phase wall time from a
                     saved evaluation cache;
 * ``replay``      — replay the 18 Appendix A trigger settings;
 * ``diagnose``    — match a workload (JSON file) against a saved
                     report's MFS set (§7.3 debugging workflow);
 * ``table1`` / ``table2`` — print the paper's tables.
+
+Observability: ``search``/``parallel``/``campaign`` accept
+``--journal PATH`` (structured JSONL flight-recorder journal, see
+:mod:`repro.obs`) and ``--progress N`` (a live progress line every N
+experiments / completed tasks).  Output goes through :mod:`logging`
+(configured by ``--log-level``/``--log-json``): INFO and below to
+stdout, WARNING and above to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
+
+logger = logging.getLogger("repro.cli")
 
 
 def _positive_int(text: str) -> int:
@@ -44,13 +56,10 @@ def _open_cache(args: argparse.Namespace):
     try:
         cache = EvalCache(path=args.cache)
     except ValueError as error:  # bad JSON or wrong format version
-        print(
-            f"cannot load cache store {args.cache}: {error}",
-            file=sys.stderr,
-        )
+        logger.error(f"cannot load cache store {args.cache}: {error}")
         raise SystemExit(2)
     if cache.loaded_entries:
-        print(
+        logger.info(
             f"cache: warm-started with {cache.loaded_entries} entries "
             f"from {args.cache}"
         )
@@ -62,8 +71,35 @@ def _close_cache(cache) -> None:
     if cache is None:
         return
     path = cache.save()
-    print(f"\n{cache.describe()}")
-    print(f"cache saved to {path}")
+    logger.info(f"\n{cache.describe()}")
+    logger.info(f"cache saved to {path}")
+
+
+def _open_recorder(args: argparse.Namespace):
+    """Build the FlightRecorder requested by ``--journal``/``--progress``.
+
+    Returns None when neither flag was given — the hot paths then pay
+    only a ``recorder is not None`` check per site.
+    """
+    journal_path = getattr(args, "journal", None)
+    progress = getattr(args, "progress", 0)
+    if not journal_path and not progress:
+        return None
+    from repro.obs import FlightRecorder, RunJournal
+
+    journal = RunJournal(journal_path) if journal_path else None
+    return FlightRecorder(journal=journal, progress_every=progress)
+
+
+def _close_recorder(recorder) -> None:
+    if recorder is None:
+        return
+    recorder.close()
+    if recorder.journal is not None:
+        logger.info(
+            f"journal saved to {recorder.journal.path} "
+            f"({recorder.journal.records_written} records)"
+        )
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -71,8 +107,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from repro.core import Collie
 
     cache = _open_cache(args)
+    recorder = _open_recorder(args)
     if args.seeds > 1:
-        return _run_search_campaign(args, cache)
+        return _run_search_campaign(args, cache, recorder)
     collie = Collie.for_subsystem(
         args.subsystem,
         counter_mode=args.counters,
@@ -80,23 +117,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
         budget_hours=args.hours,
         seed=args.seed,
         cache=cache,
+        recorder=recorder,
     )
     report = collie.run()
-    print(report.summary())
+    logger.info(report.summary())
     if args.recipes:
         from repro.core.reproducer import recipe
 
         for index, mfs in enumerate(report.anomalies, 1):
-            print()
-            print(recipe(mfs.witness, title=f"anomaly {index}"))
+            logger.info("")
+            logger.info(recipe(mfs.witness, title=f"anomaly {index}"))
     if args.output:
         save_report(report, args.output)
-        print(f"\nreport saved to {args.output}")
+        logger.info(f"\nreport saved to {args.output}")
+    _close_recorder(recorder)
     _close_cache(cache)
     return 0
 
 
-def _run_search_campaign(args: argparse.Namespace, cache) -> int:
+def _run_search_campaign(args: argparse.Namespace, cache, recorder) -> int:
     """``search --seeds N``: the multi-seed campaign path."""
     from repro.analysis.campaign import run_campaign
 
@@ -111,8 +150,9 @@ def _run_search_campaign(args: argparse.Namespace, cache) -> int:
         budget_hours=args.hours,
         workers=args.workers,
         cache=cache,
+        recorder=recorder,
     )
-    print(
+    logger.info(
         f"{approach} on subsystem {args.subsystem}: "
         f"{result.seeds} seeds, {result.mean_found():.1f} anomalies/seed, "
         f"{sorted(result.union_tags()) or ['-']}"
@@ -120,10 +160,11 @@ def _run_search_campaign(args: argparse.Namespace, cache) -> int:
     for seed, report in zip(
         range(args.seed, args.seed + args.seeds), result.reports
     ):
-        print(f"  seed {seed}: {len(report.anomalies)} anomalies, "
-              f"{report.experiments} experiments")
+        logger.info(f"  seed {seed}: {len(report.anomalies)} anomalies, "
+                    f"{report.experiments} experiments")
     if result.executor_stats is not None:
-        print(result.executor_stats.describe())
+        logger.info(result.executor_stats.describe())
+    _close_recorder(recorder)
     _close_cache(cache)
     return 0
 
@@ -132,6 +173,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from repro.core.parallel import ParallelCollie
 
     cache = _open_cache(args)
+    recorder = _open_recorder(args)
     fleet = ParallelCollie(
         args.subsystem,
         machines=args.machines,
@@ -139,18 +181,20 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        recorder=recorder,
     )
     report = fleet.run()
-    print(
+    logger.info(
         f"fleet of {report.machines} machines on subsystem "
         f"{report.subsystem_name}: {len(report.anomalies)} anomalies, "
         f"{report.total_experiments} experiments, "
         f"{report.elapsed_seconds / 3600:.1f}h wall-clock"
     )
     for index, mfs in enumerate(report.anomalies, 1):
-        print(f"  {index}: {mfs.describe()}")
+        logger.info(f"  {index}: {mfs.describe()}")
     if fleet.executor_stats is not None:
-        print(fleet.executor_stats.describe())
+        logger.info(fleet.executor_stats.describe())
+    _close_recorder(recorder)
     _close_cache(cache)
     return 0
 
@@ -159,13 +203,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import APPROACHES, run_campaign
 
     if args.approach not in APPROACHES:
-        print(
+        logger.error(
             f"unknown approach {args.approach!r}; choose from "
-            f"{', '.join(sorted(APPROACHES))}",
-            file=sys.stderr,
+            f"{', '.join(sorted(APPROACHES))}"
         )
         return 2
     cache = _open_cache(args)
+    recorder = _open_recorder(args)
     result = run_campaign(
         args.approach,
         subsystem=args.subsystem,
@@ -173,18 +217,119 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         budget_hours=args.hours,
         workers=args.workers,
         cache=cache,
+        recorder=recorder,
     )
-    print(
+    logger.info(
         f"{result.approach} on subsystem {result.subsystem}: "
         f"{result.seeds} seeds x {result.budget_hours:.1f}h, "
         f"{result.mean_found():.1f} anomalies/seed"
     )
     for tag in sorted(result.union_tags()):
-        print(f"  found: {tag}")
+        logger.info(f"  found: {tag}")
     if result.executor_stats is not None:
-        print(result.executor_stats.describe())
+        logger.info(result.executor_stats.describe())
+    _close_recorder(recorder)
     _close_cache(cache)
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Re-render a flight-recorder journal: summary + timeline + trace."""
+    from repro.analysis.figures import counter_trace
+    from repro.obs import (
+        journal_summary,
+        read_journal,
+        reports_from_records,
+        validate_journal,
+    )
+
+    try:
+        records = read_journal(args.journal)
+    except OSError as error:
+        logger.error(f"cannot read journal {args.journal}: {error}")
+        return 2
+    except ValueError as error:
+        logger.error(f"{error}")
+        return 2
+    errors = validate_journal(records)
+    if errors:
+        for message in errors[:10]:
+            logger.error(message)
+        if len(errors) > 10:
+            logger.error(f"... and {len(errors) - 10} more")
+        logger.error(
+            f"journal {args.journal} failed schema validation "
+            f"({len(errors)} error(s))"
+        )
+        return 2
+    shape = journal_summary(records)
+    logger.info(
+        f"journal {args.journal}: {shape['records']} records, "
+        f"{shape['runs']} run(s), {shape['experiments']} experiments, "
+        f"{shape['anomalies']} anomalies, {shape['skips']} skips, "
+        f"{shape['transitions']} SA transitions, "
+        f"{shape['cache_events']} cache events"
+    )
+    reports = reports_from_records(records)
+    for index, report in enumerate(reports, 1):
+        logger.info("")
+        logger.info(f"run {index}: {report.summary()}")
+        hits = sorted(
+            report.first_hit_times().items(), key=lambda item: item[1]
+        )
+        if hits:
+            logger.info("  anomaly timeline (first anomalous hit per tag):")
+            for tag, seconds in hits:
+                logger.info(f"    {seconds / 3600:8.2f}h  {tag}")
+    if args.counter:
+        events = [event for report in reports for event in report.events]
+        trace = counter_trace("journal", events, args.counter)
+        if not trace.hours:
+            logger.warning(
+                f"counter {args.counter!r} never observed in this journal"
+            )
+            return 1
+        if args.trajectory:
+            _write_trajectory(args.trajectory, reports, args.counter)
+            logger.info(
+                f"counter trajectory ({len(trace.hours)} points) "
+                f"written to {args.trajectory}"
+            )
+        else:
+            logger.info("")
+            logger.info(f"trace of {args.counter} (normalised, 24 buckets):")
+            for hour, value in trace.bucketed(24):
+                bar = "#" * int(round(value * 40))
+                logger.info(f"  {hour:6.2f}h |{bar}")
+    return 0
+
+
+def _write_trajectory(path: str, reports, counter: str) -> None:
+    """Raw per-event CSV of one counter across every run in the journal.
+
+    Values are written via ``repr`` (shortest round-tripping float
+    form), so the exported trajectory is bit-identical to the in-memory
+    event snapshots.
+    """
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["run", "time_seconds", "value", "kind", "symptom"]
+        )
+        for run, report in enumerate(reports, 1):
+            for event in report.events:
+                if counter in event.counters:
+                    value = float(event.counters[counter])
+                elif event.counter == counter:
+                    value = float(event.counter_value)
+                else:
+                    continue
+                writer.writerow(
+                    [run, repr(float(event.time_seconds)), repr(value),
+                     event.kind, event.symptom]
+                )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -193,10 +338,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     try:
         stats = EvalCache.load_stats(args.cache)
     except FileNotFoundError:
-        print(f"no cache store at {args.cache}", file=sys.stderr)
+        logger.info(f"no cache store at {args.cache} (nothing cached yet)")
+        return 0
+    except (ValueError, AttributeError) as error:  # corrupt / wrong shape
+        logger.error(f"cannot read cache store {args.cache}: {error}")
         return 1
-    print(f"cache store: {args.cache}")
-    print(describe_stats(stats))
+    lookups = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+    if not stats.get("entries") and not lookups:
+        logger.info(
+            f"cache store {args.cache} is empty (no entries, no lookups)"
+        )
+        return 0
+    logger.info(f"cache store: {args.cache}")
+    logger.info(describe_stats(stats))
     return 0
 
 
@@ -219,13 +373,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             and verdict.symptom == setting.expected_symptom
         )
         failures += not ok
-        print(
+        logger.info(
             f"#{setting.number:2d} ({setting.subsystem}) "
             f"{'ok ' if ok else 'MISS'} expected "
             f"{setting.expected_tag}/{setting.expected_symptom}, observed "
             f"{','.join(measurement.tags) or '-'}/{verdict.symptom}"
         )
-    print(f"\n{18 - failures}/18 reproduced")
+    logger.info(f"\n{18 - failures}/18 reproduced")
     return 1 if failures else 0
 
 
@@ -237,19 +391,19 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     with open(args.workload) as handle:
         workload = workload_from_dict(json.load(handle))
     matched = match_any(anomalies, workload)
-    print(f"workload: {workload.summary()}")
+    logger.info(f"workload: {workload.summary()}")
     if matched is None:
-        print("no known anomaly region covers this workload")
+        logger.info("no known anomaly region covers this workload")
         return 0
-    print("matches a known anomaly; break one of these conditions:")
-    print(f"  {matched.describe()}")
+    logger.info("matches a known anomaly; break one of these conditions:")
+    logger.info(f"  {matched.describe()}")
     return 2
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import render_table, table1_rows
 
-    print(render_table(table1_rows()))
+    logger.info(render_table(table1_rows()))
     return 0
 
 
@@ -257,14 +411,36 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.analysis import render_table, table2_rows
     from repro.analysis.tables import TABLE2_COLUMNS
 
-    print(render_table(table2_rows(), columns=TABLE2_COLUMNS))
+    logger.info(render_table(table2_rows(), columns=TABLE2_COLUMNS))
     return 0
+
+
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--journal", metavar="JOURNAL.jsonl",
+        help="write a structured JSONL run journal (see 'repro report')",
+    )
+    subparser.add_argument(
+        "--progress", type=_positive_int, default=0, metavar="N",
+        help="print a live progress line every N experiments",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Collie (NSDI 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default="info",
+        help="logging threshold (INFO and below go to stdout, "
+             "WARNING and above to stderr)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -287,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for multi-seed campaigns")
     search.add_argument("--cache", metavar="PATH",
                         help="memoize evaluations in this JSON store")
+    _add_observability_flags(search)
     search.set_defaults(func=_cmd_search)
 
     parallel = sub.add_parser("parallel", help="fleet search (§8 extension)")
@@ -298,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the machine fleet")
     parallel.add_argument("--cache", metavar="PATH",
                           help="memoize evaluations in this JSON store")
+    _add_observability_flags(parallel)
     parallel.set_defaults(func=_cmd_parallel)
 
     campaign = sub.add_parser(
@@ -314,7 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=_positive_int, default=1)
     campaign.add_argument("--cache", metavar="PATH",
                           help="memoize evaluations in this JSON store")
+    _add_observability_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    report = sub.add_parser(
+        "report",
+        help="re-render a run journal written by --journal",
+    )
+    report.add_argument("journal", metavar="JOURNAL.jsonl",
+                        help="JSONL journal from 'search --journal'")
+    report.add_argument("--counter", metavar="NAME",
+                        help="plot/export this counter's trajectory")
+    report.add_argument("--trajectory", metavar="OUT.csv",
+                        help="export the --counter trajectory as CSV")
+    report.set_defaults(func=_cmd_report)
 
     stats = sub.add_parser(
         "stats", help="print statistics from a saved evaluation cache"
@@ -347,7 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs.logging import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(level=args.log_level, json_format=args.log_json)
     return args.func(args)
 
 

@@ -54,6 +54,7 @@ class Testbed:
         noise: float = 0.02,
         functional_check: bool = False,
         cache: Optional["EvalCache"] = None,
+        metrics=None,
     ) -> None:
         from repro.core.engine import WorkloadEngine
 
@@ -62,6 +63,8 @@ class Testbed:
         self.subsystem = subsystem
         self.clock = clock or SimulatedClock()
         self.engine = WorkloadEngine(subsystem, noise=noise, cache=cache)
+        #: Optional obs.MetricsRegistry accounting experiment costs.
+        self.metrics = metrics
         #: Functional bursts catch malformed workloads but cost real CPU;
         #: searches (thousands of experiments) disable them and rely on
         #: the space's coercion invariants, which the test suite verifies.
@@ -83,10 +86,20 @@ class Testbed:
         started = self.clock.now
         setup = self.engine.setup_seconds(workload)
         measure = self.engine.measurement_seconds()
-        measurement = self.engine.measure(
-            workload, rng=rng, functional_check=self.functional_check,
-            phase=phase,
-        )
+        if self.metrics is not None:
+            with self.metrics.timer("testbed.measure_wall", phase=phase):
+                measurement = self.engine.measure(
+                    workload, rng=rng,
+                    functional_check=self.functional_check, phase=phase,
+                )
+            self.metrics.counter("testbed.experiments", phase=phase)
+            self.metrics.observe("testbed.setup_seconds", setup)
+            self.metrics.observe("testbed.measurement_seconds", measure)
+        else:
+            measurement = self.engine.measure(
+                workload, rng=rng, functional_check=self.functional_check,
+                phase=phase,
+            )
         self.clock.advance(setup + measure)
         self.experiments_run += 1
         return ExperimentResult(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.core.space import SearchSpace
 from repro.hardware.counters import MINIMIZED_COUNTERS, is_diagnostic
 from repro.hardware.model import Measurement
 from repro.hardware.workload import WorkloadDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.recorder import FlightRecorder
 
 
 @dataclasses.dataclass(frozen=True)
@@ -116,6 +119,7 @@ class AnnealingSearch:
         params: SAParams = SAParams(),
         use_mfs: bool = True,
         mfs_probes_per_dimension: int = 2,
+        recorder: Optional["FlightRecorder"] = None,
     ) -> None:
         self.testbed = testbed
         self.space = space
@@ -124,6 +128,8 @@ class AnnealingSearch:
         self.params = params
         self.use_mfs = use_mfs
         self.mfs_probes_per_dimension = mfs_probes_per_dimension
+        #: Optional flight recorder; observes only, never draws RNG.
+        self.recorder = recorder
 
     # -- measurement helpers ---------------------------------------------
 
@@ -135,18 +141,19 @@ class AnnealingSearch:
         state.experiments += 1
         measurement = result.measurement
         verdict = self.monitor.classify(measurement)
-        state.events.append(
-            TraceEvent(
-                time_seconds=result.finished_at,
-                counter=signal.counter,
-                counter_value=signal.value(measurement),
-                symptom=verdict.symptom,
-                tags=measurement.tags,
-                workload=workload,
-                kind=kind,
-                counters=dict(measurement.counters),
-            )
+        event = TraceEvent(
+            time_seconds=result.finished_at,
+            counter=signal.counter,
+            counter_value=signal.value(measurement),
+            symptom=verdict.symptom,
+            tags=measurement.tags,
+            workload=workload,
+            kind=kind,
+            counters=dict(measurement.counters),
         )
+        state.events.append(event)
+        if self.recorder is not None:
+            self.recorder.experiment(event, state)
         return measurement
 
     def _handle_anomaly(
@@ -177,23 +184,38 @@ class AnnealingSearch:
         extractor = MFSExtractor(
             self.space, probe,
             probes_per_dimension=self.mfs_probes_per_dimension,
+            metrics=(
+                self.recorder.metrics if self.recorder is not None else None
+            ),
         )
-        mfs = extractor.construct(
-            workload, verdict.symptom, at_seconds=self.testbed.clock.now,
-            known=state.anomalies,
-        )
+        if self.recorder is not None:
+            with self.recorder.metrics.timer("mfs.construct_wall"):
+                mfs = extractor.construct(
+                    workload, verdict.symptom,
+                    at_seconds=self.testbed.clock.now,
+                    known=state.anomalies,
+                )
+        else:
+            mfs = extractor.construct(
+                workload, verdict.symptom, at_seconds=self.testbed.clock.now,
+                known=state.anomalies,
+            )
         if mfs is None:
             return False  # re-find of a known anomaly; keep climbing
         state.anomalies.append(mfs)
         index = len(state.anomalies) - 1
         # Re-tag the triggering event with the anomaly index.
+        event_index: Optional[int] = None
         for i in range(len(state.events) - 1, -1, -1):
             event = state.events[i]
             if event.workload is workload and event.kind != "mfs":
                 state.events[i] = dataclasses.replace(
                     event, new_anomaly_index=index
                 )
+                event_index = i
                 break
+        if self.recorder is not None:
+            self.recorder.anomaly(index, event_index, mfs)
         return True
 
     # -- the SA loop -------------------------------------------------------
@@ -211,9 +233,15 @@ class AnnealingSearch:
         """
         clock = self.testbed.clock
         best: Optional[tuple[float, WorkloadDescriptor]] = None
+        recorder = self.recorder
 
         def out_of_time() -> bool:
             return clock.now >= deadline or clock.expired
+
+        def record_transition(action: str, temperature: float,
+                              delta: float = 0.0) -> None:
+            if recorder is not None:
+                recorder.transition(clock.now, action, temperature, delta)
 
         def track_best(value: float, workload: WorkloadDescriptor) -> None:
             nonlocal best
@@ -239,12 +267,15 @@ class AnnealingSearch:
                     point = self.space.random(self.rng)
                 if self.use_mfs and match_any(state.anomalies, point):
                     state.skipped += 1
+                    if recorder is not None:
+                        recorder.skip(clock.now)
                     continue
                 measurement = self._measure(state, point, signal, kind="search")
                 value = signal.value(measurement)
                 if self._handle_anomaly(
                     state, point, measurement, signal, deadline
                 ):
+                    record_transition("restart", self.params.t0)
                     continue  # new anomaly: restart again (Alg. 1 line 17)
                 track_best(value, point)
                 return point, value
@@ -264,6 +295,8 @@ class AnnealingSearch:
                 candidate = self.space.mutate(current, self.rng)
                 if self.use_mfs and match_any(state.anomalies, candidate):
                     state.skipped += 1
+                    if recorder is not None:
+                        recorder.skip(clock.now)
                     continue
                 cand_measurement = self._measure(
                     state, candidate, signal, kind="search"
@@ -272,6 +305,7 @@ class AnnealingSearch:
                 if self._handle_anomaly(
                     state, candidate, cand_measurement, signal, deadline
                 ):
+                    record_transition("restart", temperature)
                     seeded = reseed(prefer_best=True)
                     if seeded is None:
                         return
@@ -281,16 +315,21 @@ class AnnealingSearch:
                 delta = signal.delta_energy(energy_value, cand_value)
                 if delta < 0:
                     current, energy_value = candidate, cand_value
+                    record_transition("improve", temperature, delta)
                 else:
                     prob = math.exp(-delta / max(temperature, 1e-9))
                     if self.rng.random() < prob:
                         current, energy_value = candidate, cand_value
+                        record_transition("accept", temperature, delta)
+                    else:
+                        record_transition("reject", temperature, delta)
             temperature *= self.params.alpha
             if temperature < self.params.t_min:
                 # Relaxed schedule (§5.1): reheat instead of terminating —
                 # the goal is coverage of many anomalies, not convergence.
                 cycle += 1
                 temperature = self.params.t0
+                record_transition("reheat", temperature)
                 seeded = reseed(prefer_best=True)
                 if seeded is None:
                     return

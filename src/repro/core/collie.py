@@ -39,6 +39,7 @@ from repro.hardware.subsystems import Subsystem, get_subsystem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.evalcache import EvalCache
+    from repro.obs.recorder import FlightRecorder
 
 #: §7.2: "we first generate 10 random points" to rank counters.
 RANKING_PROBES = 10
@@ -116,6 +117,7 @@ class Collie:
         mfs_probes_per_dimension: int = 2,
         counters: Optional[tuple] = None,
         cache: Optional["EvalCache"] = None,
+        recorder: Optional["FlightRecorder"] = None,
     ) -> None:
         if counter_mode not in ("diag", "perf"):
             raise ValueError("counter_mode must be 'diag' or 'perf'")
@@ -126,16 +128,27 @@ class Collie:
         #: partitions the ranked counters across machines).
         self.counter_subset = tuple(counters) if counters else None
         self.use_mfs = use_mfs
+        self.budget_hours = budget_hours
         self.budget_seconds = budget_hours * 3600.0
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.clock = SimulatedClock(self.budget_seconds)
         #: Memoized evaluation (transparent: results are bit-identical
         #: with or without it; MFS probing is where it pays off most).
         self.cache = cache
+        #: Optional flight recorder; its metrics registry is threaded
+        #: through the monitor, testbed and cache, its journal through
+        #: the annealing loop.  Purely observational: a recorded run is
+        #: bit-identical to an unrecorded one.
+        self.recorder = recorder
+        metrics = recorder.metrics if recorder is not None else None
+        if recorder is not None and cache is not None:
+            cache.observer = recorder.cache_event
         self.testbed = Testbed(
-            subsystem, clock=self.clock, noise=noise, cache=cache
+            subsystem, clock=self.clock, noise=noise, cache=cache,
+            metrics=metrics,
         )
-        self.monitor = AnomalyMonitor(subsystem)
+        self.monitor = AnomalyMonitor(subsystem, metrics=metrics)
         self.search = AnnealingSearch(
             self.testbed,
             self.space,
@@ -144,6 +157,7 @@ class Collie:
             params=sa_params,
             use_mfs=use_mfs,
             mfs_probes_per_dimension=mfs_probes_per_dimension,
+            recorder=recorder,
         )
         self.last_report: Optional[SearchReport] = None
 
@@ -160,8 +174,15 @@ class Collie:
         The report is memoised on the instance (``last_report``) for the
         §7.3 developer workflows that interrogate a finished campaign.
         """
+        if self.recorder is not None:
+            self.recorder.run_start(
+                self.subsystem.name, self.counter_mode, self.use_mfs,
+                self.budget_hours, self.seed,
+            )
         state = SearchState()
         ranking = self._rank_counters(state)
+        if self.recorder is not None:
+            self.recorder.ranking(ranking, self._dispersions)
         self._search_counters(state, ranking)
         self.last_report = SearchReport(
             subsystem_name=self.subsystem.name,
@@ -174,6 +195,8 @@ class Collie:
             elapsed_seconds=self.clock.now,
             counter_ranking=ranking,
         )
+        if self.recorder is not None:
+            self.recorder.run_end(self.last_report)
         return self.last_report
 
     def _candidate_counters(self) -> tuple[str, ...]:

@@ -29,7 +29,7 @@ import json
 import os
 import threading
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hardware.model import DirectionRates
 from repro.hardware.rules import FiredRule
@@ -137,6 +137,9 @@ class EvalCache:
         self._imported_keys: set[str] = set()
         self.path = path
         self.loaded_entries = 0
+        #: Optional hit/miss observer, ``observer(phase, hit)`` — wired by
+        #: the flight recorder.  Called outside the lock (it may do IO).
+        self.observer: Optional[Callable[[str, bool], None]] = None
         if path is not None and os.path.exists(path):
             self.load(path)
 
@@ -187,7 +190,9 @@ class EvalCache:
                 stats.misses += 1
             else:
                 stats.hits += 1
-            return entry
+        if self.observer is not None:
+            self.observer(phase, entry is not None)
+        return entry
 
     def store(
         self,

@@ -70,11 +70,21 @@ class CampaignExecutor:
     behaviour the parallel path must reproduce bit-for-bit.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        metrics=None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.last_stats: Optional[ExecutorStats] = None
+        #: Optional obs.MetricsRegistry accounting fan-out wall time.
+        self.metrics = metrics
+        #: Optional ``progress(done, total)`` callback, invoked in the
+        #: parent as each task's result lands (task order).
+        self.progress = progress
 
     def map(self, fn: Callable, payloads: Sequence) -> list:
         """Apply ``fn`` to every payload; results come back in order.
@@ -95,6 +105,11 @@ class CampaignExecutor:
             results = self._run_pooled(fn, payloads, stats)
         stats.wall_seconds = time.perf_counter() - started
         self.last_stats = stats
+        if self.metrics is not None:
+            self.metrics.counter("executor.tasks", stats.tasks)
+            self.metrics.gauge("executor.workers", stats.workers)
+            self.metrics.observe("executor.wall_seconds", stats.wall_seconds)
+            self.metrics.observe("executor.busy_seconds", stats.busy_seconds)
         return results
 
     # -- strategies ----------------------------------------------------------
@@ -105,6 +120,7 @@ class CampaignExecutor:
             result, seconds = _timed_call(fn, payload)
             stats.busy_seconds += seconds
             results.append(result)
+            self._task_done(len(results), stats, seconds)
         return results
 
     def _run_pooled(self, fn, payloads, stats: ExecutorStats) -> list:
@@ -126,4 +142,13 @@ class CampaignExecutor:
                 result, seconds = future.result()
                 stats.busy_seconds += seconds
                 results.append(result)
+                self._task_done(len(results), stats, seconds)
         return results
+
+    def _task_done(
+        self, done: int, stats: ExecutorStats, seconds: float
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.observe("executor.task_seconds", seconds)
+        if self.progress is not None:
+            self.progress(done, stats.tasks)

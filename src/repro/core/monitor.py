@@ -57,11 +57,14 @@ class AnomalyMonitor:
         pause_threshold: float = PAUSE_RATIO_THRESHOLD,
         throughput_fraction: float = THROUGHPUT_FRACTION,
         stability_cv: float = 0.2,
+        metrics=None,
     ) -> None:
         self.subsystem = subsystem
         self.pause_threshold = pause_threshold
         self.throughput_fraction = throughput_fraction
         self.stability_cv = stability_cv
+        #: Optional obs.MetricsRegistry tallying verdicts by symptom.
+        self.metrics = metrics
 
     def classify(self, measurement: Measurement) -> AnomalyVerdict:
         """Classify one measurement.
@@ -82,6 +85,8 @@ class AnomalyMonitor:
             symptom = LOW_THROUGHPUT
         else:
             symptom = HEALTHY
+        if self.metrics is not None:
+            self.metrics.counter("monitor.verdicts", symptom=symptom)
         return AnomalyVerdict(
             symptom=symptom,
             pause_ratio=pause_ratio,

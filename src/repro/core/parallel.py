@@ -117,6 +117,7 @@ class ParallelCollie:
         noise: float = 0.02,
         workers: int = 1,
         cache: Optional[EvalCache] = None,
+        recorder=None,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
@@ -129,7 +130,15 @@ class ParallelCollie:
         self.space = space or SearchSpace.for_subsystem(subsystem)
         self.sa_params = sa_params
         self.noise = noise
-        self.executor = CampaignExecutor(workers=workers)
+        #: Optional flight recorder.  A recorder's journal handle cannot
+        #: cross the process boundary, so the fleet journals post-hoc:
+        #: each machine's report is replayed into the journal on return.
+        self.recorder = recorder
+        self.executor = CampaignExecutor(
+            workers=workers,
+            metrics=recorder.metrics if recorder is not None else None,
+            progress=recorder.task_progress if recorder is not None else None,
+        )
         #: Parent-side cache: warm-starts every machine and absorbs
         #: their entries/stats after the fleet completes.
         self.cache = cache
@@ -184,6 +193,14 @@ class ParallelCollie:
         ]
         outcomes = self.executor.map(_run_machine, payloads)
         reports = [outcome["report"] for outcome in outcomes]
+        if self.recorder is not None:
+            if self.executor.last_stats is not None:
+                self.recorder.fanout(self.executor.last_stats)
+            for machine, report in enumerate(reports):
+                self.recorder.record_report(
+                    report, self.budget_hours,
+                    seed=self.seed * 1000 + machine,
+                )
         if self.cache is not None:
             for outcome in outcomes:
                 if outcome["cache_entries"]:

@@ -1,0 +1,49 @@
+"""Observability: the flight recorder for search campaigns.
+
+Collie's value is *explaining* why a subsystem misbehaves; this package
+makes the search itself explainable while in flight:
+
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry
+  plus a span/timer API, instrumenting the SA loop, the anomaly
+  monitor, MFS probing, the evaluation cache and the campaign executor;
+* :mod:`repro.obs.journal` — a versioned, structured JSONL run journal
+  from which a :class:`~repro.core.collie.SearchReport` (and the
+  Figure 4–6 inputs) can be re-rendered bit-identically;
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder` façade the
+  hot paths call into (a ``None`` recorder costs one identity check);
+* :mod:`repro.obs.logging` — the CLI-side ``logging`` setup helper
+  (library code never configures the root logger).
+
+Everything is off by default and adds no work to a run that does not
+request it.
+"""
+
+from repro.obs.journal import (
+    RunJournal,
+    journal_summary,
+    read_journal,
+    reports_from_journal,
+    reports_from_records,
+)
+from repro.obs.logging import setup_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    validate_journal,
+    validate_record,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "MetricsRegistry",
+    "RunJournal",
+    "SCHEMA_VERSION",
+    "journal_summary",
+    "read_journal",
+    "reports_from_journal",
+    "reports_from_records",
+    "setup_logging",
+    "validate_journal",
+    "validate_record",
+]

@@ -1,0 +1,245 @@
+"""The structured JSONL run journal: write, read, re-render.
+
+One journal line per observable event (see :mod:`repro.obs.schema`);
+the file is append-only NDJSON so a crashed run leaves a valid prefix.
+The contract that makes the journal a *flight recorder* rather than a
+log: :func:`reports_from_journal` re-renders the journal into
+:class:`~repro.core.collie.SearchReport` objects equal to the in-memory
+ones — same events, same anomalies, same totals — so every downstream
+analysis (Figures 4–6, ``found_tags``, ``first_hit_times``) can run
+from the file alone.
+
+Floats survive exactly: ``json`` renders Python floats via ``repr``
+(shortest round-tripping form) and NumPy scalars are coerced through
+``.item()`` before serialisation, which preserves their value (and
+``np.float64(x) == float(x)``, so reconstructed dataclasses still
+compare equal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import IO, Iterable, Optional, Union
+
+from repro.analysis.serialize import (
+    mfs_from_dict,
+    mfs_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.core.annealing import TraceEvent
+from repro.core.collie import SearchReport
+from repro.obs.schema import SCHEMA_VERSION
+
+
+def _json_default(value):
+    """Coerce NumPy scalars (``np.float64``/``np.int64``...) to Python."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"journal record value of type {type(value).__name__} "
+        f"is not JSON-serialisable"
+    )
+
+
+class RunJournal:
+    """Append-only NDJSON writer with the schema version stamped in.
+
+    Line-buffered: each record reaches the OS as soon as it is written,
+    so a killed run still leaves every completed experiment on disk.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._handle: Optional[IO[str]] = open(
+            self.path, "w", buffering=1, encoding="utf-8"
+        )
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        if self._handle is None:
+            raise ValueError("journal is closed")
+        payload = {"v": SCHEMA_VERSION}
+        payload.update(record)
+        self._handle.write(
+            json.dumps(
+                payload, separators=(",", ":"), default=_json_default
+            )
+            + "\n"
+        )
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, os.PathLike]) -> list[dict]:
+    """Parse a journal file into records (blank lines are skipped)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}: line {line_number} is not valid JSON: {error}"
+                ) from error
+    return records
+
+
+# -- record constructors (the write side the recorder uses) ------------------
+
+
+def experiment_record(event: TraceEvent) -> dict:
+    return {
+        "t": "experiment",
+        "time_seconds": event.time_seconds,
+        "counter": event.counter,
+        "counter_value": event.counter_value,
+        "symptom": event.symptom,
+        "tags": list(event.tags),
+        "kind": event.kind,
+        "workload": workload_to_dict(event.workload),
+        "counters": dict(event.counters),
+        "new_anomaly_index": event.new_anomaly_index,
+    }
+
+
+def anomaly_record(index: int, event_index: Optional[int], mfs) -> dict:
+    return {
+        "t": "anomaly",
+        "index": index,
+        "event_index": event_index,
+        "mfs": mfs_to_dict(mfs),
+    }
+
+
+# -- reconstruction (the read side) ------------------------------------------
+
+
+def _event_from_record(record: dict) -> TraceEvent:
+    return TraceEvent(
+        time_seconds=record["time_seconds"],
+        counter=record["counter"],
+        counter_value=record["counter_value"],
+        symptom=record["symptom"],
+        tags=tuple(record["tags"]),
+        workload=workload_from_dict(record["workload"]),
+        kind=record["kind"],
+        new_anomaly_index=record.get("new_anomaly_index"),
+        counters=dict(record["counters"]),
+    )
+
+
+def _report_from_run(records: list[dict]) -> SearchReport:
+    """Re-render one run's records into a SearchReport.
+
+    ``run_end`` totals are authoritative when present; a crashed run
+    (no ``run_end``) reconstructs from the per-event records alone —
+    experiments and events are 1:1 by construction, skips have their
+    own records, and elapsed time is the last event's finish time.
+    """
+    start = records[0] if records and records[0].get("t") == "run_start" else {}
+    events: list[TraceEvent] = []
+    anomalies: list = []
+    ranking: Optional[list] = None
+    skips = 0
+    end: Optional[dict] = None
+    for record in records:
+        kind = record.get("t")
+        if kind == "experiment":
+            events.append(_event_from_record(record))
+        elif kind == "anomaly":
+            anomalies.append((record["index"], record))
+        elif kind == "skip":
+            skips += 1
+        elif kind == "ranking":
+            ranking = list(record["counters"])
+        elif kind == "run_end":
+            end = record
+    anomalies.sort(key=lambda pair: pair[0])
+    anomaly_set = [mfs_from_dict(record["mfs"]) for _, record in anomalies]
+    # Replay the retroactive re-tag: live journals emit the experiment
+    # record before the anomaly is extracted, so the triggering event's
+    # index rides on the anomaly record instead.
+    for index, record in anomalies:
+        event_index = record.get("event_index")
+        if event_index is not None and 0 <= event_index < len(events):
+            events[event_index] = dataclasses.replace(
+                events[event_index], new_anomaly_index=index
+            )
+    if end is not None:
+        experiments = end["experiments"]
+        skipped = end["skipped"]
+        elapsed = end["elapsed_seconds"]
+        counter_ranking = list(end["counter_ranking"])
+    else:
+        experiments = len(events)
+        skipped = skips
+        elapsed = max((e.time_seconds for e in events), default=0.0)
+        counter_ranking = ranking or []
+    return SearchReport(
+        subsystem_name=start.get("subsystem", "?"),
+        counter_mode=start.get("counter_mode", "diag"),
+        use_mfs=start.get("use_mfs", True),
+        anomalies=anomaly_set,
+        events=events,
+        experiments=experiments,
+        skipped_points=skipped,
+        elapsed_seconds=elapsed,
+        counter_ranking=counter_ranking,
+    )
+
+
+def reports_from_records(records: Iterable[dict]) -> list[SearchReport]:
+    """Every run in a journal, re-rendered as SearchReports.
+
+    Runs are delimited by ``run_start`` records; records before the
+    first ``run_start`` (fan-out accounting, stray snapshots) are
+    ignored.
+    """
+    runs: list[list[dict]] = []
+    for record in records:
+        if record.get("t") == "run_start":
+            runs.append([record])
+        elif runs:
+            runs[-1].append(record)
+    return [_report_from_run(run) for run in runs]
+
+
+def reports_from_journal(
+    path: Union[str, os.PathLike]
+) -> list[SearchReport]:
+    return reports_from_records(read_journal(path))
+
+
+def journal_summary(records: Iterable[dict]) -> dict:
+    """Shape overview of a journal: record counts, runs, anomalies."""
+    by_type: dict[str, int] = {}
+    for record in records:
+        kind = record.get("t", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+    return {
+        "records": sum(by_type.values()),
+        "runs": by_type.get("run_start", 0),
+        "experiments": by_type.get("experiment", 0),
+        "anomalies": by_type.get("anomaly", 0),
+        "transitions": by_type.get("transition", 0),
+        "skips": by_type.get("skip", 0),
+        "cache_events": by_type.get("cache", 0),
+        "by_type": dict(sorted(by_type.items())),
+    }

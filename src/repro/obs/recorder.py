@@ -1,0 +1,251 @@
+"""The flight recorder: the façade every instrumented hot path calls.
+
+A :class:`FlightRecorder` bundles the three observability channels —
+metrics registry, JSONL run journal, periodic progress lines — behind
+one object that the search machinery receives as an optional
+``recorder`` parameter.  Design rules the hot paths rely on:
+
+* **zero-cost when absent** — every call site guards with a single
+  ``recorder is not None`` check, so an uninstrumented run does no
+  extra work;
+* **no RNG, no clock writes** — the recorder only *observes*; it never
+  consumes random draws or advances the simulated clock, so a recorded
+  run is bit-identical to an unrecorded one (pinned by the test suite);
+* **crash-safe** — journal records are written line-buffered as events
+  happen, never batched until the end.
+
+``record_report`` covers the process-parallel paths: a recorder holds
+an open file handle and cannot cross a process boundary, so fleet /
+campaign runs journal post-hoc from the reports their workers return.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from repro.obs.journal import (
+    RunJournal,
+    anomaly_record,
+    experiment_record,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Progress lines go through this logger at INFO (CLI surfaces enable it).
+progress_logger = logging.getLogger("repro.obs.progress")
+
+
+class FlightRecorder:
+    """Metrics + journal + live progress for one search campaign."""
+
+    def __init__(
+        self,
+        journal: Optional[RunJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress_every: int = 0,
+    ) -> None:
+        self.journal = journal
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Emit a progress snapshot every N experiments (0 = never).
+        self.progress_every = progress_every
+        self._experiments_seen = 0
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def run_start(
+        self,
+        subsystem_name: str,
+        counter_mode: str,
+        use_mfs: bool,
+        budget_hours: float,
+        seed: Optional[int],
+    ) -> None:
+        self.metrics.counter("search.runs")
+        if self.journal is not None:
+            self.journal.write({
+                "t": "run_start",
+                "subsystem": subsystem_name,
+                "counter_mode": counter_mode,
+                "use_mfs": use_mfs,
+                "budget_hours": budget_hours,
+                "seed": seed,
+            })
+
+    def ranking(
+        self, counters: list, dispersions: Optional[dict] = None
+    ) -> None:
+        if self.journal is not None:
+            self.journal.write({
+                "t": "ranking",
+                "counters": list(counters),
+                "dispersions": dict(dispersions) if dispersions else None,
+            })
+
+    def run_end(self, report) -> None:
+        self._run_end_totals(
+            report.elapsed_seconds, report.experiments,
+            report.skipped_points, len(report.anomalies),
+            report.counter_ranking,
+        )
+
+    def _run_end_totals(
+        self, elapsed_seconds: float, experiments: int, skipped: int,
+        anomalies: int, counter_ranking: list,
+    ) -> None:
+        if self.journal is not None:
+            self.journal.write({
+                "t": "run_end",
+                "elapsed_seconds": elapsed_seconds,
+                "experiments": experiments,
+                "skipped": skipped,
+                "anomalies": anomalies,
+                "counter_ranking": list(counter_ranking),
+                "metrics": self.metrics.snapshot(),
+            })
+
+    # -- search events (live instrumentation) ------------------------------
+
+    def experiment(self, event, state) -> None:
+        """One measured experiment (a freshly appended TraceEvent)."""
+        self.metrics.counter("search.experiments", kind=event.kind)
+        self.metrics.counter("search.symptoms", symptom=event.symptom)
+        if self.journal is not None:
+            self.journal.write(experiment_record(event))
+        self._experiments_seen += 1
+        if (
+            self.progress_every
+            and self._experiments_seen % self.progress_every == 0
+        ):
+            self._progress_snapshot(event.time_seconds, state)
+
+    def transition(
+        self, time_seconds: float, action: str,
+        temperature: float, delta: float,
+    ) -> None:
+        """One SA decision (improve/accept/reject/restart/reheat)."""
+        self.metrics.counter("sa.transitions", action=action)
+        self.metrics.gauge("sa.temperature", temperature)
+        self.metrics.observe("sa.delta_energy", delta)
+        if self.journal is not None:
+            self.journal.write({
+                "t": "transition",
+                "time_seconds": time_seconds,
+                "action": action,
+                "temperature": temperature,
+                "delta": delta,
+            })
+
+    def skip(self, time_seconds: float) -> None:
+        """A candidate matched a known MFS; no experiment was run."""
+        self.metrics.counter("search.skips")
+        if self.journal is not None:
+            self.journal.write({"t": "skip", "time_seconds": time_seconds})
+
+    def anomaly(self, index: int, event_index: Optional[int], mfs) -> None:
+        """A new MFS entered the anomaly set."""
+        self.metrics.counter("search.anomalies")
+        self.metrics.counter("mfs.extractions")
+        self.metrics.counter("mfs.probe_experiments", mfs.probe_experiments)
+        if self.journal is not None:
+            self.journal.write(anomaly_record(index, event_index, mfs))
+
+    def cache_event(self, phase: str, hit: bool) -> None:
+        """One evaluation-cache lookup (wired as the cache's observer)."""
+        outcome = "hit" if hit else "miss"
+        self.metrics.counter("cache.lookups", phase=phase, outcome=outcome)
+        if self.journal is not None:
+            self.journal.write({"t": "cache", "phase": phase, "hit": hit})
+
+    # -- fan-out (executor / fleet) ----------------------------------------
+
+    def fanout(self, stats) -> None:
+        """Executor accounting of one completed fan-out."""
+        self.metrics.counter("executor.tasks", stats.tasks)
+        self.metrics.observe("executor.wall_seconds", stats.wall_seconds)
+        self.metrics.observe("executor.busy_seconds", stats.busy_seconds)
+        self.metrics.gauge("executor.workers", stats.workers)
+        if self.journal is not None:
+            self.journal.write({
+                "t": "fanout",
+                "tasks": stats.tasks,
+                "workers": stats.workers,
+                "wall_seconds": stats.wall_seconds,
+                "busy_seconds": stats.busy_seconds,
+                "fell_back_serial": stats.fell_back_serial,
+            })
+
+    def task_progress(self, done: int, total: int) -> None:
+        """One fan-out task finished (live campaign progress)."""
+        if self.progress_every:
+            progress_logger.info("progress: task %d/%d complete", done, total)
+
+    # -- post-hoc journaling (process-parallel paths) ----------------------
+
+    def record_report(
+        self,
+        report,
+        budget_hours: float,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Journal a finished report after the fact.
+
+        Workers return plain reports (a recorder's file handle cannot
+        be pickled across processes); the parent replays them into the
+        journal so fleet and campaign runs are reconstructible too.
+        The events already carry their ``new_anomaly_index`` re-tags,
+        so anomaly records here need no ``event_index``.
+
+        Accepts both Collie's ``SearchReport`` and the baselines'
+        ``BaselineReport`` (which has no MFS bookkeeping — those fields
+        journal as empty).
+        """
+        counter_mode = getattr(
+            report, "counter_mode", getattr(report, "name", "?")
+        )
+        anomalies = getattr(report, "anomalies", [])
+        skipped = getattr(report, "skipped_points", 0)
+        self.run_start(
+            report.subsystem_name, counter_mode,
+            getattr(report, "use_mfs", False), budget_hours, seed,
+        )
+        self.ranking(getattr(report, "counter_ranking", []))
+        for event in report.events:
+            self.metrics.counter("search.experiments", kind=event.kind)
+            self.metrics.counter("search.symptoms", symptom=event.symptom)
+            if self.journal is not None:
+                self.journal.write(experiment_record(event))
+        for index, mfs in enumerate(anomalies):
+            self.anomaly(index, None, mfs)
+        for _ in range(skipped):
+            self.metrics.counter("search.skips")
+            if self.journal is not None:
+                self.journal.write({
+                    "t": "skip", "time_seconds": report.elapsed_seconds,
+                })
+        self._run_end_totals(
+            report.elapsed_seconds, report.experiments, skipped,
+            len(anomalies), getattr(report, "counter_ranking", []),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _progress_snapshot(self, time_seconds: float, state) -> None:
+        progress_logger.info(
+            "progress: %d experiments, %d anomalies, %d skipped, "
+            "t=%.2f simulated hours",
+            state.experiments, len(state.anomalies), state.skipped,
+            time_seconds / 3600.0,
+        )
+        if self.journal is not None:
+            self.journal.write({
+                "t": "snapshot",
+                "time_seconds": time_seconds,
+                "experiments": state.experiments,
+                "anomalies": len(state.anomalies),
+                "skipped": state.skipped,
+                "metrics": self.metrics.snapshot(),
+            })
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()

@@ -1,0 +1,184 @@
+"""Versioned schema of the run-journal records.
+
+Every journal line is one JSON object carrying ``{"v": SCHEMA_VERSION,
+"t": <record type>}`` plus the type's payload fields.  The validator is
+deliberately hand-rolled (no jsonschema dependency): a field spec maps
+field name → accepted Python types, which covers everything the journal
+emits and keeps CI's validation step dependency-free.
+
+Record types:
+
+``run_start``
+    One per search run: identity (subsystem, counter mode, MFS usage)
+    plus budget and seed — everything needed to re-run the search.
+``ranking``
+    The §7.2 counter ranking: ordered counter list and the dispersion
+    (std/mean over the probe set) each counter scored.
+``experiment``
+    One testbed experiment — the journal twin of a
+    :class:`~repro.core.annealing.TraceEvent`, with the workload and
+    full counter snapshot inlined.
+``anomaly``
+    A new MFS entered the anomaly set.  ``event_index`` points at the
+    triggering experiment record (its 0-based position within the run),
+    mirroring the in-memory retroactive re-tag.
+``transition``
+    One SA decision: ``improve`` / ``accept`` / ``reject`` /
+    ``restart`` / ``reheat``, with temperature and energy delta.
+``skip``
+    A candidate point matched a known MFS and was skipped unmeasured.
+``cache``
+    One evaluation-cache lookup (phase + hit/miss).
+``snapshot``
+    Periodic progress: totals so far plus a metrics-registry dump.
+``run_end``
+    Authoritative totals of the finished run (the reconstruction
+    prefers these over recomputing; their absence means a crashed run,
+    which still reconstructs from the experiment records alone).
+``fanout``
+    Executor accounting of one multi-seed / fleet fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+SCHEMA_VERSION = 1
+
+NUMBER = (int, float)
+MAYBE_INT = (int, type(None))
+MAYBE_DICT = (dict, type(None))
+
+#: SA transition actions the schema admits.
+TRANSITION_ACTIONS = ("improve", "accept", "reject", "restart", "reheat")
+
+#: Record type → {field: accepted types}.  Extra fields are allowed
+#: (forward compatibility); missing or mistyped ones are errors.
+RECORD_FIELDS: dict = {
+    "run_start": {
+        "subsystem": str,
+        "counter_mode": str,
+        "use_mfs": bool,
+        "budget_hours": NUMBER,
+        "seed": MAYBE_INT,
+    },
+    "ranking": {
+        "counters": list,
+        "dispersions": MAYBE_DICT,
+    },
+    "experiment": {
+        "time_seconds": NUMBER,
+        "counter": str,
+        "counter_value": NUMBER,
+        "symptom": str,
+        "tags": list,
+        "kind": str,
+        "workload": dict,
+        "counters": dict,
+        "new_anomaly_index": MAYBE_INT,
+    },
+    "anomaly": {
+        "index": int,
+        "event_index": MAYBE_INT,
+        "mfs": dict,
+    },
+    "transition": {
+        "time_seconds": NUMBER,
+        "action": str,
+        "temperature": NUMBER,
+        "delta": NUMBER,
+    },
+    "skip": {
+        "time_seconds": NUMBER,
+    },
+    "cache": {
+        "phase": str,
+        "hit": bool,
+    },
+    "snapshot": {
+        "time_seconds": NUMBER,
+        "experiments": int,
+        "anomalies": int,
+        "skipped": int,
+        "metrics": dict,
+    },
+    "run_end": {
+        "elapsed_seconds": NUMBER,
+        "experiments": int,
+        "skipped": int,
+        "anomalies": int,
+        "counter_ranking": list,
+        "metrics": MAYBE_DICT,
+    },
+    "fanout": {
+        "tasks": int,
+        "workers": int,
+        "wall_seconds": NUMBER,
+        "busy_seconds": NUMBER,
+        "fell_back_serial": bool,
+    },
+}
+
+
+def validate_record(record, line: Optional[int] = None) -> list[str]:
+    """Errors in one journal record (empty list = valid)."""
+    where = f"line {line}: " if line is not None else ""
+    if not isinstance(record, dict):
+        return [f"{where}record is not an object"]
+    errors = []
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        errors.append(
+            f"{where}unsupported schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    kind = record.get("t")
+    fields = RECORD_FIELDS.get(kind)
+    if fields is None:
+        errors.append(f"{where}unknown record type {kind!r}")
+        return errors
+    for name, accepted in fields.items():
+        if name not in record:
+            errors.append(f"{where}{kind}: missing field {name!r}")
+            continue
+        value = record[name]
+        # bool is an int subclass; don't let True satisfy an int field.
+        if isinstance(value, bool) and bool not in (
+            accepted if isinstance(accepted, tuple) else (accepted,)
+        ):
+            errors.append(
+                f"{where}{kind}: field {name!r} is bool, expected "
+                f"{_describe_types(accepted)}"
+            )
+        elif not isinstance(value, accepted):
+            errors.append(
+                f"{where}{kind}: field {name!r} is "
+                f"{type(value).__name__}, expected "
+                f"{_describe_types(accepted)}"
+            )
+    if kind == "transition":
+        action = record.get("action")
+        if isinstance(action, str) and action not in TRANSITION_ACTIONS:
+            errors.append(
+                f"{where}transition: unknown action {action!r} "
+                f"(expected one of {', '.join(TRANSITION_ACTIONS)})"
+            )
+    return errors
+
+
+def validate_journal(records: Iterable[dict]) -> list[str]:
+    """Errors across a whole journal (1-based line numbers)."""
+    errors: list[str] = []
+    count = 0
+    for line, record in enumerate(records, 1):
+        count = line
+        errors.extend(validate_record(record, line=line))
+    if count == 0:
+        errors.append("journal is empty")
+    return errors
+
+
+def _describe_types(accepted) -> str:
+    if isinstance(accepted, tuple):
+        return " or ".join(t.__name__ for t in accepted)
+    return accepted.__name__

@@ -62,3 +62,39 @@ class TestTrace:
         text = log.render(limit=10)
         assert "more records" in text
         assert text.count("\n") < 20
+
+
+class TestRenderPaths:
+    def test_record_render_carries_every_field(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=1)
+        record = log.events_of("post")[0]
+        text = record.render()
+        assert "us]" in text
+        assert f"qp{record.qp_index}" in text
+        assert "post" in text
+        assert f"wr={record.wr_id}" in text
+        assert f"{record.nbytes:>8}B" in text
+        assert record.detail in text
+
+    def test_render_without_limit_shows_everything(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=30)
+        text = log.render(limit=None)
+        assert "more records" not in text
+        # Header (2 lines) + every record on its own line.
+        assert text.count("\n") == 1 + len(log.records)
+
+    def test_render_exact_limit_has_no_ellipsis(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=4)
+        text = log.render(limit=len(log.records))
+        assert "more records" not in text
+
+    def test_render_header_names_workload_and_subsystem(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=1)
+        text = log.render()
+        assert "trace of" in text
+        assert "on subsystem F" in text
+        assert "msgs/s" in text
+
+    def test_events_of_unknown_kind_is_empty(self, tracer):
+        log = tracer.trace(WorkloadDescriptor(), messages=2)
+        assert log.events_of("retransmit") == []

@@ -1,0 +1,119 @@
+"""The run journal: round-trip determinism and reconstruction."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Collie
+from repro.obs import (
+    FlightRecorder,
+    RunJournal,
+    journal_summary,
+    read_journal,
+    reports_from_journal,
+    validate_journal,
+)
+
+BUDGET_HOURS = 0.5
+SEED = 2
+
+
+def run_search(recorder=None):
+    return Collie.for_subsystem(
+        "H", budget_hours=BUDGET_HOURS, seed=SEED, recorder=recorder
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded search: (report, journal path)."""
+    path = tmp_path_factory.mktemp("journal") / "run.jsonl"
+    recorder = FlightRecorder(journal=RunJournal(path))
+    report = run_search(recorder)
+    recorder.close()
+    return report, path
+
+
+class TestDeterminism:
+    def test_recording_does_not_change_the_search(self, recorded):
+        reference = run_search(recorder=None)
+        report, _ = recorded
+        assert report == reference
+
+    def test_journal_is_append_only_valid_ndjson(self, recorded):
+        _, path = recorded
+        records = read_journal(path)
+        assert validate_journal(records) == []
+
+
+class TestReconstruction:
+    def test_report_rerenders_bit_identically(self, recorded):
+        report, path = recorded
+        (rebuilt,) = reports_from_journal(path)
+        assert rebuilt.events == report.events
+        assert rebuilt.anomalies == report.anomalies
+        assert rebuilt == report
+
+    def test_downstream_analyses_agree(self, recorded):
+        report, path = recorded
+        (rebuilt,) = reports_from_journal(path)
+        assert rebuilt.found_tags() == report.found_tags()
+        assert rebuilt.first_hit_times() == report.first_hit_times()
+        assert rebuilt.summary() == report.summary()
+
+    def test_crashed_run_reconstructs_from_the_prefix(
+        self, recorded, tmp_path
+    ):
+        report, path = recorded
+        lines = [
+            line for line in path.read_text().splitlines()
+            if json.loads(line)["t"] != "run_end"
+        ]
+        truncated = tmp_path / "crashed.jsonl"
+        truncated.write_text("\n".join(lines) + "\n")
+        (rebuilt,) = reports_from_journal(truncated)
+        assert rebuilt.events == report.events
+        assert rebuilt.anomalies == report.anomalies
+        assert rebuilt.experiments == len(report.events)
+
+    def test_summary_counts_the_record_types(self, recorded):
+        report, path = recorded
+        records = read_journal(path)
+        summary = journal_summary(records)
+        assert summary["runs"] == 1
+        assert summary["experiments"] == len(report.events)
+        assert summary["anomalies"] == len(report.anomalies)
+        assert summary["records"] == len(records)
+
+
+class TestRunJournal:
+    def test_numpy_scalars_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "np.jsonl"
+        value = np.float64(0.1) * 3  # not representable exactly
+        with RunJournal(path) as journal:
+            journal.write({"t": "skip", "time_seconds": value})
+        (record,) = read_journal(path)
+        assert record["time_seconds"] == float(value)
+
+    def test_write_after_close_raises(self, tmp_path):
+        journal = RunJournal(tmp_path / "x.jsonl")
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.write({"t": "skip", "time_seconds": 0.0})
+
+    def test_unserialisable_value_is_a_clear_error(self, tmp_path):
+        with RunJournal(tmp_path / "bad.jsonl") as journal:
+            with pytest.raises(TypeError, match="not JSON-serialisable"):
+                journal.write({"t": "skip", "time_seconds": object()})
+
+    def test_read_journal_reports_the_broken_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"v":1,"t":"skip","time_seconds":0.0}\n{oops\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_journal(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"v":1,"t":"skip","time_seconds":0.0}\n\n')
+        assert len(read_journal(path)) == 1

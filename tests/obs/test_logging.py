@@ -1,0 +1,79 @@
+"""The CLI logging setup: stream routing, idempotence, JSON mode."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import _HANDLER_TAG, setup_logging
+
+
+def our_handlers():
+    root = logging.getLogger()
+    return [h for h in root.handlers if getattr(h, _HANDLER_TAG, False)]
+
+
+class TestRouting:
+    def test_info_goes_to_stdout_only(self, capsys):
+        setup_logging("info")
+        logging.getLogger("repro.test").info("hello from info")
+        captured = capsys.readouterr()
+        assert "hello from info" in captured.out
+        assert "hello from info" not in captured.err
+
+    def test_warning_goes_to_stderr_only(self, capsys):
+        setup_logging("info")
+        logging.getLogger("repro.test").warning("watch out")
+        captured = capsys.readouterr()
+        assert "watch out" in captured.err
+        assert "watch out" not in captured.out
+
+    def test_level_threshold_applies(self, capsys):
+        setup_logging("warning")
+        logging.getLogger("repro.test").info("too quiet")
+        captured = capsys.readouterr()
+        assert "too quiet" not in captured.out + captured.err
+
+    def test_debug_level_opens_the_floor(self, capsys):
+        setup_logging("debug")
+        logging.getLogger("repro.test").debug("verbose detail")
+        assert "verbose detail" in capsys.readouterr().out
+
+
+class TestIdempotence:
+    def test_repeated_setup_never_stacks_handlers(self):
+        setup_logging("info")
+        setup_logging("info")
+        setup_logging("debug")
+        assert len(our_handlers()) == 2
+
+    def test_messages_are_not_duplicated(self, capsys):
+        setup_logging("info")
+        setup_logging("info")
+        logging.getLogger("repro.test").info("once")
+        assert capsys.readouterr().out.count("once") == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging("chatty")
+
+
+class TestJsonMode:
+    def test_records_render_as_json_lines(self, capsys):
+        setup_logging("info", json_format=True)
+        logging.getLogger("repro.test").info("structured %d", 7)
+        line = capsys.readouterr().out.strip()
+        payload = json.loads(line)
+        assert payload == {
+            "level": "info", "logger": "repro.test", "msg": "structured 7",
+        }
+
+    def test_exceptions_are_inlined(self, capsys):
+        setup_logging("info", json_format=True)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logging.getLogger("repro.test").error("failed", exc_info=True)
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert payload["level"] == "error"
+        assert "boom" in payload["exc"]

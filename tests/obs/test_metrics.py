@@ -1,0 +1,131 @@
+"""The labeled metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import HistogramSummary, MetricsRegistry, render_key
+
+
+class TestRenderKey:
+    def test_bare_name_without_labels(self):
+        assert render_key("search.runs", {}) == "search.runs"
+
+    def test_labels_render_sorted(self):
+        key = render_key("x", {"b": 2, "a": 1})
+        assert key == "x{a=1,b=2}"
+
+
+class TestCounters:
+    def test_default_increment_is_one(self):
+        metrics = MetricsRegistry()
+        metrics.counter("hits")
+        metrics.counter("hits")
+        assert metrics.value("hits") == 2.0
+
+    def test_custom_increment(self):
+        metrics = MetricsRegistry()
+        metrics.counter("bytes", 512.0)
+        metrics.counter("bytes", 256.0)
+        assert metrics.value("bytes") == 768.0
+
+    def test_labels_are_distinct_series(self):
+        metrics = MetricsRegistry()
+        metrics.counter("exp", kind="sa")
+        metrics.counter("exp", kind="sa")
+        metrics.counter("exp", kind="probe")
+        assert metrics.value("exp", kind="sa") == 2.0
+        assert metrics.value("exp", kind="probe") == 1.0
+        assert metrics.value("exp") == 0.0  # the unlabeled series is unseen
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("temperature", 1.0)
+        metrics.gauge("temperature", 0.25)
+        assert metrics.value("temperature") == 0.25
+
+
+class TestHistograms:
+    def test_streaming_summary(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 2.0, 6.0):
+            metrics.observe("delta", value)
+        summary = metrics.histogram("delta")
+        assert summary.count == 3
+        assert summary.total == 9.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 6.0
+        assert summary.mean == 3.0
+
+    def test_unseen_series_is_empty(self):
+        summary = MetricsRegistry().histogram("nope")
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_empty_summary_as_dict_has_finite_bounds(self):
+        as_dict = HistogramSummary().as_dict()
+        assert as_dict["min"] == 0.0 and as_dict["max"] == 0.0
+
+    def test_histogram_returns_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.observe("x", 1.0)
+        copy = metrics.histogram("x")
+        copy.observe(100.0)
+        assert metrics.histogram("x").count == 1
+
+
+class TestTimer:
+    def test_timer_observes_elapsed_seconds(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("wall", phase="mfs"):
+            pass
+        summary = metrics.histogram("wall", phase="mfs")
+        assert summary.count == 1
+        assert summary.minimum >= 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_shaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("runs")
+        metrics.gauge("temp", 0.5, stage="late")
+        metrics.observe("delta", 2.0)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"runs": 1.0}
+        assert snap["gauges"] == {"temp{stage=late}": 0.5}
+        assert snap["histograms"]["delta"]["count"] == 1
+
+    def test_series_lists_every_rendered_name(self):
+        metrics = MetricsRegistry()
+        metrics.counter("b")
+        metrics.gauge("a", 1.0)
+        metrics.observe("c", 1.0, k="v")
+        assert list(metrics.series()) == ["a", "b", "c{k=v}"]
+
+    def test_describe_mentions_every_series(self):
+        metrics = MetricsRegistry()
+        metrics.counter("runs")
+        metrics.observe("delta", 2.0)
+        text = metrics.describe()
+        assert "runs" in text and "delta" in text
+
+    def test_describe_empty_registry(self):
+        assert "no metrics" in MetricsRegistry().describe()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_not_lost(self):
+        metrics = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                metrics.counter("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.value("n") == pytest.approx(8 * 500)

@@ -1,0 +1,78 @@
+"""Journal record schema validation."""
+
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    validate_journal,
+    validate_record,
+)
+
+
+def skip_record(**overrides):
+    record = {"v": SCHEMA_VERSION, "t": "skip", "time_seconds": 3.5}
+    record.update(overrides)
+    return record
+
+
+class TestValidateRecord:
+    def test_valid_record_has_no_errors(self):
+        assert validate_record(skip_record()) == []
+
+    def test_non_object_record(self):
+        assert "not an object" in validate_record([1, 2, 3])[0]
+
+    def test_wrong_schema_version(self):
+        errors = validate_record(skip_record(v=99))
+        assert any("unsupported schema version 99" in e for e in errors)
+
+    def test_unknown_record_type(self):
+        errors = validate_record(skip_record(t="warp"))
+        assert any("unknown record type 'warp'" in e for e in errors)
+
+    def test_missing_field(self):
+        record = skip_record()
+        del record["time_seconds"]
+        errors = validate_record(record)
+        assert any("missing field 'time_seconds'" in e for e in errors)
+
+    def test_mistyped_field(self):
+        errors = validate_record(skip_record(time_seconds="late"))
+        assert any("expected int or float" in e for e in errors)
+
+    def test_bool_does_not_satisfy_an_int_field(self):
+        errors = validate_record(skip_record(time_seconds=True))
+        assert any("is bool" in e for e in errors)
+
+    def test_bool_fields_accept_bools(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "cache", "phase": "mfs", "hit": True,
+        }
+        assert validate_record(record) == []
+
+    def test_unknown_transition_action(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "transition", "time_seconds": 0.0,
+            "action": "teleport", "temperature": 1.0, "delta": 0.0,
+        }
+        errors = validate_record(record)
+        assert any("unknown action 'teleport'" in e for e in errors)
+
+    def test_extra_fields_are_forward_compatible(self):
+        assert validate_record(skip_record(future_field=1)) == []
+
+    def test_line_number_is_reported(self):
+        errors = validate_record(skip_record(v=0), line=7)
+        assert errors[0].startswith("line 7: ")
+
+
+class TestValidateJournal:
+    def test_empty_journal_is_an_error(self):
+        assert validate_journal([]) == ["journal is empty"]
+
+    def test_line_numbers_across_the_journal(self):
+        records = [skip_record(), skip_record(time_seconds=None)]
+        errors = validate_journal(records)
+        assert len(errors) == 1
+        assert errors[0].startswith("line 2: ")
+
+    def test_clean_journal_validates(self):
+        assert validate_journal([skip_record()] * 3) == []

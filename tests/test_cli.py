@@ -164,10 +164,99 @@ class TestStats:
         assert "phase mfs" in out
         assert "s wall" in out
 
-    def test_stats_missing_store(self, tmp_path, capsys):
+    def test_stats_missing_store_is_graceful(self, tmp_path, capsys):
         code = main(["stats", str(tmp_path / "nope.json")])
+        assert code == 0
+        assert "no cache store" in capsys.readouterr().out
+
+    def test_stats_empty_store_is_graceful(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"format_version": 1, "entries": {}}))
+        code = main(["stats", str(empty)])
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_stats_corrupt_store_is_a_clear_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        code = main(["stats", str(bad)])
         assert code == 1
-        assert "no cache store" in capsys.readouterr().err
+        assert "cannot read cache store" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_search_journal_then_report_roundtrip(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main(["search", "H", "--hours", "1", "--seed", "2",
+                     "--journal", str(journal)]) == 0
+        search_out = capsys.readouterr().out
+        assert "journal saved to" in search_out
+        assert journal.exists()
+
+        assert main(["report", str(journal)]) == 0
+        report_out = capsys.readouterr().out
+        assert "run 1:" in report_out
+        # The re-rendered summary matches the live run's summary line.
+        summary = next(
+            line for line in search_out.splitlines() if "subsystem H" in line
+        )
+        assert summary in report_out
+
+    def test_report_renders_counter_trace(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        main(["search", "H", "--hours", "0.5", "--seed", "2",
+              "--journal", str(journal)])
+        capsys.readouterr()
+        code = main(["report", str(journal),
+                     "--counter", "qpc_cache_miss"])
+        assert code == 0
+        assert "qpc_cache_miss" in capsys.readouterr().out
+
+    def test_report_exports_trajectory_csv(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        main(["search", "H", "--hours", "0.5", "--seed", "2",
+              "--journal", str(journal)])
+        capsys.readouterr()
+        csv_path = tmp_path / "trace.csv"
+        code = main(["report", str(journal),
+                     "--counter", "qpc_cache_miss",
+                     "--trajectory", str(csv_path)])
+        assert code == 0
+        assert "counter trajectory" in capsys.readouterr().out
+        header, *rows = csv_path.read_text().splitlines()
+        assert header == "run,time_seconds,value,kind,symptom"
+        assert rows
+
+    def test_report_unknown_counter_fails(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        main(["search", "H", "--hours", "0.3", "--seed", "2",
+              "--journal", str(journal)])
+        capsys.readouterr()
+        code = main(["report", str(journal), "--counter", "no_such"])
+        assert code == 1
+        assert "never observed" in capsys.readouterr().err
+
+    def test_report_missing_journal_is_a_clear_error(
+        self, tmp_path, capsys
+    ):
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_report_invalid_journal_is_a_clear_error(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v":99,"t":"warp"}\n')
+        code = main(["report", str(bad)])
+        assert code == 2
+        assert "schema" in capsys.readouterr().err.lower()
+
+    def test_progress_lines_during_search(self, tmp_path, capsys):
+        code = main(["search", "H", "--hours", "1", "--seed", "2",
+                     "--progress", "50"])
+        assert code == 0
+        assert "progress:" in capsys.readouterr().out
 
 
 class TestDiagnose:
