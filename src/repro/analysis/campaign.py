@@ -33,9 +33,9 @@ from repro.core.executor import CampaignExecutor, ExecutorStats
 # -- approach factories (module-level: picklable for process fan-out) -------
 
 
-def _run_random(sub, hours, seed, cache=None):
+def _run_random(sub, hours, seed, cache=None, batch=True):
     return RandomSearch(
-        sub, budget_hours=hours, seed=seed, cache=cache
+        sub, budget_hours=hours, seed=seed, cache=cache, batch=batch
     ).run()
 
 
@@ -57,31 +57,31 @@ def _run_bayesopt_mfs(sub, hours, seed, cache=None):
     ).run()
 
 
-def _run_sa_perf(sub, hours, seed, cache=None):
+def _run_sa_perf(sub, hours, seed, cache=None, batch=True):
     return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=False, budget_hours=hours,
-        seed=seed, cache=cache,
+        seed=seed, cache=cache, batch=batch,
     ).run()
 
 
-def _run_sa_diag(sub, hours, seed, cache=None):
+def _run_sa_diag(sub, hours, seed, cache=None, batch=True):
     return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=False, budget_hours=hours,
-        seed=seed, cache=cache,
+        seed=seed, cache=cache, batch=batch,
     ).run()
 
 
-def _run_collie_perf(sub, hours, seed, cache=None):
+def _run_collie_perf(sub, hours, seed, cache=None, batch=True):
     return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=True, budget_hours=hours,
-        seed=seed, cache=cache,
+        seed=seed, cache=cache, batch=batch,
     ).run()
 
 
-def _run_collie(sub, hours, seed, cache=None):
+def _run_collie(sub, hours, seed, cache=None, batch=True):
     return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=True, budget_hours=hours,
-        seed=seed, cache=cache,
+        seed=seed, cache=cache, batch=batch,
     ).run()
 
 
@@ -98,13 +98,13 @@ APPROACHES: dict = {
 }
 
 
-def _accepts_cache(factory: Callable) -> bool:
-    """Whether a factory takes the optional ``cache`` argument."""
+def _accepts_kwarg(factory: Callable, name: str) -> bool:
+    """Whether a factory takes the named optional keyword argument."""
     try:
         parameters = inspect.signature(factory).parameters
     except (TypeError, ValueError):  # builtins, odd callables
         return False
-    return "cache" in parameters or any(
+    return name in parameters or any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
     )
 
@@ -118,10 +118,12 @@ def _run_seed(payload: dict) -> dict:
     if cache is not None and payload["cache_entries"]:
         cache.import_entries(payload["cache_entries"])
     args = (payload["subsystem"], payload["budget_hours"], payload["seed"])
-    if cache is not None and _accepts_cache(factory):
-        report = factory(*args, cache=cache)
-    else:
-        report = factory(*args)
+    kwargs: dict = {}
+    if cache is not None and _accepts_kwarg(factory, "cache"):
+        kwargs["cache"] = cache
+    if not payload.get("batch", True) and _accepts_kwarg(factory, "batch"):
+        kwargs["batch"] = False
+    report = factory(*args, **kwargs)
     return {
         "report": report,
         "cache_entries": (
@@ -175,6 +177,7 @@ def run_campaign(
     workers: int = 1,
     cache: Optional[EvalCache] = None,
     recorder=None,
+    batch: bool = True,
 ) -> CampaignResult:
     """Run one approach across seeds.
 
@@ -203,6 +206,7 @@ def run_campaign(
             "seed": seed,
             "use_cache": cache is not None,
             "cache_entries": warm_entries,
+            "batch": batch,
         }
         for seed in seeds
     ]

@@ -37,11 +37,16 @@ MTUS = (1024, 4096)
 class PerftestGenerator:
     """Enumerates and runs the Perftest-expressible workload space."""
 
-    def __init__(self, subsystem: "Subsystem | str", noise: float = 0.02) -> None:
+    def __init__(
+        self,
+        subsystem: "Subsystem | str",
+        noise: float = 0.02,
+        batch: bool = True,
+    ) -> None:
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
-        self.testbed = Testbed(subsystem, noise=noise)
+        self.testbed = Testbed(subsystem, noise=noise, batch=batch)
         self.monitor = AnomalyMonitor(subsystem)
 
     def workloads(self) -> Iterator[WorkloadDescriptor]:
@@ -76,20 +81,39 @@ class PerftestGenerator:
                 mr_bytes=max(size, 4096),
             )
 
-    def sweep(self, seed: int = 0, limit: int = None) -> dict:
+    def sweep(
+        self, seed: int = 0, limit: int = None, batch_size: int = 64
+    ) -> dict:
         """Run the whole space; returns ground-truth tags reproduced.
 
         ``limit`` bounds the number of experiments for quick runs; the
-        full space is a few thousand points.
+        full space is a few thousand points.  The enumeration is fixed
+        and the RNG feeds observation noise only, so chunking it through
+        the batched evaluator (``batch_size`` points at a time) is
+        bit-identical to the scalar loop; ``batch_size<=1`` (or a
+        ``batch=False`` generator) forces the scalar path.
         """
         rng = np.random.default_rng(seed)
         found: dict = {}
-        for i, workload in enumerate(self.workloads()):
-            if limit is not None and i >= limit:
+        points: Iterator[WorkloadDescriptor] = self.workloads()
+        if limit is not None:
+            points = itertools.islice(points, limit)
+        if not batch_size or batch_size <= 1 or not self.testbed.batch_enabled:
+            for workload in points:
+                result = self.testbed.run(workload, rng=rng)
+                self._record(found, workload, result)
+            return found
+        while True:
+            chunk = list(itertools.islice(points, batch_size))
+            if not chunk:
                 break
-            result = self.testbed.run(workload, rng=rng)
-            verdict = self.monitor.classify(result.measurement)
-            if verdict.is_anomalous:
-                for tag in result.measurement.tags:
-                    found.setdefault(tag, workload)
+            results = self.testbed.run_many(chunk, rng=rng)
+            for workload, result in zip(chunk, results):
+                self._record(found, workload, result)
         return found
+
+    def _record(self, found: dict, workload, result) -> None:
+        verdict = self.monitor.classify(result.measurement)
+        if verdict.is_anomalous:
+            for tag in result.measurement.tags:
+                found.setdefault(tag, workload)

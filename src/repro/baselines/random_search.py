@@ -48,6 +48,10 @@ class BaselineReport:
         return sorted(self.first_hit_times())
 
 
+#: Points pre-sampled per pre-solve burst in ``batch_probes`` mode.
+PROBE_CHUNK = 16
+
+
 class RandomSearch:
     """Uniform random sampling of the search space under a time budget."""
 
@@ -58,6 +62,8 @@ class RandomSearch:
         seed: int = 0,
         noise: float = 0.02,
         cache: Optional["EvalCache"] = None,
+        batch: bool = True,
+        batch_probes: bool = False,
     ) -> None:
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
@@ -65,15 +71,31 @@ class RandomSearch:
         self.space = SearchSpace.for_subsystem(subsystem)
         self.clock = SimulatedClock(budget_hours * 3600.0)
         self.testbed = Testbed(
-            subsystem, clock=self.clock, noise=noise, cache=cache
+            subsystem, clock=self.clock, noise=noise, cache=cache, batch=batch
         )
         self.monitor = AnomalyMonitor(subsystem)
         self.rng = np.random.default_rng(seed)
+        #: Pre-sample PROBE_CHUNK points at a time and pre-solve them as
+        #: one batch.  Deterministic per seed but a different RNG
+        #: interleaving than the scalar sample/evaluate alternation, so
+        #: off by default (see ``repro.core.batcheval``).
+        self.batch_probes = batch_probes
 
     def run(self) -> BaselineReport:
         events: list[TraceEvent] = []
+        pending: list = []
+        batch_probes = self.batch_probes and self.testbed.batch_enabled
         while not self.clock.expired:
-            workload = self.space.random(self.rng)
+            if batch_probes:
+                if not pending:
+                    pending = [
+                        self.space.random(self.rng)
+                        for _ in range(PROBE_CHUNK)
+                    ]
+                    self.testbed.presolve(pending)
+                workload = pending.pop(0)
+            else:
+                workload = self.space.random(self.rng)
             result = self.testbed.run(workload, rng=self.rng)
             verdict = self.monitor.classify(result.measurement)
             events.append(

@@ -118,6 +118,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache=cache,
         recorder=recorder,
+        batch=not args.no_batch,
+        batch_probes=args.batch_probes,
     )
     report = collie.run()
     logger.info(report.summary())
@@ -151,6 +153,7 @@ def _run_search_campaign(args: argparse.Namespace, cache, recorder) -> int:
         workers=args.workers,
         cache=cache,
         recorder=recorder,
+        batch=not args.no_batch,
     )
     logger.info(
         f"{approach} on subsystem {args.subsystem}: "
@@ -182,6 +185,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         recorder=recorder,
+        batch=not args.no_batch,
     )
     report = fleet.run()
     logger.info(
@@ -218,6 +222,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         recorder=recorder,
+        batch=not args.no_batch,
     )
     logger.info(
         f"{result.approach} on subsystem {result.subsystem}: "
@@ -463,6 +468,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for multi-seed campaigns")
     search.add_argument("--cache", metavar="PATH",
                         help="memoize evaluations in this JSON store")
+    search.add_argument("--no-batch", action="store_true",
+                        help="route evaluation through the scalar code "
+                             "path (disable S31 batching)")
+    search.add_argument("--batch-probes", action="store_true",
+                        help="pre-sample and batch the counter-ranking "
+                             "probes (deterministic per seed, but a "
+                             "different RNG interleaving than scalar)")
     _add_observability_flags(search)
     search.set_defaults(func=_cmd_search)
 
@@ -475,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the machine fleet")
     parallel.add_argument("--cache", metavar="PATH",
                           help="memoize evaluations in this JSON store")
+    parallel.add_argument("--no-batch", action="store_true",
+                          help="route evaluation through the scalar code "
+                               "path (disable S31 batching)")
     _add_observability_flags(parallel)
     parallel.set_defaults(func=_cmd_parallel)
 
@@ -492,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=_positive_int, default=1)
     campaign.add_argument("--cache", metavar="PATH",
                           help="memoize evaluations in this JSON store")
+    campaign.add_argument("--no-batch", action="store_true",
+                          help="route evaluation through the scalar code "
+                               "path (disable S31 batching)")
     _add_observability_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 

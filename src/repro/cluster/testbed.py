@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -55,6 +56,7 @@ class Testbed:
         functional_check: bool = False,
         cache: Optional["EvalCache"] = None,
         metrics=None,
+        batch: bool = True,
     ) -> None:
         from repro.core.engine import WorkloadEngine
 
@@ -62,7 +64,9 @@ class Testbed:
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
         self.clock = clock or SimulatedClock()
-        self.engine = WorkloadEngine(subsystem, noise=noise, cache=cache)
+        self.engine = WorkloadEngine(
+            subsystem, noise=noise, cache=cache, batch=batch, metrics=metrics
+        )
         #: Optional obs.MetricsRegistry accounting experiment costs.
         self.metrics = metrics
         #: Functional bursts catch malformed workloads but cost real CPU;
@@ -75,6 +79,70 @@ class Testbed:
     def cache(self) -> Optional["EvalCache"]:
         """The evaluation cache, if one is attached."""
         return self.engine.cache
+
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether the batched evaluation engine (S31) is active."""
+        return self.engine.batch.enabled
+
+    def presolve(
+        self, workloads: list[WorkloadDescriptor], phase: str = "search"
+    ) -> int:
+        """Batch-solve upcoming points into the cache (stat-less).
+
+        The subsequent scalar ``run`` calls replay over cache hits with
+        unchanged clock charging, lookup statistics and RNG draws —
+        bit-identical, only faster.
+        """
+        return self.engine.presolve(workloads, phase=phase)
+
+    def run_many(
+        self,
+        workloads: list[WorkloadDescriptor],
+        rng: Optional[np.random.Generator] = None,
+        phase: str = "search",
+    ) -> list[ExperimentResult]:
+        """Batched :meth:`run` — bit-identical to calling it in a loop.
+
+        Evaluation happens in one vectorized pass; the clock is then
+        charged per experiment in order, so every ``started_at`` and the
+        final clock reading match the scalar loop exactly.
+        """
+        if not workloads:
+            return []
+        if not self.batch_enabled or len(workloads) == 1:
+            return [self.run(w, rng=rng, phase=phase) for w in workloads]
+        wall_started = time.perf_counter()
+        measurements = self.engine.measure_many(
+            workloads, rng=rng,
+            functional_check=self.functional_check, phase=phase,
+        )
+        per_point_wall = (
+            (time.perf_counter() - wall_started) / len(workloads)
+        )
+        results = []
+        for workload, measurement in zip(workloads, measurements):
+            started = self.clock.now
+            setup = self.engine.setup_seconds(workload)
+            measure = self.engine.measurement_seconds()
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "testbed.measure_wall", per_point_wall, phase=phase
+                )
+                self.metrics.counter("testbed.experiments", phase=phase)
+                self.metrics.observe("testbed.setup_seconds", setup)
+                self.metrics.observe("testbed.measurement_seconds", measure)
+            self.clock.advance(setup + measure)
+            self.experiments_run += 1
+            results.append(
+                ExperimentResult(
+                    measurement=measurement,
+                    setup_seconds=setup,
+                    measurement_seconds=measure,
+                    started_at=started,
+                )
+            )
+        return results
 
     def run(
         self,

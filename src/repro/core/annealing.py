@@ -187,6 +187,11 @@ class AnnealingSearch:
             metrics=(
                 self.recorder.metrics if self.recorder is not None else None
             ),
+            presolve=(
+                (lambda pts: self.testbed.presolve(pts, phase="mfs"))
+                if getattr(self.testbed, "batch_enabled", False)
+                else None
+            ),
         )
         if self.recorder is not None:
             with self.recorder.metrics.timer("mfs.construct_wall"):

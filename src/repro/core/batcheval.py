@@ -1,0 +1,286 @@
+"""Batched vectorized evaluation of workload points (S31).
+
+Every search workflow evaluates *sets* of closely related points — MFS
+necessity ladders and box-validation bursts, the exhaustive Perftest
+sweep, counter-ranking probes, campaign fan-outs.  The scalar pipeline
+prices them one at a time; :class:`BatchEvaluator` runs the
+deterministic half (features → rule gates → per-direction steady-state
+solve → ideal counters) as float64 column arithmetic over the whole
+batch (:func:`repro.hardware.model.solve_batch`), deduplicating
+identical points and consulting/back-filling the
+:class:`~repro.core.evalcache.EvalCache` through its bulk API.
+
+**Identity contract.**  Batched evaluation is *bit-identical* to the
+scalar loop, including RNG consumption: observation noise is still
+drawn from the caller's generator in the same per-point order.  A
+``Generator.normal`` request for N values reads the same bit stream as
+N sequential scalar requests, so one flat draw sliced per point equals
+the scalar loop's per-point draws exactly — values and final generator
+state (``tests/core/test_batcheval.py`` pins this over subsystems A–H).
+Only a point's *active* counters (ideal value > 0) consume noise,
+exactly as :class:`~repro.hardware.counters.VendorMonitor` does.
+
+Two batching modes exist upstream of this module:
+
+* **exact** — the batch is known before any draw (MFS ladders, box
+  validation, the Perftest sweep): batched and scalar runs are
+  bit-identical, so batching defaults on, with a ``batch=False`` /
+  ``--no-batch`` escape hatch through the untouched scalar code;
+* **opt-in** (``batch_probes``) — phases that interleave point sampling
+  with noise draws on one RNG stream (random search, counter ranking)
+  cannot batch bit-identically; pre-sampling the points changes the
+  interleaving (still deterministic per seed) and is therefore off by
+  default.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.evalcache import DEFAULT_PHASE, canonical_point
+from repro.hardware.counters import ALL_COUNTERS, CounterSample, average_counters
+from repro.hardware.model import Measurement, SteadyStateModel, solve_batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.workload import WorkloadDescriptor
+    from repro.obs.metrics import MetricsRegistry
+
+
+def observe_many(
+    model: SteadyStateModel,
+    workloads: "list[WorkloadDescriptor]",
+    solves: list,
+    rng: np.random.Generator,
+    sample_seconds: int = 4,
+) -> list[Measurement]:
+    """Noisy observation of pre-solved points, scalar-loop bit stream.
+
+    Mirrors :meth:`VendorMonitor._sample_rows` per point: one flat
+    normal draw covers the whole batch and is sliced into each point's
+    ``(seconds, active)`` block in original order.
+    """
+    n = len(workloads)
+    window = int(sample_seconds)
+    count = len(ALL_COUNTERS)
+    base = np.array(
+        [
+            [float(s.ideal_counters.get(name, 0.0)) for name in ALL_COUNTERS]
+            for s in solves
+        ]
+    ).reshape(n, count)
+    rows = np.repeat(base[:, None, :], window, axis=1)
+    noise = model.noise
+    if noise > 0 and window > 0:
+        jitter = base > 0
+        active = jitter.sum(axis=1)
+        total_active = int(active.sum())
+        if total_active:
+            flat = rng.normal(0.0, noise, size=window * total_active)
+            clipped = np.maximum(0.0, 1.0 + flat)
+            point_idx, cols = np.nonzero(jitter)
+            starts = np.concatenate(([0], np.cumsum(window * active)))[:-1]
+            group_starts = np.concatenate(([0], np.cumsum(active)))[:-1]
+            within = np.arange(point_idx.size) - np.repeat(
+                group_starts, active
+            )
+            first = starts[point_idx] + within
+            step = active[point_idx]
+            for second in range(window):
+                rows[point_idx, second, cols] *= clipped[
+                    first + second * step
+                ]
+    measurements = []
+    subsystem_name = model.subsystem.name
+    if window:
+        # One axis-1 reduction replaces a stack+mean per point; for the
+        # short windows in play the summation order (sequential below
+        # numpy's pairwise threshold) and thus every bit is the same as
+        # scalar ``average_counters``.
+        means = rows.mean(axis=1)
+    for i in range(n):
+        samples = []
+        for second in range(window):
+            row = rows[i, second]
+            sample = CounterSample(
+                second=second, values=dict(zip(ALL_COUNTERS, row.tolist()))
+            )
+            object.__setattr__(sample, "_row", row)
+            samples.append(sample)
+        if window:
+            counters = dict(zip(ALL_COUNTERS, means[i].tolist()))
+        else:
+            counters = average_counters(samples)
+        measurements.append(
+            Measurement(
+                workload=workloads[i],
+                subsystem_name=subsystem_name,
+                samples=samples,
+                counters=counters,
+                directions=solves[i].directions,
+                fired=solves[i].fired,
+                features=solves[i].features,
+            )
+        )
+    return measurements
+
+
+class BatchEvaluator:
+    """Deduplicating, cache-aware batched front end to the solver.
+
+    ``enabled=False`` (the ``--no-batch`` escape hatch) routes every
+    call through the existing scalar code path unchanged.
+    """
+
+    def __init__(
+        self,
+        model: SteadyStateModel,
+        metrics: Optional["MetricsRegistry"] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.model = model
+        self.metrics = metrics
+        self.enabled = enabled
+
+    def _count_points(self, n: int, mode: str) -> None:
+        if self.metrics is not None and n:
+            self.metrics.counter("batcheval.points", float(n), mode=mode)
+
+    # -- solving --------------------------------------------------------------
+
+    def solve_many(
+        self,
+        workloads: "list[WorkloadDescriptor]",
+        phase: str = DEFAULT_PHASE,
+    ) -> list:
+        """Deterministic solves for every point (deduped, cache-backed).
+
+        Returns one :class:`~repro.core.evalcache.CachedSolve` per input
+        point, in order; duplicates share the unique point's solve, and
+        fresh solves back-fill the cache through ``put_many``.
+        """
+        model = self.model
+        if not self.enabled or len(workloads) <= 1:
+            self._count_points(len(workloads), "scalar")
+            return [model._solve(w, phase) for w in workloads]
+        started = time.perf_counter()
+        keys = [canonical_point(w) for w in workloads]
+        index_of: dict = {}
+        unique: list = []
+        for key, workload in zip(keys, workloads):
+            if key not in index_of:
+                index_of[key] = len(unique)
+                unique.append(workload)
+        cache = model.cache
+        if cache is not None:
+            solves = cache.get_many(model.subsystem, unique, phase=phase)
+        else:
+            solves = [None] * len(unique)
+        missing = [i for i, solve in enumerate(solves) if solve is None]
+        if missing:
+            solve_started = time.perf_counter()
+            to_solve = [unique[i] for i in missing]
+            for workload in to_solve:
+                model._validate(workload)
+            solved = solve_batch(model.subsystem, to_solve)
+            for i, solve in zip(missing, solved):
+                solves[i] = solve
+            if cache is not None:
+                cache.put_many(model.subsystem, to_solve, solved)
+                cache.charge(
+                    "solve", time.perf_counter() - solve_started
+                )
+        if self.metrics is not None:
+            self.metrics.observe(
+                "batcheval.batch_size", float(len(unique)), phase=phase
+            )
+        self._count_points(len(workloads), "vectorized")
+        return [solves[index_of[key]] for key in keys]
+
+    def presolve(
+        self,
+        workloads: "list[WorkloadDescriptor]",
+        phase: str = DEFAULT_PHASE,
+    ) -> int:
+        """Back-fill the cache for upcoming points; returns solves done.
+
+        Stat-less by design: membership is checked with ``peek_many``
+        (no hit/miss recorded), so the subsequent scalar replay sees the
+        exact lookup statistics a non-presolved run would — only faster.
+        Points that fail validation are skipped (the scalar path raises
+        for them later, unchanged).  A no-op without a cache or when
+        batching is disabled.
+        """
+        model = self.model
+        cache = model.cache
+        if not self.enabled or cache is None or not workloads:
+            return 0
+        seen: set = set()
+        unique: list = []
+        for workload in workloads:
+            key = canonical_point(workload)
+            if key not in seen:
+                seen.add(key)
+                unique.append(workload)
+        present = cache.peek_many(model.subsystem, unique)
+        to_solve = []
+        for workload, hit in zip(unique, present):
+            if hit:
+                continue
+            try:
+                model._validate(workload)
+            except ValueError:
+                continue
+            to_solve.append(workload)
+        if not to_solve:
+            return 0
+        started = time.perf_counter()
+        solved = solve_batch(model.subsystem, to_solve)
+        cache.put_many(model.subsystem, to_solve, solved)
+        cache.charge("solve", time.perf_counter() - started)
+        if self.metrics is not None:
+            self.metrics.observe(
+                "batcheval.batch_size", float(len(to_solve)), phase=phase
+            )
+        self._count_points(len(to_solve), "vectorized")
+        return len(to_solve)
+
+    # -- full evaluation ------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        workloads: "list[WorkloadDescriptor]",
+        rng: Optional[np.random.Generator] = None,
+        sample_seconds: int = 4,
+        phase: str = DEFAULT_PHASE,
+    ) -> list[Measurement]:
+        """Batched :meth:`SteadyStateModel.evaluate` over N points.
+
+        Bit-identical to ``[model.evaluate(w, rng, ...) for w in
+        workloads]`` including the RNG draw count and order.  With
+        ``rng=None`` each point gets a fresh ``default_rng(0)`` exactly
+        like the scalar default, so that case falls back to the loop.
+        """
+        model = self.model
+        if not self.enabled or len(workloads) <= 1 or rng is None:
+            self._count_points(len(workloads), "scalar")
+            return [
+                model.evaluate(
+                    w, rng=rng, sample_seconds=sample_seconds, phase=phase
+                )
+                for w in workloads
+            ]
+        started = time.perf_counter()
+        solves = self.solve_many(workloads, phase=phase)
+        measurements = observe_many(
+            model, workloads, solves, rng, sample_seconds
+        )
+        if self.metrics is not None:
+            self.metrics.observe(
+                "batcheval.point_seconds",
+                (time.perf_counter() - started) / len(workloads),
+                phase=phase,
+            )
+        return measurements

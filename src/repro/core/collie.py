@@ -118,6 +118,8 @@ class Collie:
         counters: Optional[tuple] = None,
         cache: Optional["EvalCache"] = None,
         recorder: Optional["FlightRecorder"] = None,
+        batch: bool = True,
+        batch_probes: bool = False,
     ) -> None:
         if counter_mode not in ("diag", "perf"):
             raise ValueError("counter_mode must be 'diag' or 'perf'")
@@ -144,9 +146,14 @@ class Collie:
         metrics = recorder.metrics if recorder is not None else None
         if recorder is not None and cache is not None:
             cache.observer = recorder.cache_event
+        #: Pre-sample + pre-solve the §7.2 ranking probes as one batch.
+        #: Changes the RNG interleaving (sampling before noise draws
+        #: instead of alternating), so while runs stay deterministic per
+        #: seed they differ from the scalar sequence — opt-in only.
+        self.batch_probes = batch_probes
         self.testbed = Testbed(
             subsystem, clock=self.clock, noise=noise, cache=cache,
-            metrics=metrics,
+            metrics=metrics, batch=batch,
         )
         self.monitor = AnomalyMonitor(subsystem, metrics=metrics)
         self.search = AnnealingSearch(
@@ -211,10 +218,19 @@ class Collie:
         candidates = self._candidate_counters()
         observations: dict = {name: [] for name in candidates}
         signal = SearchSignal(candidates[0])
-        for _ in range(RANKING_PROBES):
+        presampled: Optional[list] = None
+        if self.batch_probes and self.testbed.batch_enabled:
+            presampled = [
+                self.space.random(self.rng) for _ in range(RANKING_PROBES)
+            ]
+            self.testbed.presolve(presampled, phase="probe")
+        for i in range(RANKING_PROBES):
             if self.clock.expired:
                 break
-            workload = self.space.random(self.rng)
+            if presampled is not None:
+                workload = presampled[i]
+            else:
+                workload = self.space.random(self.rng)
             measurement = self.search._measure(
                 state, workload, signal, kind="probe"
             )

@@ -145,15 +145,19 @@ class EvalCache:
 
     # -- keys ----------------------------------------------------------------
 
-    def key(self, subsystem: "Subsystem", workload: WorkloadDescriptor) -> str:
-        """Cache key: subsystem fingerprint + canonical point."""
+    def _fingerprint(self, subsystem: "Subsystem") -> str:
+        """Memoized fingerprint of a live subsystem object."""
         by_id = id(subsystem)
         fingerprint = self._fingerprints.get(by_id)
         if fingerprint is None:
             fingerprint = subsystem_fingerprint(subsystem)
             with self._lock:
                 self._fingerprints[by_id] = fingerprint
-        return f"{fingerprint}|{canonical_point(workload)}"
+        return fingerprint
+
+    def key(self, subsystem: "Subsystem", workload: WorkloadDescriptor) -> str:
+        """Cache key: subsystem fingerprint + canonical point."""
+        return f"{self._fingerprint(subsystem)}|{canonical_point(workload)}"
 
     # -- lookup / store ------------------------------------------------------
 
@@ -207,6 +211,77 @@ class EvalCache:
             # A fresh solve supersedes any imported provenance (e.g. a
             # stale disk entry that failed rehydration and re-solved).
             self._imported_keys.discard(key)
+
+    # -- bulk API (batched evaluation, S31) ----------------------------------
+
+    def peek_many(
+        self,
+        subsystem: "Subsystem",
+        workloads: "list[WorkloadDescriptor]",
+    ) -> list[bool]:
+        """Vector ``contains``: membership per point, no stats recorded.
+
+        One fingerprint computation and one lock acquisition for the
+        whole batch — this is what the presolver uses to find the points
+        it still has to solve.
+        """
+        fingerprint = self._fingerprint(subsystem)
+        keys = [f"{fingerprint}|{canonical_point(w)}" for w in workloads]
+        with self._lock:
+            return [
+                key in self._entries or key in self._raw_entries
+                for key in keys
+            ]
+
+    def get_many(
+        self,
+        subsystem: "Subsystem",
+        workloads: "list[WorkloadDescriptor]",
+        phase: str = DEFAULT_PHASE,
+    ) -> "list[Optional[CachedSolve]]":
+        """Vector ``lookup``: one fingerprint + one lock pass per batch.
+
+        Hit/miss statistics are recorded per point (in order), and the
+        observer fires per point after the lock is released, exactly as
+        a sequence of scalar ``lookup`` calls would.
+        """
+        fingerprint = self._fingerprint(subsystem)
+        keys = [f"{fingerprint}|{canonical_point(w)}" for w in workloads]
+        out: list[Optional[CachedSolve]] = []
+        with self._lock:
+            stats = self._phases.setdefault(phase, PhaseStats())
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None and key in self._raw_entries:
+                    entry = _solve_from_dict(
+                        self._raw_entries.pop(key), subsystem
+                    )
+                    if entry is not None:
+                        self._entries[key] = entry
+                if entry is None:
+                    stats.misses += 1
+                else:
+                    stats.hits += 1
+                out.append(entry)
+        if self.observer is not None:
+            for entry in out:
+                self.observer(phase, entry is not None)
+        return out
+
+    def put_many(
+        self,
+        subsystem: "Subsystem",
+        workloads: "list[WorkloadDescriptor]",
+        solves: "list[CachedSolve]",
+    ) -> None:
+        """Vector ``store`` for freshly solved points."""
+        fingerprint = self._fingerprint(subsystem)
+        with self._lock:
+            for workload, solve in zip(workloads, solves):
+                key = f"{fingerprint}|{canonical_point(workload)}"
+                self._entries[key] = solve
+                self._raw_entries.pop(key, None)
+                self._imported_keys.discard(key)
 
     def charge(self, phase: str, seconds: float) -> None:
         """Attribute real wall time to one phase (solver or fan-out)."""

@@ -92,6 +92,7 @@ def _run_machine(payload: dict) -> dict:
         sa_params=payload["sa_params"],
         noise=payload["noise"],
         cache=cache,
+        batch=payload.get("batch", True),
     )
     report = collie.run()
     return {
@@ -118,6 +119,7 @@ class ParallelCollie:
         workers: int = 1,
         cache: Optional[EvalCache] = None,
         recorder=None,
+        batch: bool = True,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
@@ -142,6 +144,8 @@ class ParallelCollie:
         #: Parent-side cache: warm-starts every machine and absorbs
         #: their entries/stats after the fleet completes.
         self.cache = cache
+        #: Threaded into every machine's Collie (``--no-batch``).
+        self.batch = batch
 
     @property
     def executor_stats(self) -> Optional[ExecutorStats]:
@@ -188,6 +192,7 @@ class ParallelCollie:
                 "noise": self.noise,
                 "use_cache": self.cache is not None,
                 "cache_entries": warm_entries,
+                "batch": self.batch,
             }
             for machine, share in enumerate(self._partition(ranked))
         ]

@@ -11,10 +11,13 @@ this vector.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.hardware.caches import steady_state_miss_rate
 from repro.hardware.workload import WorkloadDescriptor
+from repro.verbs.constants import ROCE_HEADER_BYTES, Opcode, QPType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.subsystems import Subsystem
@@ -106,3 +109,228 @@ def extract_features(
         "loopback_unlimited": 0.0 if rnic.loopback_rate_limited else 1.0,
     }
     return features
+
+
+# -- batched (column-wise) extraction -----------------------------------------
+
+
+def _miss_column(working_set: np.ndarray, capacity: int) -> np.ndarray:
+    """Vector :func:`steady_state_miss_rate` for a scalar capacity."""
+    if capacity <= 0:
+        return np.where(working_set > 0.0, 1.0, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rate = np.maximum(0.0, 1.0 - capacity / working_set)
+    return np.where(working_set > 0.0, rate, 0.0)
+
+
+def extract_feature_columns(
+    workloads: Sequence[WorkloadDescriptor], subsystem: "Subsystem"
+) -> tuple[dict, dict]:
+    """Column-wise :func:`extract_features` over a batch of workloads.
+
+    Returns ``(columns, extra)``: ``columns`` maps each feature name to a
+    float64 array (or a list of strings for categorical features) in the
+    exact key order of the scalar feature dict, and ``extra`` carries the
+    ``_``-prefixed solver inputs (boolean masks, wire bytes per message,
+    DMA bandwidths) that the batched steady-state solve needs but that
+    are not features.  Every arithmetic step mirrors the scalar path
+    operation-for-operation so materialized rows are bit-identical.
+    """
+    rnic = subsystem.rnic
+    rxq = rnic.rx_wqe_cache
+    topology = subsystem.topology
+    n = len(workloads)
+    paths: dict = {}
+
+    def path_of(device: str):
+        cached = paths.get(device)
+        if cached is None:
+            cached = topology.dma_path(device)
+            paths[device] = cached
+        return cached
+
+    qp_type = [w.qp_type.value for w in workloads]
+    opcode = [w.opcode.value for w in workloads]
+    sg_layout = [w.sg_layout.value for w in workloads]
+    src_device = [w.src_device for w in workloads]
+    dst_device = [w.dst_device for w in workloads]
+
+    bidi = np.array([w.is_bidirectional for w in workloads], dtype=bool)
+    is_rc = np.array([w.qp_type == QPType.RC for w in workloads], dtype=bool)
+    is_read = np.array([w.opcode == Opcode.READ for w in workloads], dtype=bool)
+    uses_recv = np.array([w.uses_recv_wqes for w in workloads], dtype=bool)
+    loopback = np.array([w.has_loopback for w in workloads], dtype=bool)
+
+    mtu = np.array([w.mtu for w in workloads], dtype=np.float64)
+    num_qps = np.array([w.num_qps for w in workloads], dtype=np.float64)
+    wqe_batch = np.array([w.wqe_batch for w in workloads], dtype=np.float64)
+    sge = np.array([w.sge_per_wqe for w in workloads], dtype=np.float64)
+    wq_depth = np.array([w.wq_depth for w in workloads], dtype=np.float64)
+    mrs_per_qp = np.array([w.mrs_per_qp for w in workloads], dtype=np.float64)
+    total_mrs = np.array([w.total_mrs for w in workloads], dtype=np.float64)
+    mr_bytes = np.array([w.mr_bytes for w in workloads], dtype=np.float64)
+    duty = np.array([w.duty_cycle for w in workloads], dtype=np.float64)
+    wqe_bytes = np.array([w.wqe_bytes for w in workloads], dtype=np.float64)
+    total_recv = np.array(
+        [w.total_outstanding_recv_wqes for w in workloads], dtype=np.float64
+    )
+
+    # Message-pattern aggregates come from the same per-point property
+    # code as the scalar path (tuple sums and divisions, not re-derived
+    # array math) so the floats match bit-for-bit; they depend only on
+    # (msg sizes, MTU), which batches of related points mostly share, so
+    # the rows are memoized by that key.
+    pattern_memo: dict = {}
+    pattern_rows = []
+    for w in workloads:
+        key = (w.msg_sizes_bytes, w.mtu)
+        row = pattern_memo.get(key)
+        if row is None:
+            row = (
+                w.avg_msg_bytes,
+                float(w.min_msg_bytes),
+                float(w.max_msg_bytes),
+                w.packets_per_message(),
+                w.small_message_fraction,
+                w.large_message_fraction,
+                w.mixes_small_and_large,
+                sum(
+                    s + w.packets_per_message(s) * ROCE_HEADER_BYTES
+                    for s in w.msg_sizes_bytes
+                )
+                / len(w.msg_sizes_bytes),
+            )
+            pattern_memo[key] = row
+        pattern_rows.append(row)
+    (
+        avg_list, min_list, max_list, pkts_list,
+        small_list, large_list, mixes_list, wire_list,
+    ) = zip(*pattern_rows)
+    avg_msg = np.array(avg_list, dtype=np.float64)
+    min_msg = np.array(min_list, dtype=np.float64)
+    max_msg = np.array(max_list, dtype=np.float64)
+    avg_pkts = np.array(pkts_list, dtype=np.float64)
+    small_frac = np.array(small_list, dtype=np.float64)
+    large_frac = np.array(large_list, dtype=np.float64)
+    mixes = np.array(mixes_list, dtype=bool)
+    sg_mix = np.array([w.sg_entry_mix for w in workloads], dtype=bool)
+    wire_per_msg = np.array(wire_list, dtype=np.float64)
+
+    src_paths = [path_of(d) for d in src_device]
+    dst_paths = [path_of(d) for d in dst_device]
+    crosses = np.array(
+        [s.crosses_socket or d.crosses_socket
+         for s, d in zip(src_paths, dst_paths)],
+        dtype=bool,
+    )
+    via_rc = np.array(
+        [s.via_root_complex or d.via_root_complex
+         for s, d in zip(src_paths, dst_paths)],
+        dtype=bool,
+    )
+    sink_via_rc = np.array(
+        [
+            d.via_root_complex or (b and s.via_root_complex)
+            for s, d, b in zip(src_paths, dst_paths, bidi.tolist())
+        ],
+        dtype=bool,
+    )
+    uses_gpu = np.array(
+        [s.device.kind == "gpu" or d.device.kind == "gpu"
+         for s, d in zip(src_paths, dst_paths)],
+        dtype=bool,
+    )
+    src_bw = np.array(
+        [p.bandwidth_gbps for p in src_paths], dtype=np.float64
+    )
+    dst_bw = np.array(
+        [p.bandwidth_gbps for p in dst_paths], dtype=np.float64
+    )
+
+    total_qps = np.where(bidi, num_qps * 2.0, num_qps)
+    rxq_capacity_miss = np.where(
+        uses_recv & (total_recv > 0.0),
+        np.maximum(0.0, 1.0 - rxq.total_entries / np.maximum(total_recv, 1.0)),
+        0.0,
+    )
+    rxq_burst_miss = np.where(
+        uses_recv & (wq_depth > rxq.per_qp_entries) & (wqe_batch > 0.0),
+        np.maximum(
+            0.0, 1.0 - rxq.prefetch_window / np.maximum(wqe_batch, 1.0)
+        ),
+        0.0,
+    )
+    qpc_miss = _miss_column(total_qps, rnic.qpc_cache_entries)
+    mtt_miss = _miss_column(total_mrs, rnic.mtt_cache_entries)
+
+    columns: dict = {
+        "qp_type": qp_type,
+        "opcode": opcode,
+        "bidirectional": np.where(bidi, 1.0, 0.0),
+        "mtu": mtu,
+        "num_qps": num_qps,
+        "total_qps": total_qps,
+        "wqe_batch": wqe_batch,
+        "sge_per_wqe": sge,
+        "wq_depth": wq_depth,
+        "avg_msg": avg_msg,
+        "min_msg": min_msg,
+        "max_msg": max_msg,
+        "avg_pkts_per_msg": avg_pkts,
+        "small_frac": small_frac,
+        "large_frac": large_frac,
+        "mixes_small_and_large": np.where(mixes, 1.0, 0.0),
+        "sg_entry_mix": np.where(sg_mix, 1.0, 0.0),
+        "sg_layout": sg_layout,
+        "mrs_per_qp": mrs_per_qp,
+        "total_mrs": total_mrs,
+        "mr_bytes": mr_bytes,
+        "rxq_capacity_miss": rxq_capacity_miss,
+        "rxq_burst_miss": rxq_burst_miss,
+        "qpc_miss": qpc_miss,
+        "mtt_miss": mtt_miss,
+        "short_req_outstanding": num_qps * wqe_batch * small_frac,
+        "wqe_outstanding_bytes": num_qps * wqe_batch * wqe_bytes,
+        "src_device": src_device,
+        "dst_device": dst_device,
+        "crosses_socket": np.where(crosses, 1.0, 0.0),
+        "via_root_complex": np.where(via_rc, 1.0, 0.0),
+        "sink_via_root_complex": np.where(sink_via_rc, 1.0, 0.0),
+        "uses_gpu_memory": np.where(uses_gpu, 1.0, 0.0),
+        "loopback": np.where(loopback, 1.0, 0.0),
+        "duty_cycle": duty,
+        "strict_ordering": np.full(
+            n, 0.0 if subsystem.pcie.relaxed_ordering else 1.0
+        ),
+        "weak_cross_socket": np.full(
+            n, 1.0 if subsystem.weak_cross_socket else 0.0
+        ),
+        "loopback_unlimited": np.full(
+            n, 0.0 if rnic.loopback_rate_limited else 1.0
+        ),
+    }
+    extra = {
+        "_bidi": bidi,
+        "_is_rc": is_rc,
+        "_is_read": is_read,
+        "_uses_recv": uses_recv,
+        "_wire_per_msg": wire_per_msg,
+        "_wqe_bytes": wqe_bytes,
+        "_src_bw": src_bw,
+        "_dst_bw": dst_bw,
+    }
+    return columns, extra
+
+
+def materialize_features(columns: dict, n: int) -> list[dict]:
+    """Per-point feature dicts from columns, in scalar key order.
+
+    ``.tolist()`` converts every float64 cell to a Python float, so the
+    dicts are JSON-serialisable and compare equal (``==`` and ``repr``)
+    to scalar :func:`extract_features` output.
+    """
+    items = [
+        (name, col if isinstance(col, list) else col.tolist())
+        for name, col in columns.items()
+    ]
+    return [{name: col[i] for name, col in items} for i in range(n)]

@@ -150,6 +150,27 @@ class SteadyStateModel:
             features=solve.features,
         )
 
+    def evaluate_many(
+        self,
+        workloads: "list[WorkloadDescriptor]",
+        rng: Optional[np.random.Generator] = None,
+        sample_seconds: int = 4,
+        phase: str = "search",
+    ) -> list[Measurement]:
+        """Batched :meth:`evaluate` — bit-identical to a scalar loop.
+
+        The deterministic solve runs once per *unique* point as array
+        arithmetic; observation noise is still drawn from ``rng`` in the
+        exact per-point order of the scalar loop (one flat draw sliced
+        per point — provably the same stream).  See
+        :mod:`repro.core.batcheval` for the engine.
+        """
+        from repro.core.batcheval import BatchEvaluator
+
+        return BatchEvaluator(self).evaluate_many(
+            workloads, rng=rng, sample_seconds=sample_seconds, phase=phase
+        )
+
     def _solve(self, workload: WorkloadDescriptor, phase: str):
         """Deterministic solve, memoized when a cache is attached."""
         from repro.core.evalcache import CachedSolve
@@ -484,3 +505,359 @@ class SteadyStateModel:
                 counters.get(fired_rule.rule.counter, 0.0) + spike
             )
         return counters
+
+
+# -- batched (column-wise) solving --------------------------------------------
+
+
+def _pressure_column(working_set, capacity: float, n: int, knee: float = 1.0):
+    """Vector :func:`~repro.hardware.caches.pressure_score`."""
+    if capacity <= 0:
+        return np.ones(n)
+    x = working_set / (capacity * knee)
+    return x / (1.0 + x)
+
+
+def solve_batch(subsystem: "Subsystem", workloads: "list[WorkloadDescriptor]"):
+    """Vectorized deterministic solve of N workload points.
+
+    The exact computation of :meth:`SteadyStateModel._solve` — feature
+    extraction, rule gating, per-direction steady-state solve, ideal
+    counter synthesis — restated as float64 column arithmetic.  Every
+    step applies the same IEEE operations in the same order as the
+    scalar path, so the returned :class:`CachedSolve` entries are
+    bit-identical to scalar solves (the one pow-vs-multiply hazard,
+    ``down_util ** 2``, is deliberately kept per point).  Workloads are
+    assumed validated; callers dedupe and cache around this function
+    (:mod:`repro.core.batcheval`).
+    """
+    from repro.core.evalcache import CachedSolve
+    from repro.hardware.features import (
+        extract_feature_columns,
+        materialize_features,
+    )
+    from repro.hardware.rules import batch_fired_rules, materialize_fired
+
+    n = len(workloads)
+    if n == 0:
+        return []
+    rnic = subsystem.rnic
+    rxq = rnic.rx_wqe_cache
+    pcie = subsystem.pcie
+
+    columns, extra = extract_feature_columns(workloads, subsystem)
+    rule_rows, tx_factor, rx_factor = batch_fired_rules(
+        rnic.rules, columns, n
+    )
+
+    bidi = extra["_bidi"]
+    is_rc = extra["_is_rc"]
+    is_read = extra["_is_read"]
+    uses_recv = extra["_uses_recv"]
+    wire_per_msg = extra["_wire_per_msg"]
+    wqe_bytes = extra["_wqe_bytes"]
+    payload = columns["avg_msg"]
+    data_pkts = columns["avg_pkts_per_msg"]
+    wqe_batch = columns["wqe_batch"]
+    duty = columns["duty_cycle"]
+
+    # -- per-direction resource pricing (mirrors _solve_one) ------------------
+    issue_down = wqe_bytes + (TLP_HEADER_BYTES + DOORBELL_BYTES) / wqe_batch
+    payload_int = np.rint(payload).astype(np.int64)
+    mps = pcie.max_payload_bytes
+    payload_down = np.where(
+        payload_int <= 0,
+        np.int64(0),
+        payload_int + (-(-payload_int // mps)) * TLP_HEADER_BYTES,
+    ).astype(np.float64)
+    payload_up = payload_down
+
+    cqe = float(CQE_BYTES)
+    sender_down = np.where(is_read, payload_down, payload_down + issue_down)
+    sender_up = np.where(is_read, 0.0, cqe)
+    receiver_down = np.where(is_read, issue_down, 0.0)
+    receiver_up = np.where(
+        is_read,
+        payload_up + cqe,
+        payload_up + np.where(uses_recv, cqe, 0.0),
+    )
+
+    budget = pcie.effective_bytes_per_sec
+    down_denom = np.where(
+        bidi,
+        sender_down + receiver_down,
+        np.maximum(sender_down, receiver_down),
+    )
+    up_denom = np.where(
+        bidi, sender_up + receiver_up, np.maximum(sender_up, receiver_up)
+    )
+    cap_down = budget / np.maximum(down_denom, 1e-9)
+    cap_up = budget / np.maximum(up_denom, 1e-9)
+
+    wire_cap = rnic.line_rate_bytes_per_sec / wire_per_msg
+    pps_budget = np.where(bidi, rnic.max_pps / 2, rnic.max_pps / 1)
+    rc_ack_mult = 1.0 + 1.0 / rnic.ack_coalesce
+    pkt_events = np.where(
+        is_rc & is_read,
+        data_pkts + 1.0,
+        np.where(is_rc, data_pkts * rc_ack_mult, data_pkts),
+    )
+    pps_cap = pps_budget / pkt_events
+
+    payload_floor = np.maximum(payload, 1.0)
+    src_dma = extra["_src_bw"] * 1e9 / 8 / payload_floor
+    dst_dma = extra["_dst_bw"] * 1e9 / 8 / payload_floor
+
+    receiver_pcie_cap = np.minimum(cap_down, cap_up)
+    sender_pcie_cap = np.where(is_read, cap_down, receiver_pcie_cap)
+
+    def direction(tx_dma, rx_dma):
+        injection = (
+            np.minimum(
+                np.minimum(np.minimum(wire_cap, pps_cap), sender_pcie_cap),
+                tx_dma,
+            )
+            * tx_factor
+            * duty
+        )
+        service = (
+            np.minimum(
+                np.minimum(np.minimum(pps_cap, receiver_pcie_cap), rx_dma),
+                wire_cap,
+            )
+            * rx_factor
+        )
+        achieved = np.minimum(injection, service)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            starved = 1.0 - service / injection
+        pause = np.where(
+            injection <= 0.0,
+            0.0,
+            np.where(
+                service >= injection,
+                0.0,
+                np.where(service <= 0.0, 1.0, starved),
+            ),
+        )
+        return {
+            "achieved": achieved,
+            "injection": injection,
+            "payload": achieved * payload,
+            "wire": achieved * wire_per_msg,
+            "packets": achieved * pkt_events,
+            "pause": pause,
+        }
+
+    fwd = direction(src_dma, dst_dma)
+    rev = direction(dst_dma, src_dma)  # only consumed where bidi
+
+    # -- counter synthesis (mirrors _ideal_counters) --------------------------
+    msgs_total = fwd["achieved"] + np.where(bidi, rev["achieved"], 0.0)
+    pkts_total = fwd["packets"] + np.where(bidi, rev["packets"], 0.0)
+    bytes_total = fwd["payload"] + np.where(bidi, rev["payload"], 0.0)
+    pause_ratio = np.where(
+        bidi, np.maximum(fwd["pause"], rev["pause"]), fwd["pause"]
+    )
+
+    pinning = 1.0 + np.minimum(data_pkts, 8.0) / 4.0
+    total_recv = columns["num_qps"] * columns["wq_depth"]
+    rx_wqe = np.where(
+        uses_recv,
+        (
+            np.minimum(
+                1.0,
+                columns["rxq_capacity_miss"] + columns["rxq_burst_miss"],
+            )
+            + 0.3 * _pressure_column(total_recv, rxq.total_entries, n)
+            + 0.2
+            * _pressure_column(
+                columns["wq_depth"], max(rxq.per_qp_entries, 1), n
+            )
+            * (wqe_batch / (wqe_batch + rxq.prefetch_window))
+        )
+        * msgs_total
+        * pinning,
+        0.0,
+    )
+
+    switch_intensity = (
+        32.0 / (32.0 + columns["wq_depth"]) + 2.0 / (2.0 + wqe_batch)
+    )
+    qpc = (
+        columns["qpc_miss"]
+        + 0.3
+        * _pressure_column(columns["total_qps"], rnic.qpc_cache_entries, n)
+    ) * msgs_total * switch_intensity
+    mtt = (
+        columns["mtt_miss"]
+        + 0.3
+        * _pressure_column(columns["total_mrs"], rnic.mtt_cache_entries, n)
+    ) * msgs_total
+
+    mix = columns["small_frac"] * columns["large_frac"] * 4.0
+    ordering = (
+        columns["strict_ordering"]
+        * (0.3 + 0.7 * columns["bidirectional"])
+        * np.minimum(1.0, columns["sge_per_wqe"] / 3.0)
+        * (0.3 + 0.7 * columns["sg_entry_mix"])
+        * (mix + 0.05)
+        * pkts_total
+        * 0.1
+    )
+
+    cross_socket = (
+        columns["crosses_socket"]
+        * (1.0 + columns["bidirectional"])
+        * (1.0 + columns["weak_cross_socket"])
+        * bytes_total
+        * 1e-5
+    )
+
+    incast = columns["loopback"] * msgs_total * (
+        0.5 if not rnic.loopback_rate_limited else 0.1
+    )
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        over_fwd = np.where(
+            fwd["achieved"] > 0,
+            fwd["injection"] / fwd["achieved"] - 1.0,
+            0.0,
+        )
+        over_rev = np.where(
+            rev["achieved"] > 0,
+            rev["injection"] / rev["achieved"] - 1.0,
+            0.0,
+        )
+    overload = np.maximum(
+        0.0, np.where(bidi, np.maximum(over_fwd, over_rev), over_fwd)
+    )
+    read_pressure = (
+        np.where(is_read, 1.0, 0.0)
+        * np.minimum(1.0, data_pkts / 16.0)
+        * (1024.0 / columns["mtu"])
+    )
+    rc_ack_load = np.where(is_rc, 1.5, 1.0)
+    short_pressure = (
+        _pressure_column(
+            columns["short_req_outstanding"]
+            * (1.0 + columns["bidirectional"])
+            * rc_ack_load,
+            4 * 12288,
+            n,
+        )
+        * (0.4 + 0.6 * np.minimum(1.0, 4.0 * columns["large_frac"]))
+        * rc_ack_load
+    )
+    rx_buffer = (
+        pause_ratio * 10.0
+        + np.minimum(overload, 10.0)
+        + 0.5 * short_pressure
+        + 0.3 * read_pressure
+    ) * 1e4
+
+    wqe_pressure_bytes = (
+        columns["wqe_outstanding_bytes"]
+        * (1.0 + columns["bidirectional"])
+        * np.where(is_read, 1.5, 1.0)
+    )
+    tx_wqe_fetch = (
+        _pressure_column(wqe_pressure_bytes, 256 * 1024, n)
+        + 0.2 * np.minimum(1.0, columns["sge_per_wqe"] / 4.0)
+    ) * msgs_total * 0.1
+
+    down_util = np.minimum(1.0, bytes_total / pcie.effective_bytes_per_sec)
+    # Python pow: scalar ``u ** 2`` is not always the same float as a
+    # multiply, so this one term stays per point.
+    backpressure = [(u ** 2) * 5e3 for u in down_util.tolist()]
+
+    # -- per-point materialization --------------------------------------------
+    feature_dicts = materialize_features(columns, n)
+    fired_lists = materialize_fired(rule_rows, n)
+
+    bidi_list = bidi.tolist()
+    col = {
+        "fwd_achieved": fwd["achieved"].tolist(),
+        "fwd_injection": fwd["injection"].tolist(),
+        "fwd_payload": fwd["payload"].tolist(),
+        "fwd_wire": fwd["wire"].tolist(),
+        "fwd_packets": fwd["packets"].tolist(),
+        "fwd_pause": fwd["pause"].tolist(),
+        "rev_achieved": rev["achieved"].tolist(),
+        "rev_injection": rev["injection"].tolist(),
+        "rev_payload": rev["payload"].tolist(),
+        "rev_wire": rev["wire"].tolist(),
+        "rev_packets": rev["packets"].tolist(),
+        "rev_pause": rev["pause"].tolist(),
+        "pause_us": (pause_ratio * 1e6).tolist(),
+        "msgs_total": msgs_total.tolist(),
+        "rx_wqe": rx_wqe.tolist(),
+        "qpc": qpc.tolist(),
+        "mtt": mtt.tolist(),
+        "ordering": ordering.tolist(),
+        "cross_socket": cross_socket.tolist(),
+        "incast": incast.tolist(),
+        "rx_buffer": rx_buffer.tolist(),
+        "tx_wqe_fetch": tx_wqe_fetch.tolist(),
+    }
+
+    solves = []
+    for i in range(n):
+        directions = [
+            DirectionRates(
+                name="fwd",
+                achieved_msgs_per_sec=col["fwd_achieved"][i],
+                injection_msgs_per_sec=col["fwd_injection"][i],
+                payload_bytes_per_sec=col["fwd_payload"][i],
+                wire_bytes_per_sec=col["fwd_wire"][i],
+                packets_per_sec=col["fwd_packets"][i],
+                pause_ratio=col["fwd_pause"][i],
+            )
+        ]
+        two_sided = bidi_list[i]
+        if two_sided:
+            directions.append(
+                DirectionRates(
+                    name="rev",
+                    achieved_msgs_per_sec=col["rev_achieved"][i],
+                    injection_msgs_per_sec=col["rev_injection"][i],
+                    payload_bytes_per_sec=col["rev_payload"][i],
+                    wire_bytes_per_sec=col["rev_wire"][i],
+                    packets_per_sec=col["rev_packets"][i],
+                    pause_ratio=col["rev_pause"][i],
+                )
+            )
+        counters = {
+            "tx_bytes_per_sec": col["fwd_wire"][i],
+            "rx_bytes_per_sec": col["rev_wire"][i] if two_sided else 0.0,
+            "tx_packets_per_sec": col["fwd_packets"][i],
+            "rx_packets_per_sec": col["rev_packets"][i] if two_sided else 0.0,
+            "pause_duration_us_per_sec": col["pause_us"][i],
+            "rx_wqe_cache_miss": col["rx_wqe"][i],
+            "qpc_cache_miss": col["qpc"][i],
+            "mtt_cache_miss": col["mtt"][i],
+            "pcie_ordering_stall": col["ordering"][i],
+            "cross_socket_pressure": col["cross_socket"][i],
+            "internal_incast_events": col["incast"][i],
+            "rx_buffer_full_events": col["rx_buffer"][i],
+            "tx_wqe_fetch_stall": col["tx_wqe_fetch"][i],
+            "pcie_internal_backpressure": backpressure[i],
+        }
+        fired = fired_lists[i]
+        for fired_rule in fired:
+            spike = (
+                (1.0 - fired_rule.factor)
+                * max(col["msgs_total"][i], 1.0)
+                * 2.0
+            )
+            counters[fired_rule.rule.counter] = (
+                counters.get(fired_rule.rule.counter, 0.0) + spike
+            )
+        solves.append(
+            CachedSolve(
+                directions=tuple(directions),
+                fired=tuple(fired),
+                features=feature_dicts[i],
+                ideal_counters=counters,
+            )
+        )
+    return solves

@@ -20,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping, Optional, Union
 
+import numpy as np
+
 FeatureValue = Union[float, str]
 
 
@@ -133,4 +135,84 @@ def fired_rules(
     for rule in rules:
         if rule.matches(features):
             fired.append(FiredRule(rule=rule, factor=rule.effect_factor(features)))
+    return fired
+
+
+# -- batched (column-wise) gating ---------------------------------------------
+
+
+def gate_mask(gate: Gate, columns: Mapping, n: int) -> np.ndarray:
+    """Vector :meth:`Gate.matches` over a feature-column matrix."""
+    mask = np.ones(n, dtype=bool)
+    for feature, (low, high) in gate.bounds.items():
+        col = columns.get(feature)
+        if col is None:
+            return np.zeros(n, dtype=bool)
+        if isinstance(col, list):
+            col = np.asarray(col, dtype=np.float64)
+        if low is not None:
+            mask &= col >= low
+        if high is not None:
+            mask &= col <= high
+    for feature, accepted in gate.isin.items():
+        col = columns.get(feature)
+        if col is None:
+            return np.zeros(n, dtype=bool)
+        values = col if isinstance(col, list) else col.tolist()
+        mask &= np.fromiter(
+            (value in accepted for value in values), dtype=bool, count=n
+        )
+    return mask
+
+
+def _factor_column(rule: AnomalyRule, columns: Mapping, n: int) -> np.ndarray:
+    """Vector :meth:`AnomalyRule.effect_factor`."""
+    if rule.scale_feature is None:
+        return np.full(n, rule.factor)
+    col = columns.get(rule.scale_feature)
+    if col is None:
+        col = np.zeros(n)
+    elif isinstance(col, list):
+        col = np.asarray(col, dtype=np.float64)
+    return np.maximum(
+        rule.floor, np.minimum(1.0, 1.0 - rule.scale_coeff * col)
+    )
+
+
+def batch_fired_rules(
+    rules: tuple[AnomalyRule, ...], columns: Mapping, n: int
+) -> tuple[list, np.ndarray, np.ndarray]:
+    """Evaluate a rule table column-wise over ``n`` points.
+
+    Returns ``(rows, tx_factor, rx_factor)``: ``rows`` holds one
+    ``(rule, mask, factors)`` triple per table entry in table order
+    (``factors`` is ``None`` when the rule fired nowhere) and the factor
+    arrays are per-point products of fired factors by side — multiplied
+    in table order, so they match ``math.prod`` over the scalar fired
+    list bit-for-bit.
+    """
+    rows = []
+    tx_factor = np.ones(n)
+    rx_factor = np.ones(n)
+    for rule in rules:
+        mask = gate_mask(rule.gate, columns, n)
+        if not mask.any():
+            rows.append((rule, mask, None))
+            continue
+        factors = _factor_column(rule, columns, n)
+        rows.append((rule, mask, factors))
+        target = tx_factor if rule.side == "tx" else rx_factor
+        np.multiply(target, np.where(mask, factors, 1.0), out=target)
+    return rows, tx_factor, rx_factor
+
+
+def materialize_fired(rows: list, n: int) -> list[list[FiredRule]]:
+    """Per-point fired-rule lists (table order) from batch gate rows."""
+    fired: list[list[FiredRule]] = [[] for _ in range(n)]
+    for rule, mask, factors in rows:
+        if factors is None:
+            continue
+        values = factors.tolist()
+        for index in np.nonzero(mask)[0].tolist():
+            fired[index].append(FiredRule(rule=rule, factor=values[index]))
     return fired
