@@ -14,20 +14,33 @@ reports are bit-identical to a serial campaign (the determinism suite
 pins this).  An optional :class:`~repro.core.evalcache.EvalCache`
 warm-starts every run and absorbs the evaluations they performed,
 enabling cross-run reuse (``--cache`` on the CLI).
+
+That purity is also what makes campaigns *interruptible*: each seed's
+report is a pure function of its payload, and the flight recorder's
+journal is an append-only valid prefix even after a crash.  Resuming
+(``campaign --resume journal.jsonl``) replays the journal's completed
+``run_start``…``run_end`` blocks into finished reports, re-runs only
+the missing seeds, and produces final reports bit-identical to an
+uninterrupted campaign (extending the ``reports_from_journal``
+determinism guarantee); an attached
+:class:`~repro.core.faults.RetryPolicy` additionally survives crashed
+or hung workers mid-campaign.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import inspect
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.figures import TimeToFindSeries, time_to_find_series
 from repro.baselines import BayesOptSearch, RandomSearch
 from repro.baselines.genetic import GeneticSearch
 from repro.core import Collie
+from repro.core.collie import SearchReport
 from repro.core.evalcache import EvalCache
 from repro.core.executor import CampaignExecutor, ExecutorStats
+from repro.core.faults import FaultPlan, RetryPolicy
 
 
 # -- approach factories (module-level: picklable for process fan-out) -------
@@ -133,6 +146,37 @@ def _run_seed(payload: dict) -> dict:
     }
 
 
+def completed_runs_from_journal(
+    records: "Sequence[dict]",
+) -> dict[int, SearchReport]:
+    """Seed → finished report, for every *complete* run in a journal.
+
+    A run counts only when its ``run_start`` (carrying the seed) is
+    matched by a ``run_end`` before the next run begins; a trailing
+    partial run — the one a crash interrupted — is deliberately
+    dropped, so resume re-runs that seed from scratch and the final
+    report stays bit-identical to an uninterrupted campaign.
+    """
+    from repro.obs.journal import reports_from_records
+
+    runs: list[list[dict]] = []
+    for record in records:
+        if record.get("t") == "run_start":
+            runs.append([record])
+        elif runs:
+            runs[-1].append(record)
+    completed: dict[int, SearchReport] = {}
+    for run in runs:
+        seed = run[0].get("seed")
+        if seed is None:
+            continue
+        if not any(record.get("t") == "run_end" for record in run):
+            continue
+        (report,) = reports_from_records(run)
+        completed[int(seed)] = report
+    return completed
+
+
 @dataclasses.dataclass
 class CampaignResult:
     """One approach's multi-seed campaign."""
@@ -144,6 +188,9 @@ class CampaignResult:
     #: Fan-out accounting of the run that produced the reports (None for
     #: pre-executor callers constructing results by hand).
     executor_stats: Optional[ExecutorStats] = None
+    #: Seeds whose reports were replayed from a resume journal rather
+    #: than recomputed (in seed order; empty for a fresh campaign).
+    resumed_seeds: tuple = ()
 
     @property
     def seeds(self) -> int:
@@ -178,6 +225,9 @@ def run_campaign(
     cache: Optional[EvalCache] = None,
     recorder=None,
     batch: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    resume_from: Union[str, dict, None] = None,
 ) -> CampaignResult:
     """Run one approach across seeds.
 
@@ -190,12 +240,37 @@ def run_campaign(
     journals every seed's report post-hoc — a journal's file handle
     cannot travel into worker processes, so campaigns replay the
     returned reports instead of journaling in-flight.
+
+    ``retry`` turns on fault-tolerant execution (timeouts, bounded
+    retries with deterministic backoff, host quarantine); ``faults``
+    attaches a deterministic injection plan (chaos testing).
+
+    ``resume_from`` restarts an interrupted campaign: a journal path
+    (its valid prefix is read crash-tolerantly) or a pre-extracted
+    ``{seed: report}`` mapping.  Completed seeds are replayed, missing
+    ones recomputed, and the result — including a journal written by
+    ``recorder`` — is bit-identical to an uninterrupted campaign.
     """
     if factory is None and approach not in APPROACHES:
         raise KeyError(
             f"unknown approach {approach!r}; choose from "
             f"{sorted(APPROACHES)} or pass a factory"
         )
+    seeds = list(seeds)
+    completed: dict[int, SearchReport] = {}
+    if resume_from is not None:
+        if isinstance(resume_from, dict):
+            completed = dict(resume_from)
+        else:
+            from repro.obs.journal import read_journal_prefix
+
+            records, _tail = read_journal_prefix(resume_from)
+            completed = completed_runs_from_journal(records)
+        completed = {
+            seed: report for seed, report in completed.items()
+            if seed in set(seeds)
+        }
+    todo = [seed for seed in seeds if seed not in completed]
     warm_entries = cache.export_entries() if cache is not None else None
     payloads = [
         {
@@ -208,21 +283,36 @@ def run_campaign(
             "cache_entries": warm_entries,
             "batch": batch,
         }
-        for seed in seeds
+        for seed in todo
     ]
     executor = CampaignExecutor(
         workers=workers,
         metrics=recorder.metrics if recorder is not None else None,
         progress=recorder.task_progress if recorder is not None else None,
+        retry=retry,
+        faults=faults,
+        recorder=recorder,
     )
-    outcomes = executor.map(_run_seed, payloads)
+    outcomes = executor.map(_run_seed, payloads) if payloads else []
+    fresh = {
+        seed: outcome["report"] for seed, outcome in zip(todo, outcomes)
+    }
+    reports = [
+        completed[seed] if seed in completed else fresh[seed]
+        for seed in seeds
+    ]
     if recorder is not None:
         if executor.last_stats is not None:
             recorder.fanout(executor.last_stats)
-        for seed, outcome in zip(seeds, outcomes):
-            recorder.record_report(
-                outcome["report"], budget_hours, seed=seed
+        if completed:
+            recorder.metrics.counter(
+                "campaign.resumed_runs", len(completed)
             )
+        # Replay every run in seed order — resumed and fresh alike — so
+        # the new journal is complete and re-renders identically to one
+        # from an uninterrupted campaign.
+        for seed, report in zip(seeds, reports):
+            recorder.record_report(report, budget_hours, seed=seed)
     if cache is not None:
         for outcome in outcomes:
             if outcome["cache_entries"]:
@@ -233,8 +323,9 @@ def run_campaign(
         approach=approach,
         subsystem=subsystem,
         budget_hours=budget_hours,
-        reports=[outcome["report"] for outcome in outcomes],
+        reports=reports,
         executor_stats=executor.last_stats,
+        resumed_seeds=tuple(seed for seed in seeds if seed in completed),
     )
 
 

@@ -12,6 +12,9 @@ Commands mirror how the paper's operators use Collie:
                     approach (Figure 4 style);
 * ``report``      — re-render a run journal (``--journal``): summary,
                     anomaly timeline, counter trajectory export;
+* ``journal``     — verify a journal file: exit 0 when complete, 1 for
+                    a resumable interrupted campaign (crashed run or
+                    truncated tail), 2 for corruption;
 * ``stats``       — print hit rates and per-phase wall time from a
                     saved evaluation cache;
 * ``replay``      — replay the 18 Appendix A trigger settings;
@@ -25,6 +28,13 @@ Observability: ``search``/``parallel``/``campaign`` accept
 experiments / completed tasks).  Output goes through :mod:`logging`
 (configured by ``--log-level``/``--log-json``): INFO and below to
 stdout, WARNING and above to stderr.
+
+Fault tolerance: the three campaign surfaces accept ``--retries N``,
+``--task-timeout S`` and ``--backoff S`` (bounded retries with
+deterministic exponential backoff plus host quarantine, see
+:mod:`repro.core.faults`), and ``campaign --resume JOURNAL`` restarts
+an interrupted campaign from a journal's valid prefix, recomputing
+only the seeds that never finished.
 """
 
 from __future__ import annotations
@@ -94,12 +104,38 @@ def _open_recorder(args: argparse.Namespace):
 def _close_recorder(recorder) -> None:
     if recorder is None:
         return
+    faults = recorder.metrics.counters_with_prefix("faults.")
+    if faults:
+        logger.info(
+            "fault events: "
+            + ", ".join(f"{key}={value:g}" for key, value in faults.items())
+        )
     recorder.close()
     if recorder.journal is not None:
         logger.info(
             f"journal saved to {recorder.journal.path} "
             f"({recorder.journal.records_written} records)"
         )
+
+
+def _retry_policy(args: argparse.Namespace):
+    """Build the RetryPolicy requested by the resilience flags.
+
+    Returns None when no flag was given — the executor then keeps its
+    legacy fail-fast behaviour.
+    """
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "task_timeout", None)
+    backoff = getattr(args, "backoff", None)
+    if retries is None and timeout is None and backoff is None:
+        return None
+    from repro.core.faults import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=retries if retries is not None else 2,
+        timeout_seconds=timeout,
+        backoff_base=backoff if backoff is not None else 0.0,
+    )
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -154,6 +190,7 @@ def _run_search_campaign(args: argparse.Namespace, cache, recorder) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        retry=_retry_policy(args),
     )
     logger.info(
         f"{approach} on subsystem {args.subsystem}: "
@@ -186,6 +223,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        retry=_retry_policy(args),
     )
     report = fleet.run()
     logger.info(
@@ -212,6 +250,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{', '.join(sorted(APPROACHES))}"
         )
         return 2
+    if args.resume:
+        from repro.obs.journal import read_journal_prefix
+
+        try:
+            _, tail_error = read_journal_prefix(args.resume)
+        except OSError as error:
+            logger.error(f"cannot read resume journal {args.resume}: {error}")
+            return 2
+        except ValueError as error:
+            logger.error(f"resume journal is corrupt: {error}")
+            return 2
+        if tail_error is not None:
+            logger.warning(tail_error)
     cache = _open_cache(args)
     recorder = _open_recorder(args)
     result = run_campaign(
@@ -223,7 +274,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        retry=_retry_policy(args),
+        resume_from=args.resume,
     )
+    if result.resumed_seeds:
+        logger.info(
+            f"resumed from {args.resume}: replayed "
+            f"{len(result.resumed_seeds)} completed seed(s) "
+            f"{list(result.resumed_seeds)}, recomputed "
+            f"{result.seeds - len(result.resumed_seeds)}"
+        )
     logger.info(
         f"{result.approach} on subsystem {result.subsystem}: "
         f"{result.seeds} seeds x {result.budget_hours:.1f}h, "
@@ -243,19 +303,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.figures import counter_trace
     from repro.obs import (
         journal_summary,
-        read_journal,
+        read_journal_prefix,
         reports_from_records,
         validate_journal,
     )
 
     try:
-        records = read_journal(args.journal)
+        records, tail_error = read_journal_prefix(args.journal)
     except OSError as error:
         logger.error(f"cannot read journal {args.journal}: {error}")
         return 2
     except ValueError as error:
         logger.error(f"{error}")
         return 2
+    if tail_error is not None:
+        logger.warning(
+            f"{tail_error} — rendering the valid prefix "
+            f"({len(records)} records)"
+        )
     errors = validate_journal(records)
     if errors:
         for message in errors[:10]:
@@ -275,10 +340,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"{shape['transitions']} SA transitions, "
         f"{shape['cache_events']} cache events"
     )
+    if shape["retries"] or shape["quarantines"]:
+        logger.info(
+            f"resilience: {shape['retries']} retried attempt(s), "
+            f"{shape['quarantines']} quarantined host(s)"
+        )
+    if shape["crashed_runs"]:
+        logger.warning(
+            f"{shape['crashed_runs']} of {shape['runs']} run(s) are "
+            f"partial (no run_end record) — this campaign crashed or is "
+            f"still in flight; resume it with 'repro campaign --resume "
+            f"{args.journal}'"
+        )
+    completeness = _run_completeness(records)
     reports = reports_from_records(records)
     for index, report in enumerate(reports, 1):
         logger.info("")
-        logger.info(f"run {index}: {report.summary()}")
+        crashed = "" if completeness[index - 1] else " [CRASHED — partial]"
+        logger.info(f"run {index}:{crashed} {report.summary()}")
         hits = sorted(
             report.first_hit_times().items(), key=lambda item: item[1]
         )
@@ -309,6 +388,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_completeness(records) -> list:
+    """Per-run completion flags, in run order (False = no run_end)."""
+    flags: list = []
+    for record in records:
+        kind = record.get("t")
+        if kind == "run_start":
+            flags.append(False)
+        elif kind == "run_end" and flags:
+            flags[-1] = True
+    return flags
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """``journal verify``: machine-checkable journal health."""
+    from repro.obs import VERIFY_OK, verify_journal
+
+    code, messages = verify_journal(args.journal)
+    for message in messages:
+        if code == VERIFY_OK:
+            logger.info(message)
+        else:
+            logger.warning(message)
+    verdict = {0: "complete", 1: "incomplete (resumable)", 2: "corrupt"}
+    logger.info(f"journal {args.journal}: {verdict[code]} (exit {code})")
+    return code
+
+
 def _write_trajectory(path: str, reports, counter: str) -> None:
     """Raw per-event CSV of one counter across every run in the journal.
 
@@ -337,6 +443,41 @@ def _write_trajectory(path: str, reports, counter: str) -> None:
                 )
 
 
+def _stats_on_journal(path: str) -> Optional[int]:
+    """``stats`` pointed at a run journal: summarise it instead.
+
+    Returns None when the file is not a journal (caller falls through
+    to its cache-store error path).  Partial/crashed runs are surfaced
+    explicitly — a truncated journal must never read as a finished one.
+    """
+    from repro.obs import journal_summary, read_journal_prefix
+
+    try:
+        records, tail_error = read_journal_prefix(path)
+    except (OSError, ValueError):
+        return None
+    if not records or not all(
+        isinstance(r, dict) and "t" in r and "v" in r for r in records
+    ):
+        return None
+    shape = journal_summary(records)
+    logger.info(
+        f"{path} is a run journal: {shape['records']} records, "
+        f"{shape['complete_runs']} complete run(s), "
+        f"{shape['experiments']} experiments, "
+        f"{shape['anomalies']} anomalies, {shape['retries']} retries, "
+        f"{shape['quarantines']} quarantines"
+    )
+    if tail_error is not None:
+        logger.warning(tail_error)
+    if shape["crashed_runs"]:
+        logger.warning(
+            f"{shape['crashed_runs']} run(s) are partial (crashed or in "
+            f"flight) — resume with 'repro campaign --resume {path}'"
+        )
+    return 1 if (shape["crashed_runs"] or tail_error) else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.core.evalcache import EvalCache, describe_stats
 
@@ -346,6 +487,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         logger.info(f"no cache store at {args.cache} (nothing cached yet)")
         return 0
     except (ValueError, AttributeError) as error:  # corrupt / wrong shape
+        journal_code = _stats_on_journal(args.cache)
+        if journal_code is not None:
+            return journal_code
         logger.error(f"cannot read cache store {args.cache}: {error}")
         return 1
     lookups = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
@@ -431,6 +575,23 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed/hung campaign task up to N times "
+             "(turns on fault-tolerant execution with host quarantine)",
+    )
+    subparser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock timeout; an expired task is retried",
+    )
+    subparser.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base of the deterministic exponential retry backoff "
+             "(default 0: account for the schedule without sleeping)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -476,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "probes (deterministic per seed, but a "
                              "different RNG interleaving than scalar)")
     _add_observability_flags(search)
+    _add_resilience_flags(search)
     search.set_defaults(func=_cmd_search)
 
     parallel = sub.add_parser("parallel", help="fleet search (§8 extension)")
@@ -491,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="route evaluation through the scalar code "
                                "path (disable S31 batching)")
     _add_observability_flags(parallel)
+    _add_resilience_flags(parallel)
     parallel.set_defaults(func=_cmd_parallel)
 
     campaign = sub.add_parser(
@@ -510,7 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-batch", action="store_true",
                           help="route evaluation through the scalar code "
                                "path (disable S31 batching)")
+    campaign.add_argument("--resume", metavar="JOURNAL.jsonl",
+                          help="resume an interrupted campaign: replay "
+                               "this journal's completed runs and "
+                               "recompute only the missing seeds")
     _add_observability_flags(campaign)
+    _add_resilience_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     report = sub.add_parser(
@@ -524,6 +692,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trajectory", metavar="OUT.csv",
                         help="export the --counter trajectory as CSV")
     report.set_defaults(func=_cmd_report)
+
+    journal = sub.add_parser(
+        "journal",
+        help="verify a run journal (exit 0 complete, 1 resumable, "
+             "2 corrupt)",
+    )
+    journal_actions = journal.add_subparsers(
+        dest="journal_command", required=True
+    )
+    journal_verify = journal_actions.add_parser(
+        "verify",
+        help="check schema validity and run completeness of a journal",
+    )
+    journal_verify.add_argument("journal", metavar="JOURNAL.jsonl",
+                                help="JSONL journal to verify")
+    journal_verify.set_defaults(func=_cmd_journal)
 
     stats = sub.add_parser(
         "stats", help="print statistics from a saved evaluation cache"

@@ -80,6 +80,17 @@ class Testbed:
         """The evaluation cache, if one is attached."""
         return self.engine.cache
 
+    def _before_experiment(
+        self, workload: WorkloadDescriptor, phase: str, index: int
+    ) -> None:
+        """Pre-experiment seam (``index`` = absolute experiment number).
+
+        A no-op here; :class:`repro.core.faults.FaultyTestbed` overrides
+        it to raise injected faults *before* the experiment charges the
+        clock or consumes RNG draws, so a retried run replays its
+        completed prefix bit-identically.
+        """
+
     @property
     def batch_enabled(self) -> bool:
         """Whether the batched evaluation engine (S31) is active."""
@@ -112,6 +123,10 @@ class Testbed:
             return []
         if not self.batch_enabled or len(workloads) == 1:
             return [self.run(w, rng=rng, phase=phase) for w in workloads]
+        for offset, workload in enumerate(workloads):
+            self._before_experiment(
+                workload, phase, self.experiments_run + offset
+            )
         wall_started = time.perf_counter()
         measurements = self.engine.measure_many(
             workloads, rng=rng,
@@ -151,6 +166,7 @@ class Testbed:
         phase: str = "search",
     ) -> ExperimentResult:
         """Run one experiment, charging the simulated clock."""
+        self._before_experiment(workload, phase, self.experiments_run)
         started = self.clock.now
         setup = self.engine.setup_seconds(workload)
         measure = self.engine.measurement_seconds()

@@ -13,6 +13,13 @@ from repro.core.collie import Collie, SearchReport
 from repro.core.engine import WorkloadEngine
 from repro.core.evalcache import EvalCache
 from repro.core.executor import CampaignExecutor, ExecutorStats
+from repro.core.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyTestbed,
+    RetryPolicy,
+    TaskFailed,
+)
 from repro.core.mfs import MinimalFeatureSet
 from repro.core.monitor import AnomalyMonitor, AnomalyVerdict
 from repro.core.space import SearchSpace
@@ -24,6 +31,11 @@ __all__ = [
     "EvalCache",
     "CampaignExecutor",
     "ExecutorStats",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTestbed",
+    "RetryPolicy",
+    "TaskFailed",
     "MinimalFeatureSet",
     "AnomalyMonitor",
     "AnomalyVerdict",

@@ -28,6 +28,7 @@ from repro.core.annealing import SAParams, TraceEvent
 from repro.core.collie import Collie, SearchReport
 from repro.core.evalcache import EvalCache
 from repro.core.executor import CampaignExecutor, ExecutorStats
+from repro.core.faults import FaultPlan, RetryPolicy
 from repro.core.mfs import MinimalFeatureSet
 from repro.core.space import SearchSpace
 from repro.hardware.counters import DIAGNOSTIC_COUNTERS
@@ -120,6 +121,8 @@ class ParallelCollie:
         cache: Optional[EvalCache] = None,
         recorder=None,
         batch: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
@@ -140,6 +143,9 @@ class ParallelCollie:
             workers=workers,
             metrics=recorder.metrics if recorder is not None else None,
             progress=recorder.task_progress if recorder is not None else None,
+            retry=retry,
+            faults=faults,
+            recorder=recorder,
         )
         #: Parent-side cache: warm-starts every machine and absorbs
         #: their entries/stats after the fleet completes.

@@ -19,17 +19,23 @@ request it.
 """
 
 from repro.obs.journal import (
+    VERIFY_CORRUPT,
+    VERIFY_INCOMPLETE,
+    VERIFY_OK,
     RunJournal,
     journal_summary,
     read_journal,
+    read_journal_prefix,
     reports_from_journal,
     reports_from_records,
+    verify_journal,
 )
 from repro.obs.logging import setup_logging
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import FlightRecorder
 from repro.obs.schema import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     validate_journal,
     validate_record,
 )
@@ -39,11 +45,17 @@ __all__ = [
     "MetricsRegistry",
     "RunJournal",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "VERIFY_CORRUPT",
+    "VERIFY_INCOMPLETE",
+    "VERIFY_OK",
     "journal_summary",
     "read_journal",
+    "read_journal_prefix",
     "reports_from_journal",
     "reports_from_records",
     "setup_logging",
     "validate_journal",
     "validate_record",
+    "verify_journal",
 ]

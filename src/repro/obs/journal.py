@@ -86,19 +86,46 @@ class RunJournal:
 
 def read_journal(path: Union[str, os.PathLike]) -> list[dict]:
     """Parse a journal file into records (blank lines are skipped)."""
-    records = []
+    records, truncated = read_journal_prefix(path)
+    if truncated is not None:
+        raise ValueError(truncated)
+    return records
+
+
+def read_journal_prefix(
+    path: Union[str, os.PathLike]
+) -> tuple[list[dict], Optional[str]]:
+    """Parse a journal's valid prefix, tolerating a truncated tail.
+
+    A run killed mid-write leaves at most one partial line, and it is
+    the *last* one (the journal is append-only and line-buffered).
+    Returns ``(records, tail_error)`` where ``tail_error`` describes a
+    dropped final partial line (``None`` for a clean journal).  An
+    undecodable line anywhere *before* the last is not crash
+    truncation — it is corruption, and still raises ``ValueError``.
+    """
+    records: list[dict] = []
+    pending_error: Optional[str] = None
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
+            stripped = line.strip()
+            if not stripped:
                 continue
+            if pending_error is not None:
+                # The bad line was not the last one: real corruption.
+                raise ValueError(pending_error)
             try:
-                records.append(json.loads(line))
+                records.append(json.loads(stripped))
             except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}: line {line_number} is not valid JSON: {error}"
-                ) from error
-    return records
+                pending_error = (
+                    f"{os.fspath(path)}: line {line_number} is not valid "
+                    f"JSON: {error}"
+                )
+    if pending_error is not None:
+        return records, (
+            pending_error + " (truncated tail dropped)"
+        )
+    return records, None
 
 
 # -- record constructors (the write side the recorder uses) ------------------
@@ -228,18 +255,90 @@ def reports_from_journal(
 
 
 def journal_summary(records: Iterable[dict]) -> dict:
-    """Shape overview of a journal: record counts, runs, anomalies."""
+    """Shape overview of a journal: record counts, runs, anomalies.
+
+    A run is *complete* when its ``run_start`` is matched by a
+    ``run_end`` before the next run begins; anything else is a crashed
+    (partial) run — ``crashed_runs`` surfaces it explicitly rather
+    than letting a truncated journal masquerade as a finished one.
+    """
     by_type: dict[str, int] = {}
+    complete = 0
+    in_run = False
     for record in records:
         kind = record.get("t", "?")
         by_type[kind] = by_type.get(kind, 0) + 1
+        if kind == "run_start":
+            in_run = True
+        elif kind == "run_end" and in_run:
+            complete += 1
+            in_run = False
+    runs = by_type.get("run_start", 0)
     return {
         "records": sum(by_type.values()),
-        "runs": by_type.get("run_start", 0),
+        "runs": runs,
+        "complete_runs": complete,
+        "crashed_runs": runs - complete,
         "experiments": by_type.get("experiment", 0),
         "anomalies": by_type.get("anomaly", 0),
         "transitions": by_type.get("transition", 0),
         "skips": by_type.get("skip", 0),
         "cache_events": by_type.get("cache", 0),
+        "retries": by_type.get("retry", 0),
+        "quarantines": by_type.get("quarantine", 0),
         "by_type": dict(sorted(by_type.items())),
     }
+
+
+# -- verification (the ``repro journal verify`` surface) ----------------------
+
+#: ``verify_journal`` verdict codes (doubling as CLI exit codes).
+VERIFY_OK = 0          #: valid and every run ran to completion.
+VERIFY_INCOMPLETE = 1  #: valid prefix, but crashed/partial state.
+VERIFY_CORRUPT = 2     #: unreadable, mid-file corruption, bad schema.
+
+
+def verify_journal(path: Union[str, os.PathLike]) -> tuple[int, list[str]]:
+    """Check a journal file end to end: ``(verdict, messages)``.
+
+    Verdicts: :data:`VERIFY_OK` — schema-valid and every run is
+    complete; :data:`VERIFY_INCOMPLETE` — the valid prefix is usable
+    (resumable) but the journal records an interrupted campaign
+    (truncated final line and/or a ``run_start`` with no ``run_end``);
+    :data:`VERIFY_CORRUPT` — the file is unreadable, corrupt before
+    its final line, or fails schema validation.
+    """
+    from repro.obs.schema import validate_journal
+
+    messages: list[str] = []
+    try:
+        records, tail_error = read_journal_prefix(path)
+    except OSError as error:
+        return VERIFY_CORRUPT, [f"cannot read journal: {error}"]
+    except ValueError as error:
+        return VERIFY_CORRUPT, [str(error)]
+    errors = validate_journal(records)
+    if errors and records:
+        return VERIFY_CORRUPT, errors
+    if not records:
+        messages.append("journal is empty")
+        if tail_error is not None:
+            messages.append(tail_error)
+        return VERIFY_INCOMPLETE, messages
+    verdict = VERIFY_OK
+    if tail_error is not None:
+        verdict = VERIFY_INCOMPLETE
+        messages.append(tail_error)
+    shape = journal_summary(records)
+    if shape["crashed_runs"]:
+        verdict = VERIFY_INCOMPLETE
+        messages.append(
+            f"{shape['crashed_runs']} of {shape['runs']} run(s) never "
+            f"wrote a run_end record (crashed or still in flight)"
+        )
+    if verdict == VERIFY_OK:
+        messages.append(
+            f"journal is complete: {shape['records']} records, "
+            f"{shape['complete_runs']} finished run(s)"
+        )
+    return verdict, messages

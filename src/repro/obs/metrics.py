@@ -117,6 +117,20 @@ class MetricsRegistry:
             summary = self._histograms.get(key)
             return dataclasses.replace(summary) if summary else HistogramSummary()
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """Counter series whose name starts with ``prefix``, rendered.
+
+        The CLI uses this to summarise one namespace after a run (e.g.
+        every ``faults.*`` series of a resilient campaign) without
+        dumping the whole registry.
+        """
+        with self._lock:
+            return {
+                render_key(name, dict(labels)): value
+                for (name, labels), value in sorted(self._counters.items())
+                if name.startswith(prefix)
+            }
+
     def series(self) -> Iterator[str]:
         """All rendered series names, sorted."""
         with self._lock:

@@ -172,12 +172,61 @@ class FlightRecorder:
                 "wall_seconds": stats.wall_seconds,
                 "busy_seconds": stats.busy_seconds,
                 "fell_back_serial": stats.fell_back_serial,
+                # Resilience accounting (extra fields; schema-v2 readers
+                # and v1 validators both tolerate them).
+                "retries": getattr(stats, "retries", 0),
+                "timeouts": getattr(stats, "timeouts", 0),
+                "injected_faults": getattr(stats, "injected_faults", 0),
+                "backoff_seconds": getattr(stats, "backoff_seconds", 0.0),
+                "quarantined_hosts": list(
+                    getattr(stats, "quarantined_hosts", ())
+                ),
+                "redistributed_tasks": getattr(
+                    stats, "redistributed_tasks", 0
+                ),
             })
 
     def task_progress(self, done: int, total: int) -> None:
         """One fan-out task finished (live campaign progress)."""
         if self.progress_every:
             progress_logger.info("progress: task %d/%d complete", done, total)
+
+    # -- resilience events (executor retry/quarantine decisions) -----------
+
+    def injected_fault(self, kind: str) -> None:
+        """The fault plan injected one fault (chaos runs only)."""
+        self.metrics.counter("faults.injected", kind=kind)
+
+    def retry(
+        self, task: int, host: int, attempt: int, error: str,
+        backoff_seconds: float,
+    ) -> None:
+        """A failed task attempt is being re-run."""
+        self.metrics.counter("faults.retries", kind=error)
+        self.metrics.observe("faults.backoff_seconds", backoff_seconds)
+        if self.journal is not None:
+            self.journal.write({
+                "t": "retry",
+                "task": task,
+                "host": host,
+                "attempt": attempt,
+                "error": error,
+                "backoff_seconds": backoff_seconds,
+            })
+
+    def quarantine(
+        self, host: int, failures: int, redistributed: int
+    ) -> None:
+        """A persistently failing virtual host left the rotation."""
+        self.metrics.counter("faults.quarantines")
+        self.metrics.counter("faults.redistributed", redistributed)
+        if self.journal is not None:
+            self.journal.write({
+                "t": "quarantine",
+                "host": host,
+                "failures": failures,
+                "redistributed": redistributed,
+            })
 
     # -- post-hoc journaling (process-parallel paths) ----------------------
 

@@ -37,13 +37,29 @@ Record types:
     which still reconstructs from the experiment records alone).
 ``fanout``
     Executor accounting of one multi-seed / fleet fan-out.
+``retry``
+    One re-run of a failed task attempt: which task, which virtual
+    host the attempt was dispatched on, the attempt number, the
+    failure kind (``crash``/``hang``/``timeout``/``transient``/...)
+    and the deterministic backoff charged before the retry.
+``quarantine``
+    A persistently failing virtual host was taken out of rotation:
+    its accumulated failure count and how many of its pending tasks
+    were redistributed to healthy hosts.
+
+Version 2 added the ``retry``/``quarantine`` types; version-1 journals
+remain valid (the validator accepts every version in
+``SUPPORTED_VERSIONS``).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions the validator (and readers) accept.
+SUPPORTED_VERSIONS = (1, 2)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
@@ -117,6 +133,18 @@ RECORD_FIELDS: dict = {
         "busy_seconds": NUMBER,
         "fell_back_serial": bool,
     },
+    "retry": {
+        "task": int,
+        "host": int,
+        "attempt": int,
+        "error": str,
+        "backoff_seconds": NUMBER,
+    },
+    "quarantine": {
+        "host": int,
+        "failures": int,
+        "redistributed": int,
+    },
 }
 
 
@@ -127,10 +155,10 @@ def validate_record(record, line: Optional[int] = None) -> list[str]:
         return [f"{where}record is not an object"]
     errors = []
     version = record.get("v")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         errors.append(
             f"{where}unsupported schema version {version!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
     kind = record.get("t")
     fields = RECORD_FIELDS.get(kind)

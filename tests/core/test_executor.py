@@ -3,10 +3,24 @@
 import pytest
 
 from repro.core.executor import CampaignExecutor, ExecutorStats
+from repro.core.faults import RetryPolicy
+from repro.obs import MetricsRegistry
 
 
 def square(payload):
     return payload * payload
+
+
+def unpicklable_result(payload):
+    return lambda: payload  # closures cannot cross the process boundary
+
+
+def _require_pool() -> None:
+    """Skip (at run time — never fork during collection) without a pool."""
+    executor = CampaignExecutor(workers=2)
+    executor.map(square, [1, 2])
+    if executor.last_stats.fell_back_serial:
+        pytest.skip("no process pool in this sandbox")
 
 
 def describe_payload(payload):
@@ -65,6 +79,48 @@ class TestPooled:
         executor = CampaignExecutor(workers=2)
         with pytest.raises(RuntimeError, match="failed"):
             executor.map(boom, [1, 2])
+
+
+class TestEdgeCases:
+    def test_zero_tasks(self):
+        executor = CampaignExecutor(workers=4, metrics=MetricsRegistry())
+        assert executor.map(square, []) == []
+        stats = executor.last_stats
+        assert stats.tasks == 0
+        assert stats.workers == 1  # clamped floor, not zero
+
+    def test_zero_tasks_with_retry_policy(self):
+        executor = CampaignExecutor(workers=4, retry=RetryPolicy())
+        assert executor.map(square, []) == []
+        assert executor.last_stats.retries == 0
+
+    def test_more_workers_than_tasks(self):
+        executor = CampaignExecutor(workers=8)
+        assert executor.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.last_stats.workers == 3
+
+    def test_more_workers_than_tasks_resilient(self):
+        executor = CampaignExecutor(workers=8, retry=RetryPolicy())
+        assert executor.map(square, [1, 2, 3]) == [1, 4, 9]
+        stats = executor.last_stats
+        assert stats.workers == 3
+        assert stats.retries == 0
+
+    def test_worker_raising_during_result_pickling(self):
+        _require_pool()
+        executor = CampaignExecutor(workers=2)
+        with pytest.raises(Exception, match="(?i)pickle"):
+            executor.map(unpicklable_result, [1, 2])
+
+    def test_pickling_failure_is_fatal_not_retried(self):
+        _require_pool()
+        metrics = MetricsRegistry()
+        executor = CampaignExecutor(
+            workers=2, retry=RetryPolicy(max_retries=3), metrics=metrics
+        )
+        with pytest.raises(Exception, match="(?i)pickle"):
+            executor.map(unpicklable_result, [1, 2])
+        assert metrics.counters_with_prefix("faults.") == {}
 
 
 class TestStatsSurface:

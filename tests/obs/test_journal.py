@@ -7,12 +7,17 @@ import pytest
 
 from repro.core import Collie
 from repro.obs import (
+    VERIFY_CORRUPT,
+    VERIFY_INCOMPLETE,
+    VERIFY_OK,
     FlightRecorder,
     RunJournal,
     journal_summary,
     read_journal,
+    read_journal_prefix,
     reports_from_journal,
     validate_journal,
+    verify_journal,
 )
 
 BUDGET_HOURS = 0.5
@@ -117,3 +122,127 @@ class TestRunJournal:
         path = tmp_path / "gaps.jsonl"
         path.write_text('\n{"v":1,"t":"skip","time_seconds":0.0}\n\n')
         assert len(read_journal(path)) == 1
+
+
+class TestCrashTolerantPrefix:
+    GOOD = '{"v":2,"t":"skip","time_seconds":0.0}\n'
+
+    def test_clean_journal_has_no_tail_error(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text(self.GOOD * 3)
+        records, tail = read_journal_prefix(path)
+        assert len(records) == 3
+        assert tail is None
+
+    def test_torn_final_line_is_dropped_with_a_message(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(self.GOOD * 2 + '{"v":2,"t":"ski')
+        records, tail = read_journal_prefix(path)
+        assert len(records) == 2
+        assert "line 3" in tail and "truncated tail dropped" in tail
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(self.GOOD + "{oops\n" + self.GOOD)
+        with pytest.raises(ValueError, match="line 2"):
+            read_journal_prefix(path)
+
+    def test_strict_read_journal_refuses_the_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(self.GOOD + '{"v":2')
+        with pytest.raises(ValueError, match="truncated tail"):
+            read_journal(path)
+
+
+class TestSummaryCompleteness:
+    @staticmethod
+    def _run(seed, *, ended=True):
+        records = [
+            {"v": 2, "t": "run_start", "subsystem": "H",
+             "counter_mode": "diag", "use_mfs": True,
+             "budget_hours": 1.0, "seed": seed},
+        ]
+        if ended:
+            records.append({
+                "v": 2, "t": "run_end", "experiments": 0, "anomalies": 0,
+                "elapsed_seconds": 0.0, "wall_seconds": 0.0, "metrics": {},
+            })
+        return records
+
+    def test_complete_and_crashed_runs_are_counted(self):
+        records = (
+            self._run(1) + self._run(2, ended=False) + self._run(3)
+        )
+        summary = journal_summary(records)
+        assert summary["runs"] == 3
+        assert summary["complete_runs"] == 2
+        assert summary["crashed_runs"] == 1
+
+    def test_resilience_records_are_counted(self):
+        records = self._run(1) + [
+            {"v": 2, "t": "retry", "task": 0, "host": 0, "attempt": 0,
+             "error": "crash", "backoff_seconds": 0.0},
+            {"v": 2, "t": "retry", "task": 1, "host": 1, "attempt": 0,
+             "error": "hang", "backoff_seconds": 0.5},
+            {"v": 2, "t": "quarantine", "host": 1, "failures": 2,
+             "redistributed": 3},
+        ]
+        summary = journal_summary(records)
+        assert summary["retries"] == 2
+        assert summary["quarantines"] == 1
+
+
+class TestVerifyJournal:
+    def test_recorded_journal_verifies_ok(self, recorded):
+        _, path = recorded
+        verdict, messages = verify_journal(path)
+        assert verdict == VERIFY_OK
+        assert any("journal is complete" in m for m in messages)
+
+    def test_crashed_run_verifies_incomplete(self, recorded, tmp_path):
+        _, path = recorded
+        lines = [
+            line for line in path.read_text().splitlines()
+            if json.loads(line)["t"] != "run_end"
+        ]
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text("\n".join(lines) + "\n")
+        verdict, messages = verify_journal(crashed)
+        assert verdict == VERIFY_INCOMPLETE
+        assert any("never wrote a run_end" in m for m in messages)
+
+    def test_torn_tail_verifies_incomplete(self, recorded, tmp_path):
+        _, path = recorded
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(path.read_text() + '{"v":2,"t":"exp')
+        verdict, messages = verify_journal(torn)
+        assert verdict == VERIFY_INCOMPLETE
+        assert any("truncated tail" in m for m in messages)
+
+    def test_corruption_verifies_corrupt(self, recorded, tmp_path):
+        _, path = recorded
+        lines = path.read_text().splitlines()
+        lines[1] = "{nope"
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("\n".join(lines) + "\n")
+        verdict, _ = verify_journal(corrupt)
+        assert verdict == VERIFY_CORRUPT
+
+    def test_schema_violation_verifies_corrupt(self, tmp_path):
+        path = tmp_path / "badschema.jsonl"
+        path.write_text('{"v":2,"t":"warp-drive"}\n')
+        verdict, messages = verify_journal(path)
+        assert verdict == VERIFY_CORRUPT
+        assert any("unknown record type" in m for m in messages)
+
+    def test_missing_file_verifies_corrupt(self, tmp_path):
+        verdict, messages = verify_journal(tmp_path / "absent.jsonl")
+        assert verdict == VERIFY_CORRUPT
+        assert any("cannot read journal" in m for m in messages)
+
+    def test_empty_journal_verifies_incomplete(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        verdict, messages = verify_journal(path)
+        assert verdict == VERIFY_INCOMPLETE
+        assert any("empty" in m for m in messages)

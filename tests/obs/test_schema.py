@@ -2,6 +2,7 @@
 
 from repro.obs.schema import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     validate_journal,
     validate_record,
 )
@@ -62,6 +63,49 @@ class TestValidateRecord:
     def test_line_number_is_reported(self):
         errors = validate_record(skip_record(v=0), line=7)
         assert errors[0].startswith("line 7: ")
+
+
+class TestSchemaVersions:
+    def test_current_version_is_two(self):
+        assert SCHEMA_VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+    def test_v1_journals_still_validate(self):
+        assert validate_record(skip_record(v=1)) == []
+
+    def test_future_version_rejected(self):
+        errors = validate_record(skip_record(v=3))
+        assert any("unsupported schema version 3" in e for e in errors)
+
+
+class TestResilienceRecords:
+    def test_retry_record_validates(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "retry", "task": 4, "host": 1,
+            "attempt": 0, "error": "crash", "backoff_seconds": 0.5,
+        }
+        assert validate_record(record) == []
+
+    def test_retry_record_requires_its_fields(self):
+        record = {"v": SCHEMA_VERSION, "t": "retry", "task": 4}
+        errors = validate_record(record)
+        assert any("missing field 'host'" in e for e in errors)
+        assert any("missing field 'error'" in e for e in errors)
+
+    def test_quarantine_record_validates(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "quarantine", "host": 2,
+            "failures": 3, "redistributed": 5,
+        }
+        assert validate_record(record) == []
+
+    def test_quarantine_record_types_are_checked(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "quarantine", "host": "two",
+            "failures": 3, "redistributed": 5,
+        }
+        errors = validate_record(record)
+        assert any("'host'" in e for e in errors)
 
 
 class TestValidateJournal:

@@ -289,3 +289,190 @@ class TestDiagnose:
         )
         assert main(["diagnose", str(report_path), str(workload_path)]) == 0
         assert "no known anomaly" in capsys.readouterr().out
+
+
+class TestJournalVerify:
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        """One complete campaign journal produced through the CLI."""
+        path = tmp_path_factory.mktemp("verify") / "campaign.jsonl"
+        assert main(["campaign", "collie", "--subsystem", "H",
+                     "--seeds", "2", "--hours", "0.3",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_complete_journal_exits_zero(self, journal, capsys):
+        assert main(["journal", "verify", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal is complete" in out
+        assert "complete (exit 0)" in out
+
+    def test_interrupted_journal_exits_one(self, journal, tmp_path, capsys):
+        lines = journal.read_text().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(
+            "\n".join(lines[: len(lines) // 2]) + '\n{"v":2,"t":"exp'
+        )
+        assert main(["journal", "verify", str(torn)]) == 1
+        captured = capsys.readouterr()
+        assert "incomplete (resumable)" in captured.out
+        assert "truncated tail dropped" in captured.err
+
+    def test_corrupt_journal_exits_two(self, journal, tmp_path, capsys):
+        lines = journal.read_text().splitlines()
+        lines[1] = "{definitely not json"
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("\n".join(lines) + "\n")
+        assert main(["journal", "verify", str(corrupt)]) == 2
+        assert "corrupt (exit 2)" in capsys.readouterr().out
+
+    def test_missing_journal_exits_two(self, tmp_path):
+        assert main(["journal", "verify",
+                     str(tmp_path / "absent.jsonl")]) == 2
+
+
+class TestCampaignResume:
+    ARGS = ["campaign", "collie", "--subsystem", "H", "--seeds", "2",
+            "--hours", "0.3"]
+
+    @pytest.fixture(scope="class")
+    def interrupted(self, tmp_path_factory):
+        """A full journal plus a copy killed inside the second run."""
+        from repro.obs import read_journal
+
+        base = tmp_path_factory.mktemp("resume")
+        full = base / "full.jsonl"
+        assert main(self.ARGS + ["--journal", str(full)]) == 0
+        records = read_journal(full)
+        lines = full.read_text().splitlines()
+        first_end = next(
+            i for i, r in enumerate(records) if r["t"] == "run_end"
+        )
+        torn = base / "interrupted.jsonl"
+        torn.write_text(
+            "".join(line + "\n" for line in lines[: first_end + 4])
+        )
+        return full, torn
+
+    def test_resume_completes_and_matches(
+        self, interrupted, tmp_path, capsys
+    ):
+        from repro.obs import reports_from_journal, verify_journal
+
+        full, torn = interrupted
+        resumed = tmp_path / "resumed.jsonl"
+        code = main(self.ARGS + ["--resume", str(torn),
+                                 "--journal", str(resumed)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed from" in out
+        assert "replayed 1 completed seed(s)" in out
+        assert reports_from_journal(resumed) == reports_from_journal(full)
+        assert verify_journal(resumed)[0] == 0
+
+    def test_resume_missing_journal_is_an_error(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--resume",
+                                 str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read resume journal" in capsys.readouterr().err
+
+    def test_resume_corrupt_journal_is_an_error(
+        self, interrupted, tmp_path, capsys
+    ):
+        full, _ = interrupted
+        lines = full.read_text().splitlines()
+        lines[0] = "{bad"
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("\n".join(lines) + "\n")
+        code = main(self.ARGS + ["--resume", str(corrupt)])
+        assert code == 2
+        assert "resume journal is corrupt" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_campaign_accepts_the_retry_knobs(self, capsys):
+        code = main(["campaign", "collie", "--subsystem", "H",
+                     "--seeds", "2", "--hours", "0.3", "--retries", "1",
+                     "--task-timeout", "60", "--backoff", "0"])
+        assert code == 0
+        assert "anomalies/seed" in capsys.readouterr().out
+
+    def test_search_accepts_the_retry_knobs(self, capsys):
+        code = main(["search", "H", "--hours", "0.5", "--seeds", "2",
+                     "--retries", "1"])
+        assert code == 0
+        assert "subsystem H" in capsys.readouterr().out
+
+    def test_parallel_accepts_the_retry_knobs(self, capsys):
+        code = main(["parallel", "H", "--hours", "0.5", "--machines", "2",
+                     "--retries", "1"])
+        assert code == 0
+        assert "machines" in capsys.readouterr().out
+
+
+class TestStatsOnJournal:
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("statsj") / "campaign.jsonl"
+        assert main(["campaign", "collie", "--subsystem", "H",
+                     "--seeds", "2", "--hours", "0.3",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_stats_on_complete_journal(self, journal, capsys):
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "is a run journal" in out
+        assert "2 complete run(s)" in out
+
+    def test_stats_on_crashed_journal_exits_one(
+        self, journal, tmp_path, capsys
+    ):
+        lines = journal.read_text().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(
+            "\n".join(lines[: len(lines) - 3]) + "\n"
+        )
+        assert main(["stats", str(torn)]) == 1
+        captured = capsys.readouterr()
+        assert "partial (crashed or in flight)" in captured.err
+        assert "campaign --resume" in captured.err
+
+
+class TestReportResilience:
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("reportr") / "campaign.jsonl"
+        assert main(["campaign", "collie", "--subsystem", "H",
+                     "--seeds", "2", "--hours", "0.3",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_truncated_journal_renders_its_prefix(
+        self, journal, tmp_path, capsys
+    ):
+        lines = journal.read_text().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(
+            "\n".join(lines[: len(lines) - 2]) + '\n{"v":2,"t":"exp'
+        )
+        assert main(["report", str(torn)]) == 0
+        captured = capsys.readouterr()
+        assert "rendering the valid prefix" in captured.err
+        assert "campaign --resume" in captured.err
+        assert "[CRASHED — partial]" in captured.out
+
+    def test_resilience_summary_line(self, journal, tmp_path, capsys):
+        annotated = tmp_path / "resilient.jsonl"
+        annotated.write_text(
+            journal.read_text()
+            + json.dumps({"v": 2, "t": "retry", "task": 0, "host": 0,
+                          "attempt": 0, "error": "crash",
+                          "backoff_seconds": 0.0}) + "\n"
+            + json.dumps({"v": 2, "t": "quarantine", "host": 1,
+                          "failures": 2, "redistributed": 1}) + "\n"
+        )
+        assert main(["report", str(annotated)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: 1 retried attempt(s), 1 quarantined host(s)" \
+            in out
