@@ -129,6 +129,9 @@ def pytest_sessionfinish(session, exitstatus):
     if not target or not _RESULTS:
         return
     payload = {
+        # Version stamp for downstream consumers (CI trend tooling,
+        # cross-run diffing): bump when the payload shape changes.
+        "bench_schema": 1,
         "seeds": SEEDS,
         "budget_hours": BUDGET_HOURS,
         "benches": {name: _RESULTS[name] for name in sorted(_RESULTS)},

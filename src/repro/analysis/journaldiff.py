@@ -1,0 +1,200 @@
+"""Cross-run regression diffing over flight-recorder journals.
+
+``repro journal diff BASELINE CANDIDATE`` compares two journals of the
+*same* configuration (subsystem, budget, counter mode — typically two
+builds of the tool, or the same build before and after a change) and
+answers the observatory's gating question: **did search quality
+regress?**
+
+Three metrics are *gated* — a regression in any of them fails the diff:
+
+* ``anomalies`` — distinct MFSes found (higher is better);
+* ``time_to_first_anomaly_seconds`` — simulated seconds until the first
+  anomalous experiment (lower is better);
+* ``coverage_fraction`` — mean per-dimension fraction of the workload
+  space visited, recomputed from the journal's experiment records so a
+  self-diff is exactly zero (higher is better).
+
+Everything else (experiments, skips, SA acceptance rate, per-phase
+profiler self-times) is *informational*: printed for the reader, never
+gating, because wall-clock and stochastic-rate drift between runs is
+expected noise.
+
+A metric the baseline reports but the candidate lacks (e.g. the
+baseline found an anomaly and the candidate never did) is always a
+regression; the reverse — the candidate gaining a metric — is an
+improvement.  Comparisons apply a relative tolerance (default 5%) so
+benign jitter does not gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.obs.coverage import coverage_from_records
+from repro.obs.journal import journal_summary
+from repro.obs.profiler import events_from_records, self_times
+from repro.obs.sadiag import acceptance_rate, time_to_first_anomaly
+
+#: Default relative tolerance before a worse value counts as a regression.
+DEFAULT_TOLERANCE = 0.05
+
+#: Gated metrics: name → True when higher is better.
+GATED_METRICS = {
+    "anomalies": True,
+    "time_to_first_anomaly_seconds": False,
+    "coverage_fraction": True,
+}
+
+#: Informational metrics journal_metrics also reports (never gating).
+INFO_METRICS = (
+    "experiments",
+    "skips",
+    "elapsed_seconds",
+    "acceptance_rate",
+)
+
+
+def journal_metrics(records: list[dict]) -> dict:
+    """Distil one journal into the comparable metric dict.
+
+    Coverage is recomputed from the journal's experiment/skip/anomaly
+    records (not read from ``coverage`` snapshots) so that diffing a
+    journal against itself yields exactly zero on every gated metric.
+    """
+    summary = journal_summary(records)
+    trackers = coverage_from_records(records)
+    coverage: Optional[float] = None
+    if trackers:
+        coverage = sum(t.touched_fraction() for t in trackers) / len(trackers)
+    elapsed = sum(
+        float(r.get("elapsed_seconds", 0.0))
+        for r in records if r.get("t") == "run_end"
+    )
+    spans = self_times(events_from_records(records))
+    return {
+        "anomalies": summary["anomalies"],
+        "time_to_first_anomaly_seconds": time_to_first_anomaly(records),
+        "coverage_fraction": coverage,
+        "experiments": summary["experiments"],
+        "skips": summary["skips"],
+        "elapsed_seconds": elapsed,
+        "acceptance_rate": acceptance_rate(records),
+        "span_self_seconds": dict(sorted(spans.items())),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffEntry:
+    """One compared metric."""
+
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    gated: bool
+    regressed: bool
+    note: str = ""
+
+
+@dataclasses.dataclass
+class DiffResult:
+    """Outcome of one baseline-vs-candidate comparison."""
+
+    entries: list[DiffEntry]
+    tolerance: float
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _compare(
+    metric: str, baseline, candidate, higher_better: bool, tolerance: float
+) -> DiffEntry:
+    if baseline is None and candidate is None:
+        return DiffEntry(metric, None, None, True, False, "absent in both")
+    if baseline is None:
+        return DiffEntry(
+            metric, None, candidate, True, False, "candidate gained metric"
+        )
+    if candidate is None:
+        return DiffEntry(
+            metric, baseline, None, True, True,
+            "baseline reports it, candidate does not",
+        )
+    baseline = float(baseline)
+    candidate = float(candidate)
+    scale = max(abs(baseline), abs(candidate), 1e-12)
+    delta = (candidate - baseline) / scale
+    worse = -delta if higher_better else delta
+    regressed = worse > tolerance
+    note = f"{delta:+.1%}"
+    return DiffEntry(metric, baseline, candidate, True, regressed, note)
+
+
+def diff_journals(
+    baseline_records: list[dict],
+    candidate_records: list[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> DiffResult:
+    """Compare two journals; only :data:`GATED_METRICS` can regress."""
+    base = journal_metrics(baseline_records)
+    cand = journal_metrics(candidate_records)
+    entries = [
+        _compare(name, base[name], cand[name], higher_better, tolerance)
+        for name, higher_better in GATED_METRICS.items()
+    ]
+    for name in INFO_METRICS:
+        entries.append(
+            DiffEntry(name, base[name], cand[name], False, False)
+        )
+    base_spans = base["span_self_seconds"]
+    cand_spans = cand["span_self_seconds"]
+    for path in sorted(set(base_spans) | set(cand_spans)):
+        entries.append(
+            DiffEntry(
+                f"self_seconds[{path}]",
+                base_spans.get(path), cand_spans.get(path),
+                False, False,
+            )
+        )
+    return DiffResult(entries=entries, tolerance=tolerance)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def render_diff(result: DiffResult) -> str:
+    """Human-readable diff table plus an explicit final verdict line."""
+    header = f"{'metric':<34} {'baseline':>12} {'candidate':>12}  status"
+    lines = [header, "-" * len(header)]
+    for entry in result.entries:
+        if entry.regressed:
+            status = "REGRESSED"
+        elif entry.gated:
+            status = "ok"
+        else:
+            status = "info"
+        if entry.note:
+            status = f"{status} ({entry.note})"
+        lines.append(
+            f"{entry.metric:<34} {_format_value(entry.baseline):>12} "
+            f"{_format_value(entry.candidate):>12}  {status}"
+        )
+    if result.ok:
+        lines.append(
+            f"verdict: no regressions "
+            f"(tolerance {result.tolerance:.0%} on gated metrics)"
+        )
+    else:
+        names = ", ".join(e.metric for e in result.regressions)
+        lines.append(f"verdict: REGRESSION in {names}")
+    return "\n".join(lines)

@@ -16,13 +16,14 @@ import numpy as np
 
 from repro.cluster.clock import SimulatedClock
 from repro.cluster.testbed import Testbed
-from repro.core.annealing import TraceEvent
+from repro.core.annealing import SearchState, TraceEvent
 from repro.core.monitor import AnomalyMonitor
 from repro.core.space import SearchSpace
 from repro.hardware.subsystems import Subsystem, get_subsystem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.evalcache import EvalCache
+    from repro.obs.recorder import FlightRecorder
 
 
 @dataclasses.dataclass
@@ -64,16 +65,25 @@ class RandomSearch:
         cache: Optional["EvalCache"] = None,
         batch: bool = True,
         batch_probes: bool = False,
+        recorder: Optional["FlightRecorder"] = None,
     ) -> None:
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
         self.space = SearchSpace.for_subsystem(subsystem)
         self.clock = SimulatedClock(budget_hours * 3600.0)
+        self.budget_hours = budget_hours
+        self.seed = seed
+        #: Optional flight recorder; purely observational (a recorded
+        #: run is bit-identical to an unrecorded one).
+        self.recorder = recorder
+        metrics = recorder.metrics if recorder is not None else None
+        profiler = recorder.profiler if recorder is not None else None
         self.testbed = Testbed(
-            subsystem, clock=self.clock, noise=noise, cache=cache, batch=batch
+            subsystem, clock=self.clock, noise=noise, cache=cache,
+            batch=batch, metrics=metrics, profiler=profiler,
         )
-        self.monitor = AnomalyMonitor(subsystem)
+        self.monitor = AnomalyMonitor(subsystem, metrics=metrics)
         self.rng = np.random.default_rng(seed)
         #: Pre-sample PROBE_CHUNK points at a time and pre-solve them as
         #: one batch.  Deterministic per seed but a different RNG
@@ -82,7 +92,13 @@ class RandomSearch:
         self.batch_probes = batch_probes
 
     def run(self) -> BaselineReport:
-        events: list[TraceEvent] = []
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.run_start(
+                self.subsystem.name, "random", False,
+                self.budget_hours, self.seed, space=self.space,
+            )
+        state = SearchState()
         pending: list = []
         batch_probes = self.batch_probes and self.testbed.batch_enabled
         while not self.clock.expired:
@@ -98,24 +114,30 @@ class RandomSearch:
                 workload = self.space.random(self.rng)
             result = self.testbed.run(workload, rng=self.rng)
             verdict = self.monitor.classify(result.measurement)
-            events.append(
-                TraceEvent(
-                    time_seconds=result.finished_at,
-                    counter="",  # random sampling follows no signal
-                    counter_value=0.0,
-                    symptom=verdict.symptom,
-                    tags=result.measurement.tags,
-                    workload=workload,
-                    kind="search",
-                    # Snapshot kept for Figure 6: random does not *use*
-                    # the counters, but the paper plots what it saw.
-                    counters=dict(result.measurement.counters),
-                )
+            event = TraceEvent(
+                time_seconds=result.finished_at,
+                counter="",  # random sampling follows no signal
+                counter_value=0.0,
+                symptom=verdict.symptom,
+                tags=result.measurement.tags,
+                workload=workload,
+                kind="search",
+                # Snapshot kept for Figure 6: random does not *use*
+                # the counters, but the paper plots what it saw.
+                counters=dict(result.measurement.counters),
+            )
+            state.events.append(event)
+            state.experiments += 1
+            if recorder is not None:
+                recorder.experiment(event, state)
+        if recorder is not None:
+            recorder._run_end_totals(
+                self.clock.now, state.experiments, 0, 0, [],
             )
         return BaselineReport(
             name="random",
             subsystem_name=self.subsystem.name,
-            events=events,
-            experiments=len(events),
+            events=state.events,
+            experiments=state.experiments,
             elapsed_seconds=self.clock.now,
         )

@@ -12,9 +12,13 @@ Commands mirror how the paper's operators use Collie:
                     approach (Figure 4 style);
 * ``report``      — re-render a run journal (``--journal``): summary,
                     anomaly timeline, counter trajectory export;
-* ``journal``     — verify a journal file: exit 0 when complete, 1 for
-                    a resumable interrupted campaign (crashed run or
-                    truncated tail), 2 for corruption;
+* ``journal``     — ``verify`` a journal file (exit 0 complete, 1
+                    resumable, 2 corrupt) or ``diff`` two journals for
+                    search-quality regressions (exit 0 clean, 1
+                    regression, 2 unreadable);
+* ``coverage``    — render a journal's workload-space occupancy maps;
+* ``profile``     — render a journal's span self-time profile and
+                    export Chrome trace-event JSON (``--trace-out``);
 * ``stats``       — print hit rates and per-phase wall time from a
                     saved evaluation cache;
 * ``replay``      — replay the 18 Appendix A trigger settings;
@@ -24,8 +28,9 @@ Commands mirror how the paper's operators use Collie:
 
 Observability: ``search``/``parallel``/``campaign`` accept
 ``--journal PATH`` (structured JSONL flight-recorder journal, see
-:mod:`repro.obs`) and ``--progress N`` (a live progress line every N
-experiments / completed tasks).  Output goes through :mod:`logging`
+:mod:`repro.obs`), ``--progress N`` (a live progress line every N
+experiments / completed tasks), ``--coverage`` (workload-space
+occupancy tracking) and ``--profile`` (wall-clock span profiling).  Output goes through :mod:`logging`
 (configured by ``--log-level``/``--log-json``): INFO and below to
 stdout, WARNING and above to stderr.
 
@@ -86,19 +91,27 @@ def _close_cache(cache) -> None:
 
 
 def _open_recorder(args: argparse.Namespace):
-    """Build the FlightRecorder requested by ``--journal``/``--progress``.
+    """Build the FlightRecorder requested by the observability flags.
 
-    Returns None when neither flag was given — the hot paths then pay
-    only a ``recorder is not None`` check per site.
+    Any of ``--journal``/``--progress``/``--coverage``/``--profile``
+    turns the recorder on; without them this returns None and the hot
+    paths pay only a ``recorder is not None`` check per site.
     """
     journal_path = getattr(args, "journal", None)
     progress = getattr(args, "progress", 0)
-    if not journal_path and not progress:
+    coverage = getattr(args, "coverage", False)
+    profile = getattr(args, "profile", False)
+    if not journal_path and not progress and not coverage and not profile:
         return None
-    from repro.obs import FlightRecorder, RunJournal
+    from repro.obs import FlightRecorder, RunJournal, SpanProfiler
 
     journal = RunJournal(journal_path) if journal_path else None
-    return FlightRecorder(journal=journal, progress_every=progress)
+    recorder = FlightRecorder(
+        journal=journal, progress_every=progress, track_coverage=coverage,
+    )
+    if profile:
+        recorder.profiler = SpanProfiler(metrics=recorder.metrics)
+    return recorder
 
 
 def _close_recorder(recorder) -> None:
@@ -111,6 +124,14 @@ def _close_recorder(recorder) -> None:
             + ", ".join(f"{key}={value:g}" for key, value in faults.items())
         )
     recorder.close()
+    if recorder.coverage is not None:
+        logger.info("")
+        logger.info(recorder.coverage.render())
+    if recorder.profiler is not None:
+        from repro.obs import render_span_table
+
+        logger.info("")
+        logger.info(render_span_table(recorder.profiler.events()))
     if recorder.journal is not None:
         logger.info(
             f"journal saved to {recorder.journal.path} "
@@ -333,6 +354,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         return 2
     shape = journal_summary(records)
+    if getattr(args, "json", False):
+        from repro.analysis.journaldiff import journal_metrics
+        from repro.analysis.serialize import report_to_dict
+
+        payload = {
+            "journal": str(args.journal),
+            "summary": shape,
+            "metrics": journal_metrics(records),
+            "runs": [
+                report_to_dict(report)
+                for report in reports_from_records(records)
+            ],
+        }
+        # Machine-readable output bypasses the logging pipeline so it
+        # stays parseable under --log-json and custom log levels.
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     logger.info(
         f"journal {args.journal}: {shape['records']} records, "
         f"{shape['runs']} run(s), {shape['experiments']} experiments, "
@@ -413,6 +451,92 @@ def _cmd_journal(args: argparse.Namespace) -> int:
     verdict = {0: "complete", 1: "incomplete (resumable)", 2: "corrupt"}
     logger.info(f"journal {args.journal}: {verdict[code]} (exit {code})")
     return code
+
+
+def _read_journal_or_none(path: str):
+    """Read a journal's valid prefix, logging read errors (None = fail)."""
+    from repro.obs import read_journal_prefix
+
+    try:
+        records, tail_error = read_journal_prefix(path)
+    except OSError as error:
+        logger.error(f"cannot read journal {path}: {error}")
+        return None
+    except ValueError as error:
+        logger.error(f"journal {path} is corrupt: {error}")
+        return None
+    if tail_error is not None:
+        logger.warning(
+            f"{tail_error} — using the valid prefix "
+            f"({len(records)} records)"
+        )
+    return records
+
+
+def _cmd_journal_diff(args: argparse.Namespace) -> int:
+    """``journal diff``: gate a candidate journal against a baseline."""
+    from repro.analysis.journaldiff import diff_journals, render_diff
+
+    baseline = _read_journal_or_none(args.baseline)
+    candidate = _read_journal_or_none(args.candidate)
+    if baseline is None or candidate is None:
+        return 2
+    result = diff_journals(
+        baseline, candidate, tolerance=args.baseline_tolerance
+    )
+    logger.info(f"baseline:  {args.baseline}")
+    logger.info(f"candidate: {args.candidate}")
+    logger.info(render_diff(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    """``coverage``: render a journal's workload-space occupancy maps."""
+    from repro.obs import coverage_from_records
+
+    records = _read_journal_or_none(args.journal)
+    if records is None:
+        return 2
+    trackers = coverage_from_records(records)
+    if not trackers:
+        logger.warning(f"no runs found in {args.journal}")
+        return 1
+    for index, tracker in enumerate(trackers, 1):
+        if len(trackers) > 1:
+            logger.info(f"run {index}:")
+        logger.info(tracker.render())
+        logger.info("")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: render a journal's span profile / export a trace."""
+    from repro.obs import (
+        chrome_trace,
+        events_from_records,
+        render_span_table,
+    )
+
+    records = _read_journal_or_none(args.journal)
+    if records is None:
+        return 2
+    events = events_from_records(records)
+    if not events:
+        logger.warning(
+            f"no spans recorded in {args.journal} "
+            f"(was the run profiled? use --profile)"
+        )
+        return 1
+    logger.info(render_span_table(events))
+    if args.trace_out:
+        trace = chrome_trace(events)
+        with open(args.trace_out, "w") as handle:
+            json.dump(trace, handle)
+        logger.info(
+            f"Chrome trace ({len(trace['traceEvents'])} events) written "
+            f"to {args.trace_out} — open in chrome://tracing or Perfetto"
+        )
+    return 0
 
 
 def _write_trajectory(path: str, reports, counter: str) -> None:
@@ -573,6 +697,16 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         "--progress", type=_positive_int, default=0, metavar="N",
         help="print a live progress line every N experiments",
     )
+    subparser.add_argument(
+        "--coverage", action="store_true",
+        help="track 4-D workload-space coverage and print the "
+             "per-dimension occupancy tables at the end",
+    )
+    subparser.add_argument(
+        "--profile", action="store_true",
+        help="profile wall-clock spans and print the self-time table "
+             "at the end (journaled as schema-v3 'spans' records)",
+    )
 
 
 def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
@@ -691,7 +825,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="plot/export this counter's trajectory")
     report.add_argument("--trajectory", metavar="OUT.csv",
                         help="export the --counter trajectory as CSV")
+    report.add_argument("--json", action="store_true",
+                        help="emit the summary, observatory metrics and "
+                             "reconstructed runs as machine-readable JSON")
     report.set_defaults(func=_cmd_report)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="render workload-space coverage maps from a run journal",
+    )
+    coverage.add_argument("journal", metavar="JOURNAL.jsonl",
+                          help="JSONL journal from 'search --journal'")
+    coverage.set_defaults(func=_cmd_coverage)
+
+    profile = sub.add_parser(
+        "profile",
+        help="render the span self-time profile of a journal "
+             "(written by --profile)",
+    )
+    profile.add_argument("journal", metavar="JOURNAL.jsonl",
+                         help="JSONL journal from 'search --journal "
+                              "--profile'")
+    profile.add_argument("--trace-out", metavar="TRACE.json",
+                         help="export Chrome trace-event JSON "
+                              "(chrome://tracing / Perfetto)")
+    profile.set_defaults(func=_cmd_profile)
 
     journal = sub.add_parser(
         "journal",
@@ -708,6 +866,22 @@ def build_parser() -> argparse.ArgumentParser:
     journal_verify.add_argument("journal", metavar="JOURNAL.jsonl",
                                 help="JSONL journal to verify")
     journal_verify.set_defaults(func=_cmd_journal)
+    journal_diff = journal_actions.add_parser(
+        "diff",
+        help="diff two journals for search-quality regressions "
+             "(exit 0 clean, 1 regression, 2 unreadable)",
+    )
+    journal_diff.add_argument("baseline", metavar="BASELINE.jsonl",
+                              help="known-good baseline journal")
+    journal_diff.add_argument("candidate", metavar="CANDIDATE.jsonl",
+                              help="candidate journal to gate")
+    journal_diff.add_argument(
+        "--baseline-tolerance", type=float, default=0.05,
+        metavar="FRACTION",
+        help="relative tolerance on gated metrics before a worse value "
+             "counts as a regression (default 0.05)",
+    )
+    journal_diff.set_defaults(func=_cmd_journal_diff)
 
     stats = sub.add_parser(
         "stats", help="print statistics from a saved evaluation cache"

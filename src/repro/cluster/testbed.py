@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -15,6 +16,9 @@ from repro.hardware.workload import WorkloadDescriptor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.evalcache import EvalCache
+
+#: Reusable no-op context for profiler-disabled span sites.
+_NO_SPAN = nullcontext()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,6 +61,7 @@ class Testbed:
         cache: Optional["EvalCache"] = None,
         metrics=None,
         batch: bool = True,
+        profiler=None,
     ) -> None:
         from repro.core.engine import WorkloadEngine
 
@@ -65,10 +70,13 @@ class Testbed:
         self.subsystem = subsystem
         self.clock = clock or SimulatedClock()
         self.engine = WorkloadEngine(
-            subsystem, noise=noise, cache=cache, batch=batch, metrics=metrics
+            subsystem, noise=noise, cache=cache, batch=batch,
+            metrics=metrics, profiler=profiler,
         )
         #: Optional obs.MetricsRegistry accounting experiment costs.
         self.metrics = metrics
+        #: Optional obs.SpanProfiler ("solve" spans around evaluation).
+        self.profiler = profiler
         #: Functional bursts catch malformed workloads but cost real CPU;
         #: searches (thousands of experiments) disable them and rely on
         #: the space's coercion invariants, which the test suite verifies.
@@ -128,10 +136,14 @@ class Testbed:
                 workload, phase, self.experiments_run + offset
             )
         wall_started = time.perf_counter()
-        measurements = self.engine.measure_many(
-            workloads, rng=rng,
-            functional_check=self.functional_check, phase=phase,
-        )
+        with (
+            self.profiler.span("solve")
+            if self.profiler is not None else _NO_SPAN
+        ):
+            measurements = self.engine.measure_many(
+                workloads, rng=rng,
+                functional_check=self.functional_check, phase=phase,
+            )
         per_point_wall = (
             (time.perf_counter() - wall_started) / len(workloads)
         )
@@ -170,8 +182,12 @@ class Testbed:
         started = self.clock.now
         setup = self.engine.setup_seconds(workload)
         measure = self.engine.measurement_seconds()
+        span = (
+            self.profiler.span("solve")
+            if self.profiler is not None else _NO_SPAN
+        )
         if self.metrics is not None:
-            with self.metrics.timer("testbed.measure_wall", phase=phase):
+            with self.metrics.timer("testbed.measure_wall", phase=phase), span:
                 measurement = self.engine.measure(
                     workload, rng=rng,
                     functional_check=self.functional_check, phase=phase,
@@ -180,10 +196,11 @@ class Testbed:
             self.metrics.observe("testbed.setup_seconds", setup)
             self.metrics.observe("testbed.measurement_seconds", measure)
         else:
-            measurement = self.engine.measure(
-                workload, rng=rng, functional_check=self.functional_check,
-                phase=phase,
-            )
+            with span:
+                measurement = self.engine.measure(
+                    workload, rng=rng,
+                    functional_check=self.functional_check, phase=phase,
+                )
         self.clock.advance(setup + measure)
         self.experiments_run += 1
         return ExperimentResult(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
@@ -24,13 +25,17 @@ import numpy as np
 from repro.cluster.testbed import Testbed
 from repro.core.mfs import MFSExtractor, MinimalFeatureSet, match_any
 from repro.core.monitor import AnomalyMonitor
-from repro.core.space import SearchSpace
+from repro.core.space import SearchSpace, changed_dimensions
 from repro.hardware.counters import MINIMIZED_COUNTERS, is_diagnostic
 from repro.hardware.model import Measurement
 from repro.hardware.workload import WorkloadDescriptor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.recorder import FlightRecorder
+
+#: Reusable no-op context for profiler-disabled span sites (stateless,
+#: so one shared instance costs nothing per iteration).
+_NO_SPAN = nullcontext()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -194,7 +199,9 @@ class AnnealingSearch:
             ),
         )
         if self.recorder is not None:
-            with self.recorder.metrics.timer("mfs.construct_wall"):
+            profiler = self.recorder.profiler
+            span = profiler.span("mfs") if profiler is not None else _NO_SPAN
+            with self.recorder.metrics.timer("mfs.construct_wall"), span:
                 mfs = extractor.construct(
                     workload, verdict.symptom,
                     at_seconds=self.testbed.clock.now,
@@ -239,14 +246,18 @@ class AnnealingSearch:
         clock = self.testbed.clock
         best: Optional[tuple[float, WorkloadDescriptor]] = None
         recorder = self.recorder
+        profiler = recorder.profiler if recorder is not None else None
 
         def out_of_time() -> bool:
             return clock.now >= deadline or clock.expired
 
         def record_transition(action: str, temperature: float,
-                              delta: float = 0.0) -> None:
+                              delta: float = 0.0,
+                              mutated: tuple = ()) -> None:
             if recorder is not None:
-                recorder.transition(clock.now, action, temperature, delta)
+                recorder.transition(
+                    clock.now, action, temperature, delta, mutated
+                )
 
         def track_best(value: float, workload: WorkloadDescriptor) -> None:
             nonlocal best
@@ -273,7 +284,7 @@ class AnnealingSearch:
                 if self.use_mfs and match_any(state.anomalies, point):
                     state.skipped += 1
                     if recorder is not None:
-                        recorder.skip(clock.now)
+                        recorder.skip(clock.now, point)
                     continue
                 measurement = self._measure(state, point, signal, kind="search")
                 value = signal.value(measurement)
@@ -297,37 +308,53 @@ class AnnealingSearch:
             for _ in range(self.params.iterations_per_temperature):
                 if out_of_time():
                     return
-                candidate = self.space.mutate(current, self.rng)
-                if self.use_mfs and match_any(state.anomalies, candidate):
-                    state.skipped += 1
-                    if recorder is not None:
-                        recorder.skip(clock.now)
-                    continue
-                cand_measurement = self._measure(
-                    state, candidate, signal, kind="search"
-                )
-                cand_value = signal.value(cand_measurement)
-                if self._handle_anomaly(
-                    state, candidate, cand_measurement, signal, deadline
+                with (
+                    profiler.span("iteration")
+                    if profiler is not None else _NO_SPAN
                 ):
-                    record_transition("restart", temperature)
-                    seeded = reseed(prefer_best=True)
-                    if seeded is None:
-                        return
-                    current, energy_value = seeded
-                    continue
-                track_best(cand_value, candidate)
-                delta = signal.delta_energy(energy_value, cand_value)
-                if delta < 0:
-                    current, energy_value = candidate, cand_value
-                    record_transition("improve", temperature, delta)
-                else:
-                    prob = math.exp(-delta / max(temperature, 1e-9))
-                    if self.rng.random() < prob:
+                    candidate = self.space.mutate(current, self.rng)
+                    # Label the move for mutation-effectiveness
+                    # diagnostics; pure value comparison, no RNG.
+                    mutated = (
+                        changed_dimensions(current, candidate)
+                        if recorder is not None else ()
+                    )
+                    if self.use_mfs and match_any(state.anomalies, candidate):
+                        state.skipped += 1
+                        if recorder is not None:
+                            recorder.skip(clock.now, candidate)
+                        continue
+                    cand_measurement = self._measure(
+                        state, candidate, signal, kind="search"
+                    )
+                    cand_value = signal.value(cand_measurement)
+                    if self._handle_anomaly(
+                        state, candidate, cand_measurement, signal, deadline
+                    ):
+                        record_transition("restart", temperature)
+                        seeded = reseed(prefer_best=True)
+                        if seeded is None:
+                            return
+                        current, energy_value = seeded
+                        continue
+                    track_best(cand_value, candidate)
+                    delta = signal.delta_energy(energy_value, cand_value)
+                    if delta < 0:
                         current, energy_value = candidate, cand_value
-                        record_transition("accept", temperature, delta)
+                        record_transition(
+                            "improve", temperature, delta, mutated
+                        )
                     else:
-                        record_transition("reject", temperature, delta)
+                        prob = math.exp(-delta / max(temperature, 1e-9))
+                        if self.rng.random() < prob:
+                            current, energy_value = candidate, cand_value
+                            record_transition(
+                                "accept", temperature, delta, mutated
+                            )
+                        else:
+                            record_transition(
+                                "reject", temperature, delta, mutated
+                            )
             temperature *= self.params.alpha
             if temperature < self.params.t_min:
                 # Relaxed schedule (§5.1): reheat instead of terminating —

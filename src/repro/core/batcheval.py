@@ -36,6 +36,7 @@ Two batching modes exist upstream of this module:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -47,6 +48,9 @@ from repro.hardware.model import Measurement, SteadyStateModel, solve_batch
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.workload import WorkloadDescriptor
     from repro.obs.metrics import MetricsRegistry
+
+#: Reusable no-op context for profiler-disabled span sites.
+_NO_SPAN = nullcontext()
 
 
 def observe_many(
@@ -139,10 +143,19 @@ class BatchEvaluator:
         model: SteadyStateModel,
         metrics: Optional["MetricsRegistry"] = None,
         enabled: bool = True,
+        profiler=None,
     ) -> None:
         self.model = model
         self.metrics = metrics
         self.enabled = enabled
+        #: Optional obs.SpanProfiler ("batch" spans on vectorized solves).
+        self.profiler = profiler
+
+    def _span(self):
+        return (
+            self.profiler.span("batch")
+            if self.profiler is not None else _NO_SPAN
+        )
 
     def _count_points(self, n: int, mode: str) -> None:
         if self.metrics is not None and n:
@@ -184,7 +197,8 @@ class BatchEvaluator:
             to_solve = [unique[i] for i in missing]
             for workload in to_solve:
                 model._validate(workload)
-            solved = solve_batch(model.subsystem, to_solve)
+            with self._span():
+                solved = solve_batch(model.subsystem, to_solve)
             for i, solve in zip(missing, solved):
                 solves[i] = solve
             if cache is not None:
@@ -237,7 +251,8 @@ class BatchEvaluator:
         if not to_solve:
             return 0
         started = time.perf_counter()
-        solved = solve_batch(model.subsystem, to_solve)
+        with self._span():
+            solved = solve_batch(model.subsystem, to_solve)
         cache.put_many(model.subsystem, to_solve, solved)
         cache.charge("solve", time.perf_counter() - started)
         if self.metrics is not None:

@@ -18,6 +18,7 @@ into the plain SA baseline of Figure 5.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -43,6 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: §7.2: "we first generate 10 random points" to rank counters.
 RANKING_PROBES = 10
+
+#: Reusable no-op context for profiler-disabled span sites.
+_NO_SPAN = nullcontext()
 
 
 @dataclasses.dataclass
@@ -144,8 +148,11 @@ class Collie:
         #: bit-identical to an unrecorded one.
         self.recorder = recorder
         metrics = recorder.metrics if recorder is not None else None
+        profiler = recorder.profiler if recorder is not None else None
+        self.profiler = profiler
         if recorder is not None and cache is not None:
             cache.observer = recorder.cache_event
+            cache.profiler = profiler
         #: Pre-sample + pre-solve the §7.2 ranking probes as one batch.
         #: Changes the RNG interleaving (sampling before noise draws
         #: instead of alternating), so while runs stay deterministic per
@@ -153,7 +160,7 @@ class Collie:
         self.batch_probes = batch_probes
         self.testbed = Testbed(
             subsystem, clock=self.clock, noise=noise, cache=cache,
-            metrics=metrics, batch=batch,
+            metrics=metrics, batch=batch, profiler=profiler,
         )
         self.monitor = AnomalyMonitor(subsystem, metrics=metrics)
         self.search = AnnealingSearch(
@@ -184,13 +191,20 @@ class Collie:
         if self.recorder is not None:
             self.recorder.run_start(
                 self.subsystem.name, self.counter_mode, self.use_mfs,
-                self.budget_hours, self.seed,
+                self.budget_hours, self.seed, space=self.space,
             )
-        state = SearchState()
-        ranking = self._rank_counters(state)
-        if self.recorder is not None:
-            self.recorder.ranking(ranking, self._dispersions)
-        self._search_counters(state, ranking)
+        profiler = self.profiler
+        with (
+            profiler.span("search") if profiler is not None else _NO_SPAN
+        ):
+            state = SearchState()
+            with (
+                profiler.span("rank") if profiler is not None else _NO_SPAN
+            ):
+                ranking = self._rank_counters(state)
+            if self.recorder is not None:
+                self.recorder.ranking(ranking, self._dispersions)
+            self._search_counters(state, ranking)
         self.last_report = SearchReport(
             subsystem_name=self.subsystem.name,
             counter_mode=self.counter_mode,
@@ -274,7 +288,11 @@ class Collie:
                 self.clock.remaining / slots_left,
             )
             deadline = self.clock.now + slice_seconds
-            self.search.run_pass(state, SearchSignal(counter), deadline)
+            with (
+                self.profiler.span("pass")
+                if self.profiler is not None else _NO_SPAN
+            ):
+                self.search.run_pass(state, SearchSignal(counter), deadline)
 
     # -- §7.3 developer workflows -----------------------------------------
 

@@ -75,6 +75,7 @@ class WorkloadEngine:
         cache: Optional["EvalCache"] = None,
         batch: bool = True,
         metrics=None,
+        profiler=None,
     ) -> None:
         from repro.core.batcheval import BatchEvaluator
 
@@ -82,7 +83,9 @@ class WorkloadEngine:
         self.model = SteadyStateModel(subsystem, noise=noise, cache=cache)
         #: Batched front end to the solver (S31); ``batch=False`` routes
         #: everything through the scalar code path unchanged.
-        self.batch = BatchEvaluator(self.model, metrics=metrics, enabled=batch)
+        self.batch = BatchEvaluator(
+            self.model, metrics=metrics, enabled=batch, profiler=profiler
+        )
 
     @property
     def cache(self) -> Optional["EvalCache"]:

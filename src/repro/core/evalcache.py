@@ -29,6 +29,7 @@ import json
 import os
 import threading
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hardware.model import DirectionRates
@@ -42,6 +43,9 @@ FORMAT_VERSION = 1
 
 #: Phase label used when callers don't attribute their evaluations.
 DEFAULT_PHASE = "search"
+
+#: Reusable no-op context for profiler-disabled span sites.
+_NO_SPAN = nullcontext()
 
 
 def canonical_point(workload: WorkloadDescriptor) -> str:
@@ -140,6 +144,9 @@ class EvalCache:
         #: Optional hit/miss observer, ``observer(phase, hit)`` — wired by
         #: the flight recorder.  Called outside the lock (it may do IO).
         self.observer: Optional[Callable[[str, bool], None]] = None
+        #: Optional obs.SpanProfiler ("cache" spans on lookups) — wired
+        #: by the flight recorder, like the observer.
+        self.profiler = None
         if path is not None and os.path.exists(path):
             self.load(path)
 
@@ -182,18 +189,24 @@ class EvalCache:
         phase: str = DEFAULT_PHASE,
     ) -> Optional[CachedSolve]:
         """Return the memoized solve for a point, recording hit/miss."""
-        key = self.key(subsystem, workload)
-        with self._lock:
-            stats = self._phases.setdefault(phase, PhaseStats())
-            entry = self._entries.get(key)
-            if entry is None and key in self._raw_entries:
-                entry = _solve_from_dict(self._raw_entries.pop(key), subsystem)
-                if entry is not None:
-                    self._entries[key] = entry
-            if entry is None:
-                stats.misses += 1
-            else:
-                stats.hits += 1
+        with (
+            self.profiler.span("cache")
+            if self.profiler is not None else _NO_SPAN
+        ):
+            key = self.key(subsystem, workload)
+            with self._lock:
+                stats = self._phases.setdefault(phase, PhaseStats())
+                entry = self._entries.get(key)
+                if entry is None and key in self._raw_entries:
+                    entry = _solve_from_dict(
+                        self._raw_entries.pop(key), subsystem
+                    )
+                    if entry is not None:
+                        self._entries[key] = entry
+                if entry is None:
+                    stats.misses += 1
+                else:
+                    stats.hits += 1
         if self.observer is not None:
             self.observer(phase, entry is not None)
         return entry
@@ -245,24 +258,28 @@ class EvalCache:
         observer fires per point after the lock is released, exactly as
         a sequence of scalar ``lookup`` calls would.
         """
-        fingerprint = self._fingerprint(subsystem)
-        keys = [f"{fingerprint}|{canonical_point(w)}" for w in workloads]
         out: list[Optional[CachedSolve]] = []
-        with self._lock:
-            stats = self._phases.setdefault(phase, PhaseStats())
-            for key in keys:
-                entry = self._entries.get(key)
-                if entry is None and key in self._raw_entries:
-                    entry = _solve_from_dict(
-                        self._raw_entries.pop(key), subsystem
-                    )
-                    if entry is not None:
-                        self._entries[key] = entry
-                if entry is None:
-                    stats.misses += 1
-                else:
-                    stats.hits += 1
-                out.append(entry)
+        with (
+            self.profiler.span("cache")
+            if self.profiler is not None else _NO_SPAN
+        ):
+            fingerprint = self._fingerprint(subsystem)
+            keys = [f"{fingerprint}|{canonical_point(w)}" for w in workloads]
+            with self._lock:
+                stats = self._phases.setdefault(phase, PhaseStats())
+                for key in keys:
+                    entry = self._entries.get(key)
+                    if entry is None and key in self._raw_entries:
+                        entry = _solve_from_dict(
+                            self._raw_entries.pop(key), subsystem
+                        )
+                        if entry is not None:
+                            self._entries[key] = entry
+                    if entry is None:
+                        stats.misses += 1
+                    else:
+                        stats.hits += 1
+                    out.append(entry)
         if self.observer is not None:
             for entry in out:
                 self.observer(phase, entry is not None)

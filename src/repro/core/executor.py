@@ -38,6 +38,7 @@ import concurrent.futures
 import dataclasses
 import time
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Callable, Optional, Sequence
 
 from repro.core.faults import (
@@ -51,6 +52,9 @@ from repro.core.faults import (
     WorkerCrash,
     raise_fault,
 )
+
+#: Reusable no-op context for profiler-disabled span sites.
+_NO_SPAN = nullcontext()
 
 
 @dataclasses.dataclass
@@ -157,6 +161,7 @@ class CampaignExecutor:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         recorder=None,
+        profiler=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -175,6 +180,12 @@ class CampaignExecutor:
         #: When set, fault metrics route through it (its registry is
         #: usually the same object as ``metrics`` — never count twice).
         self.recorder = recorder
+        #: Optional obs.SpanProfiler ("pool" spans around each fan-out);
+        #: defaults to the recorder's profiler when one is attached.
+        self.profiler = (
+            profiler if profiler is not None
+            else getattr(recorder, "profiler", None)
+        )
 
     def map(self, fn: Callable, payloads: Sequence) -> list:
         """Apply ``fn`` to every payload; results come back in order.
@@ -194,12 +205,16 @@ class CampaignExecutor:
         )
         started = time.perf_counter()
         resilient = self.retry is not None or self.faults is not None
-        if resilient and payloads:
-            results = self._run_resilient(fn, payloads, stats)
-        elif self.workers <= 1 or len(payloads) <= 1:
-            results = self._run_serial(fn, payloads, stats)
-        else:
-            results = self._run_pooled(fn, payloads, stats)
+        with (
+            self.profiler.span("pool")
+            if self.profiler is not None else _NO_SPAN
+        ):
+            if resilient and payloads:
+                results = self._run_resilient(fn, payloads, stats)
+            elif self.workers <= 1 or len(payloads) <= 1:
+                results = self._run_serial(fn, payloads, stats)
+            else:
+                results = self._run_pooled(fn, payloads, stats)
         stats.wall_seconds = time.perf_counter() - started
         self.last_stats = stats
         if self.metrics is not None:

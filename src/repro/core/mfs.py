@@ -116,6 +116,22 @@ class MinimalFeatureSet:
             return False
         return True
 
+    def admits_value(self, dimension: str, value) -> bool:
+        """Whether this MFS's region admits ``value`` on one dimension.
+
+        Per-dimension projection of the region (all other dimensions
+        assumed satisfiable); ``requires_mix`` constrains the joint
+        pattern and is deliberately ignored here.  Coverage maps use
+        this to mark which ladder buckets an MFS prunes.
+        """
+        for cond in self.intervals:
+            if cond.dimension == dimension and not cond.matches(float(value)):
+                return False
+        for cond in self.memberships:
+            if cond.dimension == dimension and not cond.matches(value):
+                return False
+        return True
+
     @property
     def conditions(self) -> int:
         return (

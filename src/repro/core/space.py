@@ -65,6 +65,19 @@ CATEGORICAL_DIMENSIONS = (
 )
 PATTERN_DIMENSION = "msg_pattern"
 
+#: The paper's four workload dimensions (§4), as groups of the concrete
+#: sub-dimensions above.  Coverage maps aggregate per group; ``avg_msg``
+#: projects the request vector onto the message-size ladder.
+DIMENSION_GROUPS = {
+    "host_topology": ("src_device", "dst_device", "colocation"),
+    "memory": ("mrs_per_qp", "mr_bytes"),
+    "transport": (
+        "qp_type", "opcode", "direction", "mtu", "num_qps", "wqe_batch",
+        "sge_per_wqe", "wq_depth",
+    ),
+    "message_pattern": ("avg_msg", "sg_layout", "duty_cycle"),
+}
+
 _ORDERED_CHOICES = {
     "mtu": MTU_CHOICES,
     "num_qps": QPS_CHOICES,
@@ -164,6 +177,52 @@ class SearchSpace:
         if dimension in ("src_device", "dst_device"):
             return self.memory_devices
         raise KeyError(f"{dimension!r} is not a categorical dimension")
+
+    # -- coverage bucketing (observatory) -----------------------------------
+
+    def coverage_dimensions(self) -> tuple[str, ...]:
+        """Every bucketable dimension, grouped-dimension order."""
+        return tuple(
+            dimension
+            for dimensions in DIMENSION_GROUPS.values()
+            for dimension in dimensions
+        )
+
+    def dimension_buckets(self, dimension: str) -> tuple:
+        """The bucket values of one dimension (ladder or choice set).
+
+        Ordered dimensions bucket onto their value ladder, ``avg_msg``
+        onto the message-size ladder, categoricals onto their choice
+        labels.  ``str()`` of a bucket value is its display label.
+        """
+        if dimension == "avg_msg":
+            return tuple(self.msg_size_choices)
+        if dimension in ORDERED_DIMENSIONS:
+            return self.ordered_choices(dimension)
+        return tuple(
+            getattr(value, "value", value)
+            for value in self.categorical_choices(dimension)
+        )
+
+    def bucket_value(self, dimension: str, workload: WorkloadDescriptor):
+        """The bucket a workload falls into on one dimension."""
+        if dimension == "avg_msg":
+            ladder = self.msg_size_choices
+            return ladder[self._nearest_index(ladder, workload.avg_msg_bytes)]
+        if dimension in ORDERED_DIMENSIONS:
+            ladder = self.ordered_choices(dimension)
+            return ladder[
+                self._nearest_index(ladder, getattr(workload, dimension))
+            ]
+        value = getattr(workload, dimension)
+        return getattr(value, "value", value)
+
+    def point_buckets(self, workload: WorkloadDescriptor) -> dict:
+        """Bucket values for every coverage dimension of one point."""
+        return {
+            dimension: self.bucket_value(dimension, workload)
+            for dimension in self.coverage_dimensions()
+        }
 
     def log10_size(self) -> float:
         """Order of magnitude of the full combinatorial space."""
@@ -339,3 +398,24 @@ class SearchSpace:
             range(len(ladder)), key=lambda i: abs(math.log2(ladder[i] / value))
             if value > 0 else i
         )
+
+
+def changed_dimensions(
+    before: WorkloadDescriptor, after: WorkloadDescriptor
+) -> tuple[str, ...]:
+    """The dimensions on which two workloads differ, canonical order.
+
+    Pure value comparison — consumes no RNG — so the SA loop can label
+    each mutation for the observatory without perturbing the search.
+    Any difference in the request vector reports as ``msg_pattern``.
+    """
+    raw_before = SearchSpace._to_raw(before)
+    raw_after = SearchSpace._to_raw(after)
+    changed = [
+        dimension
+        for dimension in ORDERED_DIMENSIONS + CATEGORICAL_DIMENSIONS
+        if raw_before[dimension] != raw_after[dimension]
+    ]
+    if raw_before["msg_sizes_bytes"] != raw_after["msg_sizes_bytes"]:
+        changed.append(PATTERN_DIMENSION)
+    return tuple(changed)

@@ -14,10 +14,21 @@ makes the search itself explainable while in flight:
 * :mod:`repro.obs.logging` — the CLI-side ``logging`` setup helper
   (library code never configures the root logger).
 
+The *search observatory* builds the read side on top of the journal:
+
+* :mod:`repro.obs.coverage` — 4-D workload-space occupancy maps
+  (visited vs MFS-skipped buckets per dimension);
+* :mod:`repro.obs.sadiag` — SA diagnostics: per-temperature-epoch
+  acceptance rates, per-dimension mutation effectiveness,
+  time-to-first-anomaly;
+* :mod:`repro.obs.profiler` — hierarchical wall-clock span profiler
+  with Chrome trace-event export and a terminal self-time table.
+
 Everything is off by default and adds no work to a run that does not
 request it.
 """
 
+from repro.obs.coverage import CoverageTracker, coverage_from_records
 from repro.obs.journal import (
     VERIFY_CORRUPT,
     VERIFY_INCOMPLETE,
@@ -32,7 +43,21 @@ from repro.obs.journal import (
 )
 from repro.obs.logging import setup_logging
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    SpanProfiler,
+    chrome_trace,
+    events_from_records,
+    render_span_table,
+    validate_chrome_trace,
+)
 from repro.obs.recorder import FlightRecorder
+from repro.obs.sadiag import (
+    acceptance_rate,
+    fold_epochs,
+    mutation_effectiveness,
+    render_sa_diagnostics,
+    time_to_first_anomaly,
+)
 from repro.obs.schema import (
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
@@ -41,20 +66,32 @@ from repro.obs.schema import (
 )
 
 __all__ = [
+    "CoverageTracker",
     "FlightRecorder",
     "MetricsRegistry",
     "RunJournal",
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
+    "SpanProfiler",
     "VERIFY_CORRUPT",
     "VERIFY_INCOMPLETE",
     "VERIFY_OK",
+    "acceptance_rate",
+    "chrome_trace",
+    "coverage_from_records",
+    "events_from_records",
+    "fold_epochs",
     "journal_summary",
+    "mutation_effectiveness",
     "read_journal",
     "read_journal_prefix",
+    "render_sa_diagnostics",
+    "render_span_table",
     "reports_from_journal",
     "reports_from_records",
     "setup_logging",
+    "time_to_first_anomaly",
+    "validate_chrome_trace",
     "validate_journal",
     "validate_record",
     "verify_journal",

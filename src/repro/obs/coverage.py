@@ -1,0 +1,208 @@
+"""Workload-space coverage maps over the paper's 4-D search space.
+
+A :class:`CoverageTracker` folds the stream of visited workload points
+into per-dimension occupancy histograms, grouped by the paper's four
+dimensions (host topology, memory, transport, message pattern; §4).
+It also tracks which buckets MFS-driven skipping pruned and which
+buckets extracted MFSes admit, answering the two questions a search
+journal alone cannot: *how much of the space did this run actually
+touch*, and *how much did MFS pruning spare it*.
+
+Like the recorder, the tracker only observes — it consumes no RNG
+draws and never advances the simulated clock, so a coverage-tracked
+search is bit-identical to an untracked one.
+
+Live tracking attaches via ``FlightRecorder(track_coverage=True)``;
+:func:`coverage_from_records` recomputes the same maps post-hoc from
+any journal's ``experiment``/``skip``/``anomaly`` records (v1 journals
+included — their skip records just lack the workload detail).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.serialize import mfs_from_dict, workload_from_dict
+from repro.core.mfs import MinimalFeatureSet
+from repro.core.space import DIMENSION_GROUPS, SearchSpace
+from repro.hardware.workload import WorkloadDescriptor
+
+
+class CoverageTracker:
+    """Per-dimension histograms of visited / skipped / MFS-admitted buckets."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self.dimensions = space.coverage_dimensions()
+        #: dimension -> ordered bucket labels (str of the bucket value).
+        self.buckets = {
+            dimension: tuple(str(v) for v in space.dimension_buckets(dimension))
+            for dimension in self.dimensions
+        }
+        self.visited: dict[str, dict[str, int]] = {
+            dimension: {} for dimension in self.dimensions
+        }
+        self.skipped: dict[str, dict[str, int]] = {
+            dimension: {} for dimension in self.dimensions
+        }
+        self.mfs_admitted: dict[str, set[str]] = {
+            dimension: set() for dimension in self.dimensions
+        }
+        self.experiments = 0
+        self.skips = 0
+        self._points: set[WorkloadDescriptor] = set()
+
+    @classmethod
+    def for_subsystem(cls, name: str) -> "CoverageTracker":
+        """Tracker over a subsystem's space (generic space as fallback)."""
+        try:
+            space = SearchSpace.for_subsystem(name)
+        except KeyError:
+            space = SearchSpace()
+        return cls(space)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def visit(self, workload: WorkloadDescriptor) -> None:
+        """Count one measured experiment's point."""
+        self.experiments += 1
+        self._points.add(workload)
+        for dimension, value in self.space.point_buckets(workload).items():
+            label = str(value)
+            histogram = self.visited[dimension]
+            histogram[label] = histogram.get(label, 0) + 1
+
+    def skip(self, workload: Optional[WorkloadDescriptor] = None) -> None:
+        """Count one MFS-matched skip (with bucket detail when known)."""
+        self.skips += 1
+        if workload is None:
+            return
+        for dimension, value in self.space.point_buckets(workload).items():
+            label = str(value)
+            histogram = self.skipped[dimension]
+            histogram[label] = histogram.get(label, 0) + 1
+
+    def mark_mfs(self, mfs: MinimalFeatureSet) -> None:
+        """Mark every bucket an extracted MFS admits (per-dimension)."""
+        for dimension in self.dimensions:
+            admitted = self.mfs_admitted[dimension]
+            for value in self.space.dimension_buckets(dimension):
+                if mfs.admits_value(dimension, value):
+                    admitted.add(str(value))
+
+    # -- summaries ----------------------------------------------------------
+
+    @property
+    def unique_points(self) -> int:
+        return len(self._points)
+
+    def dimension_summary(self, dimension: str) -> dict:
+        labels = self.buckets[dimension]
+        visited = self.visited[dimension]
+        skipped = self.skipped[dimension]
+        admitted = self.mfs_admitted[dimension]
+        touched = sum(1 for label in labels if visited.get(label))
+        return {
+            "buckets": len(labels),
+            "visited_buckets": touched,
+            "fraction": touched / len(labels) if labels else 0.0,
+            "mfs_fraction": (
+                len(admitted & set(labels)) / len(labels) if labels else 0.0
+            ),
+            "visits": {
+                label: visited[label] for label in labels
+                if visited.get(label)
+            },
+            "skips": {
+                label: skipped[label] for label in labels
+                if skipped.get(label)
+            },
+        }
+
+    def summary(self) -> dict:
+        """Everything the coverage journal record and renderer need."""
+        return {
+            "experiments": self.experiments,
+            "skips": self.skips,
+            "unique_points": self.unique_points,
+            "fraction": self.touched_fraction(),
+            "dimensions": {
+                dimension: self.dimension_summary(dimension)
+                for dimension in self.dimensions
+            },
+        }
+
+    def touched_fraction(self) -> float:
+        """Mean per-dimension fraction of buckets visited."""
+        fractions = [
+            self.dimension_summary(dimension)["fraction"]
+            for dimension in self.dimensions
+        ]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    def as_record(self, time_seconds: float) -> dict:
+        """Schema-v3 ``coverage`` journal record."""
+        return {
+            "t": "coverage",
+            "time_seconds": float(time_seconds),
+            "experiments": self.experiments,
+            "skips": self.skips,
+            "unique_points": self.unique_points,
+            "dimensions": {
+                dimension: self.dimension_summary(dimension)
+                for dimension in self.dimensions
+            },
+        }
+
+    def render(self) -> str:
+        """Per-group occupancy tables plus the touched-vs-skipped summary."""
+        lines = ["workload-space coverage"]
+        for group, dimensions in DIMENSION_GROUPS.items():
+            lines.append(f"  {group}:")
+            for dimension in dimensions:
+                summary = self.dimension_summary(dimension)
+                lines.append(
+                    f"    {dimension:<12} {summary['visited_buckets']:>3}/"
+                    f"{summary['buckets']:<3} buckets "
+                    f"({summary['fraction']:>5.0%} visited, "
+                    f"{summary['mfs_fraction']:>5.0%} inside an MFS)"
+                )
+                for label in self.buckets[dimension]:
+                    visits = summary["visits"].get(label, 0)
+                    skips = summary["skips"].get(label, 0)
+                    if not visits and not skips:
+                        continue
+                    bar = "#" * min(visits, 40)
+                    skipped = f"  (skipped {skips})" if skips else ""
+                    lines.append(
+                        f"      {label:>10} {visits:>6} {bar}{skipped}"
+                    )
+        lines.append(
+            f"  touched {self.touched_fraction():.0%} of the space "
+            f"(mean per-dimension), {self.unique_points} unique points, "
+            f"{self.skips} MFS-skipped candidates"
+        )
+        return "\n".join(lines)
+
+
+def coverage_from_records(records) -> list[CoverageTracker]:
+    """Recompute coverage post-hoc: one tracker per run in a journal."""
+    trackers: list[CoverageTracker] = []
+    current: Optional[CoverageTracker] = None
+    for record in records:
+        kind = record.get("t")
+        if kind == "run_start":
+            current = CoverageTracker.for_subsystem(record["subsystem"])
+            trackers.append(current)
+        elif current is None:
+            continue
+        elif kind == "experiment":
+            current.visit(workload_from_dict(record["workload"]))
+        elif kind == "skip":
+            workload = record.get("workload")
+            current.skip(
+                workload_from_dict(workload) if workload is not None else None
+            )
+        elif kind == "anomaly":
+            current.mark_mfs(mfs_from_dict(record["mfs"]))
+    return trackers

@@ -15,6 +15,7 @@ and ``run_end`` records embed.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import threading
 import time
@@ -29,6 +30,23 @@ def render_key(name: str, labels: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _bucket_bounds() -> tuple[float, ...]:
+    # 1-2.5-5 log ladder over 1ns .. ~10^9: wide enough for both span
+    # seconds and simulated-second observations.
+    return tuple(
+        mantissa * 10.0 ** exponent
+        for exponent in range(-9, 10)
+        for mantissa in (1.0, 2.5, 5.0)
+    )
+
+
+#: Fixed upper bounds of the percentile buckets (plus an implicit
+#: overflow bucket).  Fixed bounds keep histograms mergeable and O(1)
+#: per observation; percentiles are bucket-upper-bound estimates
+#: clamped to the observed [min, max].
+BUCKET_BOUNDS = _bucket_bounds()
+
+
 @dataclasses.dataclass
 class HistogramSummary:
     """Streaming summary of one histogram series."""
@@ -37,6 +55,9 @@ class HistogramSummary:
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    bucket_counts: list = dataclasses.field(
+        default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1), repr=False
+    )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -45,10 +66,27 @@ class HistogramSummary:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.bucket_counts[bisect.bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """Bucket-resolution percentile estimate, clamped to [min, max]."""
+        if self.count == 0:
+            return 0.0
+        rank = quantile * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                estimate = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS) else self.maximum
+                )
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +95,9 @@ class HistogramSummary:
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
         }
 
 
@@ -115,7 +156,11 @@ class MetricsRegistry:
         key = self._key(name, labels)
         with self._lock:
             summary = self._histograms.get(key)
-            return dataclasses.replace(summary) if summary else HistogramSummary()
+            if summary is None:
+                return HistogramSummary()
+            return dataclasses.replace(
+                summary, bucket_counts=list(summary.bucket_counts)
+            )
 
     def counters_with_prefix(self, prefix: str) -> dict[str, float]:
         """Counter series whose name starts with ``prefix``, rendered.
@@ -172,6 +217,7 @@ class MetricsRegistry:
             lines.append(
                 f"  {key:<48} n={summary['count']} "
                 f"mean={summary['mean']:.4g} "
+                f"p50={summary['p50']:.4g} p99={summary['p99']:.4g} "
                 f"min={summary['min']:.4g} max={summary['max']:.4g}"
             )
         return "\n".join(lines) if lines else "  (no metrics recorded)"

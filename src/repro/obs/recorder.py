@@ -24,12 +24,15 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from repro.analysis.serialize import workload_to_dict
+from repro.obs.coverage import CoverageTracker
 from repro.obs.journal import (
     RunJournal,
     anomaly_record,
     experiment_record,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SpanProfiler, spans_records
 
 #: Progress lines go through this logger at INFO (CLI surfaces enable it).
 progress_logger = logging.getLogger("repro.obs.progress")
@@ -43,12 +46,21 @@ class FlightRecorder:
         journal: Optional[RunJournal] = None,
         metrics: Optional[MetricsRegistry] = None,
         progress_every: int = 0,
+        profiler: Optional[SpanProfiler] = None,
+        track_coverage: bool = False,
     ) -> None:
         self.journal = journal
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Emit a progress snapshot every N experiments (0 = never).
         self.progress_every = progress_every
+        #: Optional span profiler the hot paths thread through (the
+        #: observatory); spans flush to the journal at run_end/close.
+        self.profiler = profiler
+        #: Track 4-D workload-space coverage (one tracker per run).
+        self.track_coverage = track_coverage
+        self.coverage: Optional[CoverageTracker] = None
         self._experiments_seen = 0
+        self._spans_flushed = 0
 
     # -- run lifecycle -----------------------------------------------------
 
@@ -59,8 +71,14 @@ class FlightRecorder:
         use_mfs: bool,
         budget_hours: float,
         seed: Optional[int],
+        space=None,
     ) -> None:
         self.metrics.counter("search.runs")
+        if self.track_coverage:
+            self.coverage = (
+                CoverageTracker(space) if space is not None
+                else CoverageTracker.for_subsystem(subsystem_name)
+            )
         if self.journal is not None:
             self.journal.write({
                 "t": "run_start",
@@ -93,6 +111,9 @@ class FlightRecorder:
         anomalies: int, counter_ranking: list,
     ) -> None:
         if self.journal is not None:
+            if self.coverage is not None:
+                self.journal.write(self.coverage.as_record(elapsed_seconds))
+            self._flush_spans()
             self.journal.write({
                 "t": "run_end",
                 "elapsed_seconds": elapsed_seconds,
@@ -109,6 +130,8 @@ class FlightRecorder:
         """One measured experiment (a freshly appended TraceEvent)."""
         self.metrics.counter("search.experiments", kind=event.kind)
         self.metrics.counter("search.symptoms", symptom=event.symptom)
+        if self.coverage is not None:
+            self.coverage.visit(event.workload)
         if self.journal is not None:
             self.journal.write(experiment_record(event))
         self._experiments_seen += 1
@@ -120,12 +143,21 @@ class FlightRecorder:
 
     def transition(
         self, time_seconds: float, action: str,
-        temperature: float, delta: float,
+        temperature: float, delta: float, mutated: tuple = (),
     ) -> None:
-        """One SA decision (improve/accept/reject/restart/reheat)."""
+        """One SA decision (improve/accept/reject/restart/reheat).
+
+        ``mutated`` labels the dimensions the candidate mutation
+        changed (schema v3) — the raw material of the observatory's
+        per-dimension mutation-effectiveness diagnostics.
+        """
         self.metrics.counter("sa.transitions", action=action)
         self.metrics.gauge("sa.temperature", temperature)
         self.metrics.observe("sa.delta_energy", delta)
+        for dimension in mutated:
+            self.metrics.counter("sa.mutations", dimension=dimension)
+            if action == "improve":
+                self.metrics.counter("sa.improvements", dimension=dimension)
         if self.journal is not None:
             self.journal.write({
                 "t": "transition",
@@ -133,19 +165,27 @@ class FlightRecorder:
                 "action": action,
                 "temperature": temperature,
                 "delta": delta,
+                "mutated": list(mutated),
             })
 
-    def skip(self, time_seconds: float) -> None:
+    def skip(self, time_seconds: float, workload=None) -> None:
         """A candidate matched a known MFS; no experiment was run."""
         self.metrics.counter("search.skips")
+        if self.coverage is not None:
+            self.coverage.skip(workload)
         if self.journal is not None:
-            self.journal.write({"t": "skip", "time_seconds": time_seconds})
+            record = {"t": "skip", "time_seconds": time_seconds}
+            if workload is not None:
+                record["workload"] = workload_to_dict(workload)
+            self.journal.write(record)
 
     def anomaly(self, index: int, event_index: Optional[int], mfs) -> None:
         """A new MFS entered the anomaly set."""
         self.metrics.counter("search.anomalies")
         self.metrics.counter("mfs.extractions")
         self.metrics.counter("mfs.probe_experiments", mfs.probe_experiments)
+        if self.coverage is not None:
+            self.coverage.mark_mfs(mfs)
         if self.journal is not None:
             self.journal.write(anomaly_record(index, event_index, mfs))
 
@@ -261,12 +301,16 @@ class FlightRecorder:
         for event in report.events:
             self.metrics.counter("search.experiments", kind=event.kind)
             self.metrics.counter("search.symptoms", symptom=event.symptom)
+            if self.coverage is not None:
+                self.coverage.visit(event.workload)
             if self.journal is not None:
                 self.journal.write(experiment_record(event))
         for index, mfs in enumerate(anomalies):
             self.anomaly(index, None, mfs)
         for _ in range(skipped):
             self.metrics.counter("search.skips")
+            if self.coverage is not None:
+                self.coverage.skip(None)
             if self.journal is not None:
                 self.journal.write({
                     "t": "skip", "time_seconds": report.elapsed_seconds,
@@ -294,7 +338,20 @@ class FlightRecorder:
                 "skipped": state.skipped,
                 "metrics": self.metrics.snapshot(),
             })
+            if self.coverage is not None:
+                self.journal.write(self.coverage.as_record(time_seconds))
+
+    def _flush_spans(self) -> None:
+        """Journal any profiler events not yet written (chunked)."""
+        if self.profiler is None or self.journal is None:
+            return
+        events = self.profiler.events()
+        pending = events[self._spans_flushed:]
+        self._spans_flushed = len(events)
+        for record in spans_records(pending):
+            self.journal.write(record)
 
     def close(self) -> None:
         if self.journal is not None:
+            self._flush_spans()
             self.journal.close()

@@ -1,0 +1,190 @@
+"""Simulated-annealing diagnostics from a run journal.
+
+Folds the recorder's ``transition`` stream (improve / accept / reject /
+restart / reheat) into the numbers behind the paper's Fig. 5 ablation:
+
+* per-temperature-epoch acceptance rates — is the Metropolis schedule
+  actually cooling, or is the search a random walk?
+* per-dimension mutation effectiveness — which mutated dimension's
+  moves improve the objective (schema-v3 journals label transitions
+  with the dimensions the candidate mutation changed);
+* time-to-first-anomaly — the single highest-leverage search metric,
+  computed from ``experiment`` records so it also works for baselines
+  that never record transitions.
+
+Everything here is a pure fold over journal records; nothing touches
+the search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+#: Actions that participate in acceptance-rate denominators.  restart
+#: and reheat are schedule events, not Metropolis decisions.
+DECISION_ACTIONS = ("improve", "accept", "reject")
+
+HEALTHY = "healthy"
+
+
+@dataclasses.dataclass
+class EpochStats:
+    """One temperature epoch: consecutive transitions at one temperature."""
+
+    temperature: float
+    improve: int = 0
+    accept: int = 0
+    reject: int = 0
+    restart: int = 0
+    reheat: int = 0
+
+    @property
+    def decisions(self) -> int:
+        return self.improve + self.accept + self.reject
+
+    @property
+    def acceptance_rate(self) -> Optional[float]:
+        if self.decisions == 0:
+            return None
+        return (self.improve + self.accept) / self.decisions
+
+
+@dataclasses.dataclass
+class DimensionStats:
+    """Mutation outcomes attributed to one mutated dimension."""
+
+    dimension: str
+    mutations: int = 0
+    improvements: int = 0
+    accepts: int = 0
+    rejects: int = 0
+
+    @property
+    def effectiveness(self) -> Optional[float]:
+        if self.mutations == 0:
+            return None
+        return self.improvements / self.mutations
+
+
+def _transitions(records):
+    for record in records:
+        if record.get("t") == "transition":
+            yield record
+
+
+def fold_epochs(records) -> list[EpochStats]:
+    """Temperature epochs, in journal order."""
+    epochs: list[EpochStats] = []
+    for record in _transitions(records):
+        temperature = float(record["temperature"])
+        if not epochs or epochs[-1].temperature != temperature:
+            epochs.append(EpochStats(temperature=temperature))
+        epoch = epochs[-1]
+        action = record["action"]
+        setattr(epoch, action, getattr(epoch, action) + 1)
+    return epochs
+
+
+def acceptance_rate(records) -> Optional[float]:
+    """Overall Metropolis acceptance rate (None without decisions)."""
+    accepted = decided = 0
+    for record in _transitions(records):
+        action = record["action"]
+        if action in DECISION_ACTIONS:
+            decided += 1
+            if action != "reject":
+                accepted += 1
+    return accepted / decided if decided else None
+
+
+def mutation_effectiveness(records) -> list[DimensionStats]:
+    """Per-dimension mutation outcomes, most effective first.
+
+    Requires schema-v3 ``mutated`` labels on transition records; older
+    journals yield an empty list.  A transition that mutated two
+    dimensions credits (or debits) both.
+    """
+    stats: dict[str, DimensionStats] = {}
+    for record in _transitions(records):
+        action = record["action"]
+        if action not in DECISION_ACTIONS:
+            continue
+        for dimension in record.get("mutated", ()):
+            entry = stats.setdefault(dimension, DimensionStats(dimension))
+            entry.mutations += 1
+            if action == "improve":
+                entry.improvements += 1
+            elif action == "accept":
+                entry.accepts += 1
+            else:
+                entry.rejects += 1
+    return sorted(
+        stats.values(),
+        key=lambda entry: (-(entry.effectiveness or 0.0), entry.dimension),
+    )
+
+
+def time_to_first_anomaly(records) -> Optional[float]:
+    """Simulated seconds until the first anomalous experiment.
+
+    Uses ``experiment`` records (symptom != healthy), so it works for
+    any recorded approach — Collie, baselines, replays — whether or
+    not transitions were journaled.  None when the run stayed healthy.
+    """
+    for record in records:
+        if (
+            record.get("t") == "experiment"
+            and record.get("symptom", HEALTHY) != HEALTHY
+        ):
+            return float(record["time_seconds"])
+    return None
+
+
+def render_sa_diagnostics(records) -> str:
+    """Terminal rendering of the full SA diagnostic fold."""
+    lines = ["simulated-annealing diagnostics"]
+    ttfa = time_to_first_anomaly(records)
+    lines.append(
+        "  time to first anomaly: "
+        + (f"{ttfa:.0f}s simulated" if ttfa is not None else "never")
+    )
+    overall = acceptance_rate(records)
+    if overall is not None:
+        lines.append(f"  overall acceptance rate: {overall:.1%}")
+    epochs = fold_epochs(records)
+    if epochs:
+        lines.append("  temperature epochs:")
+        lines.append(
+            f"    {'temp':>8} {'improve':>8} {'accept':>7} {'reject':>7} "
+            f"{'restart':>8} {'reheat':>7} {'accept %':>9}"
+        )
+        for epoch in epochs:
+            rate = epoch.acceptance_rate
+            lines.append(
+                f"    {epoch.temperature:>8.4f} {epoch.improve:>8d} "
+                f"{epoch.accept:>7d} {epoch.reject:>7d} {epoch.restart:>8d} "
+                f"{epoch.reheat:>7d} "
+                + (f"{rate:>8.1%}" if rate is not None else f"{'—':>9}")
+            )
+    dimensions = mutation_effectiveness(records)
+    if dimensions:
+        lines.append("  mutation effectiveness by dimension:")
+        lines.append(
+            f"    {'dimension':<14} {'mutations':>9} {'improved':>9} "
+            f"{'accepted':>9} {'rejected':>9} {'improve %':>10}"
+        )
+        for entry in dimensions:
+            effectiveness = entry.effectiveness
+            lines.append(
+                f"    {entry.dimension:<14} {entry.mutations:>9d} "
+                f"{entry.improvements:>9d} {entry.accepts:>9d} "
+                f"{entry.rejects:>9d} "
+                + (
+                    f"{effectiveness:>9.1%}"
+                    if effectiveness is not None else f"{'—':>10}"
+                )
+            )
+    if len(lines) == 2:
+        lines.append("  no transition records in this journal")
+    return "\n".join(lines)

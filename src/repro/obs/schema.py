@@ -46,20 +46,29 @@ Record types:
     A persistently failing virtual host was taken out of rotation:
     its accumulated failure count and how many of its pending tasks
     were redistributed to healthy hosts.
+``coverage``
+    Periodic workload-space coverage: per-dimension occupancy over the
+    4-D space plus totals (experiments, MFS skips, unique points).
+``spans``
+    A chunk of profiler span events, each ``[path, start, duration]``
+    in profiler-relative wall-clock seconds.
 
-Version 2 added the ``retry``/``quarantine`` types; version-1 journals
-remain valid (the validator accepts every version in
-``SUPPORTED_VERSIONS``).
+Version 2 added the ``retry``/``quarantine`` types; version 3 added the
+observatory's ``coverage``/``spans`` types plus the optional
+``transition.mutated`` and ``skip.workload`` detail fields.  Older
+journals remain valid (the validator accepts every version in
+``SUPPORTED_VERSIONS``; optional fields are only type-checked when
+present).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions the validator (and readers) accept.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
@@ -145,6 +154,23 @@ RECORD_FIELDS: dict = {
         "failures": int,
         "redistributed": int,
     },
+    "coverage": {
+        "time_seconds": NUMBER,
+        "experiments": int,
+        "skips": int,
+        "unique_points": int,
+        "dimensions": dict,
+    },
+    "spans": {
+        "events": list,
+    },
+}
+
+#: Record type → {field: accepted types} for fields that MAY appear.
+#: Absent is fine (older writers); present-but-mistyped is an error.
+OPTIONAL_RECORD_FIELDS: dict = {
+    "transition": {"mutated": list},
+    "skip": {"workload": dict},
 }
 
 
@@ -169,21 +195,10 @@ def validate_record(record, line: Optional[int] = None) -> list[str]:
         if name not in record:
             errors.append(f"{where}{kind}: missing field {name!r}")
             continue
-        value = record[name]
-        # bool is an int subclass; don't let True satisfy an int field.
-        if isinstance(value, bool) and bool not in (
-            accepted if isinstance(accepted, tuple) else (accepted,)
-        ):
-            errors.append(
-                f"{where}{kind}: field {name!r} is bool, expected "
-                f"{_describe_types(accepted)}"
-            )
-        elif not isinstance(value, accepted):
-            errors.append(
-                f"{where}{kind}: field {name!r} is "
-                f"{type(value).__name__}, expected "
-                f"{_describe_types(accepted)}"
-            )
+        errors.extend(_check_field(record, kind, name, accepted, where))
+    for name, accepted in OPTIONAL_RECORD_FIELDS.get(kind, {}).items():
+        if name in record:
+            errors.extend(_check_field(record, kind, name, accepted, where))
     if kind == "transition":
         action = record.get("action")
         if isinstance(action, str) and action not in TRANSITION_ACTIONS:
@@ -204,6 +219,25 @@ def validate_journal(records: Iterable[dict]) -> list[str]:
     if count == 0:
         errors.append("journal is empty")
     return errors
+
+
+def _check_field(record, kind, name, accepted, where) -> list[str]:
+    value = record[name]
+    # bool is an int subclass; don't let True satisfy an int field.
+    if isinstance(value, bool) and bool not in (
+        accepted if isinstance(accepted, tuple) else (accepted,)
+    ):
+        return [
+            f"{where}{kind}: field {name!r} is bool, expected "
+            f"{_describe_types(accepted)}"
+        ]
+    if not isinstance(value, accepted):
+        return [
+            f"{where}{kind}: field {name!r} is "
+            f"{type(value).__name__}, expected "
+            f"{_describe_types(accepted)}"
+        ]
+    return []
 
 
 def _describe_types(accepted) -> str:

@@ -1,0 +1,189 @@
+"""Cross-run regression diffing and the observatory CLI surfaces."""
+
+import json
+
+import pytest
+
+from repro.analysis.journaldiff import (
+    DEFAULT_TOLERANCE,
+    diff_journals,
+    journal_metrics,
+    render_diff,
+)
+from repro.cli import main
+from repro.obs import read_journal
+
+BUDGET_HOURS = 1.0
+SEED = 2
+
+
+@pytest.fixture(scope="module")
+def journal_path(tmp_path_factory):
+    """One fully observed search journal (coverage + spans + SA)."""
+    path = tmp_path_factory.mktemp("diff") / "run.jsonl"
+    code = main([
+        "search", "H", "--hours", str(BUDGET_HOURS), "--seed", str(SEED),
+        "--journal", str(path), "--coverage", "--profile",
+    ])
+    assert code == 0
+    return path
+
+
+def doctor(records, *, drop_anomalies=False, slow_ttfa=False):
+    """A tampered copy of a journal's records."""
+    doctored = []
+    first_anomalous_seen = False
+    for record in records:
+        record = dict(record)
+        if drop_anomalies:
+            if record["t"] == "anomaly":
+                continue
+            if record["t"] == "run_end":
+                record["anomalies"] = 0
+            if record["t"] == "experiment":
+                record["symptom"] = "healthy"
+        if slow_ttfa and record["t"] == "experiment":
+            if record["symptom"] != "healthy" and not first_anomalous_seen:
+                first_anomalous_seen = True
+                record["time_seconds"] = record["time_seconds"] * 2.0
+        doctored.append(record)
+    return doctored
+
+
+class TestDiffJournals:
+    def test_self_diff_is_clean(self, journal_path):
+        records = read_journal(journal_path)
+        result = diff_journals(records, records)
+        assert result.ok
+        assert result.regressions == []
+        for entry in result.entries:
+            if entry.gated:
+                assert entry.baseline == entry.candidate
+
+    def test_dropped_anomaly_regresses(self, journal_path):
+        records = read_journal(journal_path)
+        result = diff_journals(records, doctor(records, drop_anomalies=True))
+        assert not result.ok
+        assert "anomalies" in [e.metric for e in result.regressions]
+
+    def test_slower_ttfa_regresses(self, journal_path):
+        records = read_journal(journal_path)
+        result = diff_journals(records, doctor(records, slow_ttfa=True))
+        assert not result.ok
+        regressed = [e.metric for e in result.regressions]
+        assert "time_to_first_anomaly_seconds" in regressed
+
+    def test_tolerance_forgives_small_drift(self, journal_path):
+        records = read_journal(journal_path)
+        candidate = []
+        for record in records:
+            record = dict(record)
+            if record["t"] == "experiment":
+                record["time_seconds"] = record["time_seconds"] * 1.01
+            candidate.append(record)
+        result = diff_journals(records, candidate, tolerance=0.05)
+        ttfa = [
+            e for e in result.entries
+            if e.metric == "time_to_first_anomaly_seconds"
+        ][0]
+        assert not ttfa.regressed
+
+    def test_metrics_report_the_run_shape(self, journal_path):
+        records = read_journal(journal_path)
+        metrics = journal_metrics(records)
+        assert metrics["anomalies"] >= 1
+        assert metrics["experiments"] > 0
+        assert 0.0 < metrics["coverage_fraction"] <= 1.0
+        assert metrics["time_to_first_anomaly_seconds"] is not None
+        assert metrics["span_self_seconds"]
+
+    def test_render_names_the_verdict(self, journal_path):
+        records = read_journal(journal_path)
+        clean = render_diff(diff_journals(records, records))
+        assert "no regressions" in clean
+        broken = render_diff(
+            diff_journals(records, doctor(records, drop_anomalies=True))
+        )
+        assert "REGRESSION" in broken and "anomalies" in broken
+        assert DEFAULT_TOLERANCE == 0.05
+
+
+class TestDiffCLI:
+    def test_self_diff_exits_zero(self, journal_path, capsys):
+        code = main([
+            "journal", "diff", str(journal_path), str(journal_path),
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_doctored_journal_exits_nonzero(
+        self, journal_path, tmp_path, capsys
+    ):
+        doctored_path = tmp_path / "doctored.jsonl"
+        with open(doctored_path, "w") as handle:
+            for record in doctor(
+                read_journal(journal_path), drop_anomalies=True
+            ):
+                handle.write(json.dumps(record) + "\n")
+        code = main([
+            "journal", "diff", str(journal_path), str(doctored_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "anomalies" in out
+
+    def test_unreadable_journal_exits_two(self, journal_path, tmp_path):
+        missing = tmp_path / "missing.jsonl"
+        code = main(["journal", "diff", str(journal_path), str(missing)])
+        assert code == 2
+
+    def test_tolerance_flag_parses(self, journal_path, capsys):
+        code = main([
+            "journal", "diff", str(journal_path), str(journal_path),
+            "--baseline-tolerance", "0.2",
+        ])
+        assert code == 0
+        assert "20%" in capsys.readouterr().out
+
+
+class TestObservatoryCLI:
+    def test_report_json_is_machine_readable(self, journal_path, capsys):
+        code = main(["report", str(journal_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["runs"] == 1
+        assert payload["metrics"]["anomalies"] >= 1
+        assert payload["runs"][0]["subsystem"] == "H"
+
+    def test_coverage_command_renders_tables(self, journal_path, capsys):
+        code = main(["coverage", str(journal_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload-space coverage" in out
+        assert "touched" in out
+
+    def test_profile_command_exports_a_valid_trace(
+        self, journal_path, tmp_path, capsys
+    ):
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "profile", str(journal_path), "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "account for 100.0%" in out
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["traceEvents"]
+
+    def test_profile_without_spans_warns(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        code = main([
+            "search", "H", "--hours", "0.3", "--seed", "3",
+            "--journal", str(path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["profile", str(path)]) == 1

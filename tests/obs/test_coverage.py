@@ -1,0 +1,152 @@
+"""Workload-space coverage: bucketing, tracking, journal round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core import Collie
+from repro.core.space import (
+    DIMENSION_GROUPS,
+    SearchSpace,
+    changed_dimensions,
+)
+from repro.obs import (
+    CoverageTracker,
+    FlightRecorder,
+    RunJournal,
+    coverage_from_records,
+    read_journal,
+)
+from repro.obs.schema import validate_record
+
+BUDGET_HOURS = 0.5
+SEED = 2
+
+
+class TestBucketing:
+    def setup_method(self):
+        self.space = SearchSpace()
+
+    def test_groups_cover_every_searched_dimension(self):
+        flattened = self.space.coverage_dimensions()
+        assert len(flattened) == len(set(flattened))
+        for dimensions in DIMENSION_GROUPS.values():
+            for dimension in dimensions:
+                assert dimension in flattened
+
+    def test_every_dimension_has_buckets(self):
+        for dimension in self.space.coverage_dimensions():
+            buckets = self.space.dimension_buckets(dimension)
+            assert len(buckets) >= 1
+
+    def test_random_points_bucket_onto_known_values(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            workload = self.space.random(rng)
+            buckets = self.space.point_buckets(workload)
+            for dimension, value in buckets.items():
+                assert value in self.space.dimension_buckets(dimension)
+
+    def test_bucket_value_picks_the_point_ladder_rung(self):
+        rng = np.random.default_rng(1)
+        workload = self.space.random(rng)
+        assert self.space.bucket_value("num_qps", workload) == workload.num_qps
+
+
+class TestChangedDimensions:
+    def test_identical_points_change_nothing(self):
+        space = SearchSpace()
+        workload = space.random(np.random.default_rng(0))
+        assert changed_dimensions(workload, workload) == ()
+
+    def test_mutations_report_valid_dimension_labels(self):
+        from repro.core.space import (
+            CATEGORICAL_DIMENSIONS,
+            ORDERED_DIMENSIONS,
+            PATTERN_DIMENSION,
+        )
+
+        valid = set(ORDERED_DIMENSIONS + CATEGORICAL_DIMENSIONS)
+        valid.add(PATTERN_DIMENSION)
+        space = SearchSpace()
+        rng = np.random.default_rng(3)
+        current = space.random(rng)
+        moved = 0
+        for _ in range(20):
+            candidate = space.mutate(current, rng)
+            changed = changed_dimensions(current, candidate)
+            moved += bool(changed)
+            for name in changed:
+                assert name in valid
+            current = candidate
+        # A mutation may occasionally resample the same value, but a
+        # run of 20 must move the point most of the time.
+        assert moved >= 10
+
+
+class TestTracker:
+    def test_visits_accumulate(self):
+        space = SearchSpace()
+        tracker = CoverageTracker(space)
+        rng = np.random.default_rng(0)
+        points = [space.random(rng) for _ in range(25)]
+        for point in points:
+            tracker.visit(point)
+        assert tracker.experiments == 25
+        assert tracker.unique_points <= 25
+        assert 0.0 < tracker.touched_fraction() <= 1.0
+
+    def test_skips_count_without_experiments(self):
+        tracker = CoverageTracker(SearchSpace())
+        tracker.skip(None)
+        assert tracker.skips == 1
+        assert tracker.experiments == 0
+
+    def test_as_record_validates_under_schema(self):
+        space = SearchSpace()
+        tracker = CoverageTracker(space)
+        tracker.visit(space.random(np.random.default_rng(0)))
+        record = dict(tracker.as_record(12.5), v=3)
+        assert validate_record(record, 0) == []
+
+    def test_render_mentions_every_group(self):
+        space = SearchSpace()
+        tracker = CoverageTracker(space)
+        tracker.visit(space.random(np.random.default_rng(0)))
+        text = tracker.render()
+        for group in DIMENSION_GROUPS:
+            assert group in text
+        assert "touched" in text
+
+    def test_for_subsystem_accepts_unknown_letter(self):
+        tracker = CoverageTracker.for_subsystem("not-a-letter")
+        assert tracker.dimensions
+
+
+class TestJournalRoundTrip:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("coverage") / "run.jsonl"
+        recorder = FlightRecorder(
+            journal=RunJournal(path), track_coverage=True
+        )
+        Collie.for_subsystem(
+            "H", budget_hours=BUDGET_HOURS, seed=SEED, recorder=recorder
+        ).run()
+        live = recorder.coverage
+        recorder.close()
+        return live, path
+
+    def test_live_and_posthoc_coverage_agree(self, recorded):
+        live, path = recorded
+        trackers = coverage_from_records(read_journal(path))
+        assert len(trackers) == 1
+        posthoc = trackers[0]
+        assert posthoc.experiments == live.experiments
+        assert posthoc.skips == live.skips
+        assert posthoc.unique_points == live.unique_points
+        assert posthoc.summary() == live.summary()
+
+    def test_journal_contains_coverage_records(self, recorded):
+        _, path = recorded
+        kinds = [r["t"] for r in read_journal(path)]
+        assert "coverage" in kinds

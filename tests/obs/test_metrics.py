@@ -76,6 +76,46 @@ class TestHistograms:
         assert metrics.histogram("x").count == 1
 
 
+class TestPercentiles:
+    def test_as_dict_reports_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.observe("latency", float(value))
+        summary = metrics.histogram("latency").as_dict()
+        for key in ("p50", "p90", "p99"):
+            assert key in summary
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+        assert summary["min"] <= summary["p50"] <= summary["max"]
+
+    def test_percentiles_clamp_to_observed_range(self):
+        metrics = MetricsRegistry()
+        metrics.observe("one", 3.0)
+        summary = metrics.histogram("one")
+        assert summary.percentile(0.50) == 3.0
+        assert summary.percentile(0.99) == 3.0
+
+    def test_empty_summary_percentile_is_zero(self):
+        from repro.obs.metrics import HistogramSummary
+
+        assert HistogramSummary().percentile(0.5) == 0.0
+
+    def test_bucket_estimate_is_order_of_magnitude_right(self):
+        metrics = MetricsRegistry()
+        for _ in range(90):
+            metrics.observe("mixed", 0.001)
+        for _ in range(10):
+            metrics.observe("mixed", 10.0)
+        summary = metrics.histogram("mixed")
+        assert summary.percentile(0.50) < 0.01
+        assert summary.percentile(0.99) >= 1.0
+
+    def test_describe_mentions_p50_and_p99(self):
+        metrics = MetricsRegistry()
+        metrics.observe("delta", 2.0)
+        text = metrics.describe()
+        assert "p50=" in text and "p99=" in text
+
+
 class TestTimer:
     def test_timer_observes_elapsed_seconds(self):
         metrics = MetricsRegistry()

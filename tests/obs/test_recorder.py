@@ -1,0 +1,59 @@
+"""Flight-recorder progress lines: format pinned, silent when off."""
+
+import logging
+
+from repro.core import Collie
+from repro.obs import FlightRecorder
+
+BUDGET_HOURS = 0.5
+SEED = 2
+PROGRESS_LOGGER = "repro.obs.progress"
+
+
+def run_search(recorder):
+    return Collie.for_subsystem(
+        "H", budget_hours=BUDGET_HOURS, seed=SEED, recorder=recorder
+    ).run()
+
+
+class TestProgressLines:
+    def test_progress_line_format_is_pinned(self, caplog):
+        """Operators (and CI log scrapers) grep for this exact shape."""
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER):
+            report = run_search(FlightRecorder(progress_every=5))
+        lines = [
+            record.getMessage() for record in caplog.records
+            if record.name == PROGRESS_LOGGER
+        ]
+        assert lines, "progress_every=5 must emit progress lines"
+        import re
+
+        pattern = re.compile(
+            r"^progress: \d+ experiments, \d+ anomalies, \d+ skipped, "
+            r"t=\d+\.\d{2} simulated hours$"
+        )
+        for line in lines:
+            assert pattern.match(line), line
+        assert len(lines) == report.experiments // 5
+
+    def test_progress_every_zero_emits_nothing(self, caplog):
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER):
+            run_search(FlightRecorder(progress_every=0))
+        assert not [
+            record for record in caplog.records
+            if record.name == PROGRESS_LOGGER
+        ]
+
+    def test_task_progress_format_is_pinned(self, caplog):
+        recorder = FlightRecorder(progress_every=1)
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER):
+            recorder.task_progress(2, 8)
+        assert [r.getMessage() for r in caplog.records] == [
+            "progress: task 2/8 complete"
+        ]
+
+    def test_task_progress_silent_when_off(self, caplog):
+        recorder = FlightRecorder(progress_every=0)
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER):
+            recorder.task_progress(2, 8)
+        assert not caplog.records

@@ -1,0 +1,102 @@
+"""SA diagnostics: epoch folding, acceptance rates, effectiveness."""
+
+from repro.core import Collie
+from repro.obs import (
+    FlightRecorder,
+    RunJournal,
+    acceptance_rate,
+    fold_epochs,
+    mutation_effectiveness,
+    read_journal,
+    render_sa_diagnostics,
+    time_to_first_anomaly,
+)
+
+
+def transition(action, temperature, mutated=()):
+    return {
+        "t": "transition",
+        "time_seconds": 0.0,
+        "action": action,
+        "temperature": temperature,
+        "delta": 0.0,
+        "mutated": list(mutated),
+    }
+
+
+SYNTHETIC = [
+    transition("improve", 1.0, ["mtu"]),
+    transition("accept", 1.0, ["num_qps"]),
+    transition("reject", 1.0, ["mtu"]),
+    transition("reject", 1.0, ["qp_type"]),
+    transition("improve", 0.5, ["mtu"]),
+    transition("reject", 0.5, ["num_qps"]),
+    transition("restart", 1.0),
+]
+
+
+class TestEpochs:
+    def test_folds_on_temperature_change(self):
+        epochs = fold_epochs(SYNTHETIC)
+        assert [e.temperature for e in epochs] == [1.0, 0.5, 1.0]
+
+    def test_epoch_acceptance_rates(self):
+        first, second, third = fold_epochs(SYNTHETIC)
+        assert first.acceptance_rate == 0.5   # improve+accept out of 4
+        assert second.acceptance_rate == 0.5  # improve out of 2
+        assert third.acceptance_rate is None  # restart is not a decision
+
+    def test_overall_acceptance_rate(self):
+        assert acceptance_rate(SYNTHETIC) == 0.5
+        assert acceptance_rate([]) is None
+
+
+class TestEffectiveness:
+    def test_per_dimension_counts(self):
+        stats = {s.dimension: s for s in mutation_effectiveness(SYNTHETIC)}
+        assert stats["mtu"].mutations == 3
+        assert stats["mtu"].improvements == 2
+        assert stats["mtu"].effectiveness == 2 / 3
+        assert stats["qp_type"].improvements == 0
+
+    def test_sorted_most_effective_first(self):
+        stats = mutation_effectiveness(SYNTHETIC)
+        rates = [s.effectiveness for s in stats]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestTimeToFirstAnomaly:
+    def test_first_anomalous_experiment_wins(self):
+        records = [
+            {"t": "experiment", "time_seconds": 10.0, "symptom": "healthy"},
+            {"t": "experiment", "time_seconds": 20.0, "symptom": "pfc_storm"},
+            {"t": "experiment", "time_seconds": 30.0, "symptom": "pfc_storm"},
+        ]
+        assert time_to_first_anomaly(records) == 20.0
+
+    def test_none_when_never_anomalous(self):
+        records = [
+            {"t": "experiment", "time_seconds": 10.0, "symptom": "healthy"},
+        ]
+        assert time_to_first_anomaly(records) is None
+
+
+class TestRender:
+    def test_renders_synthetic_records(self):
+        text = render_sa_diagnostics(SYNTHETIC)
+        assert "acceptance" in text
+        assert "mtu" in text
+
+    def test_renders_without_transitions(self):
+        assert "no transition records" in render_sa_diagnostics([])
+
+    def test_renders_a_real_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        recorder = FlightRecorder(journal=RunJournal(path))
+        Collie.for_subsystem(
+            "H", budget_hours=1.0, seed=2, recorder=recorder
+        ).run()
+        recorder.close()
+        records = read_journal(path)
+        text = render_sa_diagnostics(records)
+        assert "acceptance" in text
