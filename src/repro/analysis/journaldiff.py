@@ -56,6 +56,50 @@ INFO_METRICS = (
 )
 
 
+def mfs_shape_key(mfs_record: dict) -> str:
+    """Canonical shape label of one journaled MFS.
+
+    The shape abstracts the region away from its exact bounds: symptom
+    class, how many interval and membership conditions constrain it,
+    and whether it needs a mixed message pattern.  Refactors that move a
+    bound slightly keep the shape; refactors that change *what kind* of
+    anomaly regions the search extracts do not — which is exactly the
+    granularity the canary's population gate wants.
+    """
+    return (
+        f"{mfs_record.get('symptom', '?')}"
+        f"|i{len(mfs_record.get('intervals', ()))}"
+        f"|m{len(mfs_record.get('memberships', ()))}"
+        f"|x{int(bool(mfs_record.get('requires_mix')))}"
+    )
+
+
+def mfs_shape_counts(records: list[dict]) -> dict:
+    """Multiset (shape → count) of every MFS journaled as an anomaly."""
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.get("t") != "anomaly":
+            continue
+        key = mfs_shape_key(record.get("mfs", {}))
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def mfs_condition_sizes(records: list[dict]) -> list[int]:
+    """Sorted multiset of per-MFS condition counts (the MFS 'sizes')."""
+    sizes = []
+    for record in records:
+        if record.get("t") != "anomaly":
+            continue
+        mfs = record.get("mfs", {})
+        sizes.append(
+            len(mfs.get("intervals", ()))
+            + len(mfs.get("memberships", ()))
+            + (1 if mfs.get("requires_mix") else 0)
+        )
+    return sorted(sizes)
+
+
 def journal_metrics(records: list[dict]) -> dict:
     """Distil one journal into the comparable metric dict.
 
@@ -82,6 +126,8 @@ def journal_metrics(records: list[dict]) -> dict:
         "elapsed_seconds": elapsed,
         "acceptance_rate": acceptance_rate(records),
         "span_self_seconds": dict(sorted(spans.items())),
+        "mfs_shape_counts": mfs_shape_counts(records),
+        "mfs_condition_sizes": mfs_condition_sizes(records),
     }
 
 

@@ -1,0 +1,100 @@
+"""Continuous canary: a committed baseline corpus plus a drift gate.
+
+The observatory (``repro.obs``, ``repro.analysis.journaldiff``) can
+explain one run and compare two; the canary turns that into a
+*continuous* regression net for the search core:
+
+* :mod:`repro.canary.matrix` — the campaign matrix (subsystems ×
+  seeds at a quick budget), each cell a deterministic journaled run;
+* :mod:`repro.canary.corpus` — ``repro canary record``: run the
+  matrix and commit it as a compressed, integrity-hashed baseline
+  corpus under ``canary/corpus/``;
+* :mod:`repro.canary.drift` — population-level statistical drift
+  gates (median shift, spread inflation, MFS shape multisets) across
+  the seed population, generalizing the 2-run ``journal diff``;
+* :mod:`repro.canary.invariants` — the hard pass: corpus journals
+  validate under the current schema, every MFS is sound and still
+  reproduces its anomaly on a fresh testbed;
+* :mod:`repro.canary.check` — ``repro canary check``: all of the
+  above, with ``journal diff``-style exit codes (0 clean / 1 drift,
+  naming culprit metric, subsystem and seed / 2 corpus unreadable).
+
+See ``docs/CANARY.md`` for the workflow (recording, refreshing after
+an intentional behaviour change, diagnosing a red canary).
+"""
+
+from repro.canary.check import (
+    CHECK_DRIFT,
+    CHECK_OK,
+    CHECK_UNREADABLE,
+    CanaryResult,
+    canary_check,
+    fresh_cell_metrics,
+    render_check,
+)
+from repro.canary.corpus import (
+    CORPUS_FORMAT,
+    CorpusCell,
+    CorpusError,
+    code_fingerprint,
+    load_corpus,
+    load_manifest,
+    record_corpus,
+)
+from repro.canary.drift import (
+    CellMetrics,
+    DriftFinding,
+    DriftGates,
+    DriftReport,
+    cell_metrics,
+    diff_populations,
+    render_drift,
+)
+from repro.canary.invariants import (
+    InvariantViolation,
+    check_cell,
+    mfs_soundness_errors,
+    run_invariants,
+)
+from repro.canary.matrix import (
+    DEFAULT_BUDGET_HOURS,
+    DEFAULT_SEEDS,
+    MatrixSpec,
+    cell_name,
+    run_cell,
+    run_matrix,
+)
+
+__all__ = [
+    "CHECK_DRIFT",
+    "CHECK_OK",
+    "CHECK_UNREADABLE",
+    "CORPUS_FORMAT",
+    "CanaryResult",
+    "CellMetrics",
+    "CorpusCell",
+    "CorpusError",
+    "DEFAULT_BUDGET_HOURS",
+    "DEFAULT_SEEDS",
+    "DriftFinding",
+    "DriftGates",
+    "DriftReport",
+    "InvariantViolation",
+    "MatrixSpec",
+    "canary_check",
+    "cell_metrics",
+    "cell_name",
+    "check_cell",
+    "code_fingerprint",
+    "diff_populations",
+    "fresh_cell_metrics",
+    "load_corpus",
+    "load_manifest",
+    "mfs_soundness_errors",
+    "record_corpus",
+    "render_check",
+    "render_drift",
+    "run_cell",
+    "run_invariants",
+    "run_matrix",
+]

@@ -1,0 +1,137 @@
+"""The canary campaign matrix: subsystems × seeds at a quick budget.
+
+One *cell* is a full Collie search (ranking, SA passes, MFS
+extraction) on one Table 1 subsystem with one seed, recorded through
+the flight recorder into a JSONL journal.  Every search runs on the
+simulated clock with a seeded RNG, so a cell is a deterministic
+function of the code: re-running the matrix on unchanged code yields
+bit-identical journals, and any divergence is a *behavioural* change
+in the search core — precisely the signal the drift gate thresholds.
+
+The default matrix covers all eight subsystems with a small seed
+population; the population (not any single run) is what the drift
+statistics compare, so gates stay meaningful even for refactors that
+legitimately re-interleave RNG draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Optional, Union
+
+#: Default quick budget: long enough that every subsystem finds at
+#: least one anomaly and extracts its MFS, short enough that the whole
+#: matrix records in seconds of wall-clock.
+DEFAULT_BUDGET_HOURS = 1.0
+
+#: Default seed population per subsystem.
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixSpec:
+    """What the canary matrix runs: the campaign's identity."""
+
+    subsystems: tuple[str, ...] = tuple("ABCDEFGH")
+    seeds: tuple[int, ...] = DEFAULT_SEEDS
+    budget_hours: float = DEFAULT_BUDGET_HOURS
+    counter_mode: str = "diag"
+
+    def __post_init__(self) -> None:
+        if not self.subsystems:
+            raise ValueError("matrix needs at least one subsystem")
+        if not self.seeds:
+            raise ValueError("matrix needs at least one seed")
+        if self.budget_hours <= 0:
+            raise ValueError("budget must be positive")
+        if self.counter_mode not in ("diag", "perf"):
+            raise ValueError("counter_mode must be 'diag' or 'perf'")
+
+    def cells(self) -> list[tuple[str, int]]:
+        """Every (subsystem, seed) cell, in deterministic order."""
+        return [
+            (subsystem, seed)
+            for subsystem in self.subsystems
+            for seed in self.seeds
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "subsystems": list(self.subsystems),
+            "seeds": list(self.seeds),
+            "budget_hours": self.budget_hours,
+            "counter_mode": self.counter_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MatrixSpec":
+        return cls(
+            subsystems=tuple(data["subsystems"]),
+            seeds=tuple(int(s) for s in data["seeds"]),
+            budget_hours=float(data["budget_hours"]),
+            counter_mode=data.get("counter_mode", "diag"),
+        )
+
+
+def cell_name(subsystem: str, seed: int) -> str:
+    """Canonical cell label, doubling as the corpus file stem."""
+    return f"{subsystem}-s{seed}"
+
+
+def run_cell(
+    subsystem: str,
+    seed: int,
+    budget_hours: float,
+    counter_mode: str,
+    journal_path: Union[str, os.PathLike],
+):
+    """Run one matrix cell, journaling it; returns the SearchReport."""
+    from repro.core import Collie
+    from repro.obs import FlightRecorder, RunJournal
+
+    recorder = FlightRecorder(journal=RunJournal(journal_path))
+    try:
+        collie = Collie.for_subsystem(
+            subsystem,
+            counter_mode=counter_mode,
+            budget_hours=budget_hours,
+            seed=seed,
+            recorder=recorder,
+        )
+        return collie.run()
+    finally:
+        recorder.close()
+
+
+def run_matrix(
+    spec: MatrixSpec,
+    out_dir: Union[str, os.PathLike],
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run every cell of the matrix into ``out_dir``.
+
+    Returns cell name → ``{"path", "subsystem", "seed", "anomalies",
+    "experiments"}``, in matrix order.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    results: dict[str, dict] = {}
+    for subsystem, seed in spec.cells():
+        name = cell_name(subsystem, seed)
+        path = os.path.join(os.fspath(out_dir), f"{name}.jsonl")
+        report = run_cell(
+            subsystem, seed, spec.budget_hours, spec.counter_mode, path
+        )
+        results[name] = {
+            "path": path,
+            "subsystem": subsystem,
+            "seed": seed,
+            "anomalies": len(report.anomalies),
+            "experiments": report.experiments,
+        }
+        if progress is not None:
+            progress(
+                f"cell {name}: {len(report.anomalies)} anomalies, "
+                f"{report.experiments} experiments"
+            )
+    return results

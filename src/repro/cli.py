@@ -10,8 +10,10 @@ Commands mirror how the paper's operators use Collie:
                     machines (``--workers``/``--cache`` as above);
 * ``campaign``    — multi-seed comparison campaign for any registered
                     approach (Figure 4 style);
-* ``report``      — re-render a run journal (``--journal``): summary,
-                    anomaly timeline, counter trajectory export;
+* ``report``      — re-render one or more run journals: summary,
+                    anomaly timeline, counter trajectory export; an
+                    unreadable journal is reported per-file and the
+                    rest still render (exit = worst per-file code);
 * ``journal``     — ``verify`` a journal file (exit 0 complete, 1
                     resumable, 2 corrupt) or ``diff`` two journals for
                     search-quality regressions (exit 0 clean, 1
@@ -19,8 +21,15 @@ Commands mirror how the paper's operators use Collie:
 * ``coverage``    — render a journal's workload-space occupancy maps;
 * ``profile``     — render a journal's span self-time profile and
                     export Chrome trace-event JSON (``--trace-out``);
-* ``stats``       — print hit rates and per-phase wall time from a
-                    saved evaluation cache;
+* ``stats``       — print hit rates and per-phase wall time from one
+                    or more saved evaluation caches (per-file errors,
+                    exit = worst per-file code);
+* ``canary``      — ``record`` the baseline journal corpus
+                    (``canary/corpus/``) or ``check`` the current code
+                    against it: statistical drift gates across the
+                    seed population plus hard behavioural invariants
+                    (exit 0 clean, 1 drift/violation, 2 corpus
+                    unreadable — see :mod:`repro.canary`);
 * ``replay``      — replay the 18 Appendix A trigger settings;
 * ``diagnose``    — match a workload (JSON file) against a saved
                     report's MFS set (§7.3 debugging workflow);
@@ -320,7 +329,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Re-render a flight-recorder journal: summary + timeline + trace."""
+    """Re-render flight-recorder journals: summary + timeline + trace.
+
+    Accepts several journals; an unreadable one logs a per-file error
+    and the rest still render.  The exit code is the worst per-file
+    code, so CI catches the failure without losing the good reports.
+    """
+    paths = args.journal
+    if args.trajectory and len(paths) > 1:
+        logger.error(
+            f"--trajectory exports a single journal's counter trace to "
+            f"one CSV; got {len(paths)} journals — run them separately"
+        )
+        return 2
+    payloads: list = []
+    worst = 0
+    emit_json = getattr(args, "json", False)
+    for index, path in enumerate(paths):
+        if len(paths) > 1 and not emit_json:
+            # Headers would corrupt the machine-readable stream.
+            if index:
+                logger.info("")
+            logger.info(f"=== journal {index + 1}/{len(paths)}: {path}")
+        code = _report_one(path, args, payloads)
+        if code and len(paths) > 1:
+            logger.error(f"journal {path}: report failed (exit {code})")
+        worst = max(worst, code)
+    if emit_json and payloads:
+        # Machine-readable output bypasses the logging pipeline so it
+        # stays parseable under --log-json and custom log levels.  A
+        # single journal prints its object (the stable format); several
+        # print an array.
+        out = payloads[0] if len(paths) == 1 else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+    return worst
+
+
+def _report_one(
+    path: str, args: argparse.Namespace, payloads: list
+) -> int:
+    """Render one journal (appends to ``payloads`` under ``--json``)."""
     from repro.analysis.figures import counter_trace
     from repro.obs import (
         journal_summary,
@@ -330,9 +378,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
 
     try:
-        records, tail_error = read_journal_prefix(args.journal)
+        records, tail_error = read_journal_prefix(path)
     except OSError as error:
-        logger.error(f"cannot read journal {args.journal}: {error}")
+        logger.error(f"cannot read journal {path}: {error}")
         return 2
     except ValueError as error:
         logger.error(f"{error}")
@@ -349,7 +397,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if len(errors) > 10:
             logger.error(f"... and {len(errors) - 10} more")
         logger.error(
-            f"journal {args.journal} failed schema validation "
+            f"journal {path} failed schema validation "
             f"({len(errors)} error(s))"
         )
         return 2
@@ -358,21 +406,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         from repro.analysis.journaldiff import journal_metrics
         from repro.analysis.serialize import report_to_dict
 
-        payload = {
-            "journal": str(args.journal),
+        payloads.append({
+            "journal": str(path),
             "summary": shape,
             "metrics": journal_metrics(records),
             "runs": [
                 report_to_dict(report)
                 for report in reports_from_records(records)
             ],
-        }
-        # Machine-readable output bypasses the logging pipeline so it
-        # stays parseable under --log-json and custom log levels.
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        })
         return 0
     logger.info(
-        f"journal {args.journal}: {shape['records']} records, "
+        f"journal {path}: {shape['records']} records, "
         f"{shape['runs']} run(s), {shape['experiments']} experiments, "
         f"{shape['anomalies']} anomalies, {shape['skips']} skips, "
         f"{shape['transitions']} SA transitions, "
@@ -388,7 +433,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"{shape['crashed_runs']} of {shape['runs']} run(s) are "
             f"partial (no run_end record) — this campaign crashed or is "
             f"still in flight; resume it with 'repro campaign --resume "
-            f"{args.journal}'"
+            f"{path}'"
         )
     completeness = _run_completeness(records)
     reports = reports_from_records(records)
@@ -408,7 +453,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         trace = counter_trace("journal", events, args.counter)
         if not trace.hours:
             logger.warning(
-                f"counter {args.counter!r} never observed in this journal"
+                f"counter {args.counter!r} never observed in {path}"
             )
             return 1
         if args.trajectory:
@@ -480,6 +525,23 @@ def _cmd_journal_diff(args: argparse.Namespace) -> int:
     baseline = _read_journal_or_none(args.baseline)
     candidate = _read_journal_or_none(args.candidate)
     if baseline is None or candidate is None:
+        return 2
+    # An empty (or truncated-to-zero-records) journal has no metrics to
+    # compare: diffing it would either crash or — worse — pass silently
+    # with every metric "absent in both".  That is unreadable input,
+    # not a clean diff: exit 2, like any other unreadable journal.
+    unusable = [
+        path
+        for path, records in (
+            (args.baseline, baseline), (args.candidate, candidate)
+        )
+        if not records
+    ]
+    if unusable:
+        for path in unusable:
+            logger.error(
+                f"journal {path} contains no records — nothing to diff"
+            )
         return 2
     result = diff_journals(
         baseline, candidate, tolerance=args.baseline_tolerance
@@ -603,28 +665,116 @@ def _stats_on_journal(path: str) -> Optional[int]:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: one or more cache stores (or journals), per-file errors.
+
+    One unreadable file never hides the others' statistics; the exit
+    code is the worst per-file code.
+    """
+    worst = 0
+    for index, path in enumerate(args.cache):
+        if len(args.cache) > 1:
+            if index:
+                logger.info("")
+            logger.info(f"=== {path}")
+        worst = max(worst, _stats_one(path))
+    return worst
+
+
+def _stats_one(path: str) -> int:
     from repro.core.evalcache import EvalCache, describe_stats
 
     try:
-        stats = EvalCache.load_stats(args.cache)
+        stats = EvalCache.load_stats(path)
     except FileNotFoundError:
-        logger.info(f"no cache store at {args.cache} (nothing cached yet)")
+        logger.info(f"no cache store at {path} (nothing cached yet)")
         return 0
     except (ValueError, AttributeError) as error:  # corrupt / wrong shape
-        journal_code = _stats_on_journal(args.cache)
+        journal_code = _stats_on_journal(path)
         if journal_code is not None:
             return journal_code
-        logger.error(f"cannot read cache store {args.cache}: {error}")
+        logger.error(f"cannot read cache store {path}: {error}")
         return 1
     lookups = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
     if not stats.get("entries") and not lookups:
         logger.info(
-            f"cache store {args.cache} is empty (no entries, no lookups)"
+            f"cache store {path} is empty (no entries, no lookups)"
         )
         return 0
-    logger.info(f"cache store: {args.cache}")
+    logger.info(f"cache store: {path}")
     logger.info(describe_stats(stats))
     return 0
+
+
+def _matrix_spec_from_args(args: argparse.Namespace):
+    """Build the canary MatrixSpec the CLI flags describe."""
+    from repro.canary import MatrixSpec
+
+    subsystems = tuple(args.subsystems.upper())
+    unknown = sorted(set(subsystems) - set("ABCDEFGH"))
+    if unknown:
+        raise ValueError(
+            f"unknown subsystem(s) {', '.join(unknown)} "
+            f"(choose letters from A-H)"
+        )
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    return MatrixSpec(
+        subsystems=subsystems,
+        seeds=seeds,
+        budget_hours=args.hours,
+        counter_mode=args.counters,
+    )
+
+
+def _cmd_canary_record(args: argparse.Namespace) -> int:
+    """``canary record``: run the matrix, commit the baseline corpus."""
+    from repro.canary import record_corpus
+
+    try:
+        spec = _matrix_spec_from_args(args)
+    except ValueError as error:
+        logger.error(str(error))
+        return 2
+    manifest = record_corpus(spec, args.corpus, progress=logger.info)
+    logger.info(
+        f"corpus recorded to {args.corpus}: {len(manifest['cells'])} "
+        f"cell(s) ({len(spec.subsystems)} subsystem(s) x "
+        f"{len(spec.seeds)} seed(s) x {spec.budget_hours:g}h), "
+        f"schema v{manifest['schema_version']}, "
+        f"code {manifest['code_fingerprint'][:12]}"
+    )
+    return 0
+
+
+def _cmd_canary_check(args: argparse.Namespace) -> int:
+    """``canary check``: drift gate + hard invariants vs the corpus."""
+    import tempfile
+
+    from repro.canary import DriftGates, canary_check, render_check
+
+    gates = DriftGates(
+        median_tolerance=args.median_tolerance,
+        spread_factor=args.spread_factor,
+        shape_tolerance=args.shape_tolerance,
+    )
+
+    def run(fresh_dir: str) -> int:
+        result = canary_check(
+            args.corpus,
+            fresh_dir,
+            gates=gates,
+            attempts=args.attempts,
+            skip_invariants=args.skip_invariants,
+            progress=logger.info if args.verbose else None,
+        )
+        logger.info(render_check(result))
+        if not result.ok and args.fresh_dir:
+            logger.info(f"fresh journals kept in {args.fresh_dir}")
+        return result.exit_code
+
+    if args.fresh_dir:
+        return run(args.fresh_dir)
+    with tempfile.TemporaryDirectory(prefix="canary-fresh-") as fresh_dir:
+        return run(fresh_dir)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -819,8 +969,10 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="re-render a run journal written by --journal",
     )
-    report.add_argument("journal", metavar="JOURNAL.jsonl",
-                        help="JSONL journal from 'search --journal'")
+    report.add_argument("journal", metavar="JOURNAL.jsonl", nargs="+",
+                        help="JSONL journal(s) from 'search --journal'; "
+                             "an unreadable file is reported and the "
+                             "rest still render")
     report.add_argument("--counter", metavar="NAME",
                         help="plot/export this counter's trajectory")
     report.add_argument("--trajectory", metavar="OUT.csv",
@@ -886,9 +1038,95 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="print statistics from a saved evaluation cache"
     )
-    stats.add_argument("cache", metavar="PATH",
-                       help="JSON store written by --cache")
+    stats.add_argument("cache", metavar="PATH", nargs="+",
+                       help="JSON store(s) written by --cache; an "
+                            "unreadable file is reported and the rest "
+                            "still print")
     stats.set_defaults(func=_cmd_stats)
+
+    canary = sub.add_parser(
+        "canary",
+        help="record or check the continuous-canary baseline corpus "
+             "(see docs/CANARY.md)",
+    )
+    canary_actions = canary.add_subparsers(
+        dest="canary_command", required=True
+    )
+
+    def _add_matrix_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--corpus", default="canary/corpus", metavar="DIR",
+            help="baseline corpus directory (default: canary/corpus)",
+        )
+
+    canary_record = canary_actions.add_parser(
+        "record",
+        help="run the campaign matrix and commit it as the baseline "
+             "corpus",
+    )
+    _add_matrix_flags(canary_record)
+    canary_record.add_argument(
+        "--subsystems", default="ABCDEFGH", metavar="LETTERS",
+        help="subsystems to cover, as a string of Table 1 letters "
+             "(default: ABCDEFGH)",
+    )
+    canary_record.add_argument(
+        "--seeds", type=_positive_int, default=3, metavar="N",
+        help="seed population per subsystem (default: 3)",
+    )
+    canary_record.add_argument(
+        "--seed-base", type=int, default=1, metavar="SEED",
+        help="first seed of the population (default: 1)",
+    )
+    canary_record.add_argument(
+        "--hours", type=float, default=1.0,
+        help="simulated budget per cell (default: 1.0)",
+    )
+    canary_record.add_argument(
+        "--counters", choices=("diag", "perf"), default="diag",
+    )
+    canary_record.set_defaults(func=_cmd_canary_record)
+
+    canary_check_parser = canary_actions.add_parser(
+        "check",
+        help="re-run the corpus's matrix and gate the populations "
+             "(exit 0 clean, 1 drift/violation, 2 corpus unreadable)",
+    )
+    _add_matrix_flags(canary_check_parser)
+    canary_check_parser.add_argument(
+        "--fresh-dir", metavar="DIR",
+        help="keep the re-run journals here (CI failure artifact); "
+             "default: a temporary directory, removed afterwards",
+    )
+    canary_check_parser.add_argument(
+        "--median-tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="relative per-metric median shift that gates (both "
+             "directions; default 0.10)",
+    )
+    canary_check_parser.add_argument(
+        "--spread-factor", type=float, default=2.0, metavar="FACTOR",
+        help="allowed inflation of the seed population's IQR "
+             "(default 2.0)",
+    )
+    canary_check_parser.add_argument(
+        "--shape-tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="total-variation distance allowed between MFS shape "
+             "multisets (default 0.25)",
+    )
+    canary_check_parser.add_argument(
+        "--attempts", type=_positive_int, default=3, metavar="N",
+        help="reproduction attempts per corpus MFS in the invariant "
+             "pass (default 3)",
+    )
+    canary_check_parser.add_argument(
+        "--skip-invariants", action="store_true",
+        help="drift gate only (skip the per-MFS reproduction pass)",
+    )
+    canary_check_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log per-cell progress while re-running the matrix",
+    )
+    canary_check_parser.set_defaults(func=_cmd_canary_check)
 
     replay = sub.add_parser(
         "replay", help="replay the 18 Appendix A trigger settings"

@@ -739,7 +739,16 @@ class MFSExtractor:
             )
             uniform_results[size] = self._check(probe)
         if not any(uniform_results.values()):
-            return None, True  # only the mixed pattern triggers
+            if witness.mixes_small_and_large:
+                return None, True  # only the mixed pattern triggers
+            # Only the mixed pattern triggers, but it is not the
+            # canonical small/large mix ``requires_mix`` describes — a
+            # mix-requiring MFS would exclude its own witness, breaking
+            # the skip test's soundness.  Pin the witness's mean size
+            # instead: still excludes the (healthy) uniform probes,
+            # still contains the witness.
+            avg = float(witness.avg_msg_bytes)
+            return IntervalCondition("avg_msg", avg, avg), False
         return None, False
 
     def _probe_uniform_sizes(

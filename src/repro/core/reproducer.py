@@ -12,9 +12,21 @@ in three exchangeable forms:
   extended with the knobs Collie's space needs;
 * a **verbs pseudo-program** — the setup/post skeleton an engineer would
   translate to C.
+
+Beyond rendering, :func:`reproduce` *executes* a recipe: it replays the
+witness workload on a fresh testbed and asks the anomaly monitor
+whether the expected symptom recurs.  This is the behavioural ground
+truth behind every persisted MFS — the canary's hard invariant pass
+(:mod:`repro.canary.invariants`) runs it against every corpus anomaly,
+and the round-trip test suite runs it against every freshly found one.
 """
 
 from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
 
 from repro.hardware.workload import (
     Colocation,
@@ -22,6 +34,19 @@ from repro.hardware.workload import (
     WorkloadDescriptor,
 )
 from repro.verbs.constants import Opcode, QPType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.mfs import MinimalFeatureSet
+    from repro.hardware.subsystems import Subsystem
+
+#: Default RNG seed for reproduction runs.  Fixed so a reproduction
+#: verdict is itself deterministic (and therefore CI-gateable).
+REPRODUCE_SEED = 0x5EED
+
+#: Default measurement attempts before declaring a recipe broken.  The
+#: testbed observes with sampling noise, so a single borderline draw
+#: must not condemn a sound MFS.
+REPRODUCE_ATTEMPTS = 3
 
 
 def _human(size: int) -> str:
@@ -159,4 +184,79 @@ def recipe(workload: WorkloadDescriptor, title: str = "anomaly") -> str:
         f"{appendix_paragraph(workload)}\n\n"
         f"Traffic engine invocation:\n\n{engine_command(workload)}\n\n"
         f"Verbs skeleton:\n\n{verbs_program(workload)}"
+    )
+
+
+# -- executing a recipe -------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ReproductionResult:
+    """Outcome of replaying one witness workload on a fresh testbed."""
+
+    expected_symptom: str
+    #: Monitor verdicts of the attempts actually run, in order (the
+    #: replay stops early on the first reproducing attempt).
+    observed_symptoms: tuple[str, ...]
+    reproduced: bool
+
+    def describe(self) -> str:
+        verdict = "reproduced" if self.reproduced else "NOT reproduced"
+        observed = ", ".join(self.observed_symptoms) or "-"
+        return (
+            f"{verdict}: expected {self.expected_symptom!r}, "
+            f"observed [{observed}]"
+        )
+
+
+def reproduce(
+    workload: WorkloadDescriptor,
+    subsystem: Union["Subsystem", str],
+    expected_symptom: str,
+    attempts: int = REPRODUCE_ATTEMPTS,
+    seed: int = REPRODUCE_SEED,
+    noise: float = 0.02,
+) -> ReproductionResult:
+    """Replay a trigger workload and check the symptom recurs.
+
+    Runs the workload through the full testbed path (engine, hardware
+    model, monitor) on a fresh simulated cluster — the same machinery a
+    search uses, with none of the search's state.  The recipe counts as
+    reproduced when *any* attempt yields the expected symptom;
+    ``attempts`` draws of measurement noise keep a borderline sample
+    from condemning a sound anomaly.
+    """
+    from repro.cluster.testbed import Testbed
+    from repro.core.monitor import AnomalyMonitor
+
+    if attempts < 1:
+        raise ValueError("need at least one reproduction attempt")
+    testbed = Testbed(subsystem, noise=noise)
+    monitor = AnomalyMonitor(testbed.subsystem)
+    rng = np.random.default_rng(seed)
+    observed: list[str] = []
+    for _ in range(attempts):
+        result = testbed.run(workload, rng=rng, phase="reproduce")
+        symptom = monitor.classify(result.measurement).symptom
+        observed.append(symptom)
+        if symptom == expected_symptom:
+            break
+    return ReproductionResult(
+        expected_symptom=expected_symptom,
+        observed_symptoms=tuple(observed),
+        reproduced=expected_symptom in observed,
+    )
+
+
+def reproduce_mfs(
+    mfs: "MinimalFeatureSet",
+    subsystem: Union["Subsystem", str],
+    attempts: int = REPRODUCE_ATTEMPTS,
+    seed: int = REPRODUCE_SEED,
+    noise: float = 0.02,
+) -> ReproductionResult:
+    """Replay an MFS's witness against its recorded symptom class."""
+    return reproduce(
+        mfs.witness, subsystem, mfs.symptom,
+        attempts=attempts, seed=seed, noise=noise,
     )

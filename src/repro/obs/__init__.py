@@ -39,6 +39,7 @@ from repro.obs.journal import (
     read_journal_prefix,
     reports_from_journal,
     reports_from_records,
+    run_records,
     verify_journal,
 )
 from repro.obs.logging import setup_logging
@@ -89,6 +90,7 @@ __all__ = [
     "render_span_table",
     "reports_from_journal",
     "reports_from_records",
+    "run_records",
     "setup_logging",
     "time_to_first_anomaly",
     "validate_chrome_trace",

@@ -232,12 +232,13 @@ def _report_from_run(records: list[dict]) -> SearchReport:
     )
 
 
-def reports_from_records(records: Iterable[dict]) -> list[SearchReport]:
-    """Every run in a journal, re-rendered as SearchReports.
+def run_records(records: Iterable[dict]) -> list[list[dict]]:
+    """Per-run record groups, split on ``run_start`` delimiters.
 
-    Runs are delimited by ``run_start`` records; records before the
-    first ``run_start`` (fan-out accounting, stray snapshots) are
-    ignored.
+    Records before the first ``run_start`` (fan-out accounting, stray
+    snapshots) are ignored.  The canary's invariant pass iterates these
+    groups directly so it can attribute a violation to one run without
+    first paying for full report reconstruction.
     """
     runs: list[list[dict]] = []
     for record in records:
@@ -245,7 +246,12 @@ def reports_from_records(records: Iterable[dict]) -> list[SearchReport]:
             runs.append([record])
         elif runs:
             runs[-1].append(record)
-    return [_report_from_run(run) for run in runs]
+    return runs
+
+
+def reports_from_records(records: Iterable[dict]) -> list[SearchReport]:
+    """Every run in a journal, re-rendered as SearchReports."""
+    return [_report_from_run(run) for run in run_records(records)]
 
 
 def reports_from_journal(

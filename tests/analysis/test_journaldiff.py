@@ -137,6 +137,42 @@ class TestDiffCLI:
         code = main(["journal", "diff", str(journal_path), str(missing)])
         assert code == 2
 
+    @pytest.mark.parametrize("empty_side", ("baseline", "candidate"))
+    def test_empty_journal_exits_two(
+        self, journal_path, tmp_path, empty_side, capsys
+    ):
+        """A zero-record journal is unreadable input, not a clean diff.
+
+        Regression: an empty *candidate* used to produce bogus -100%
+        regressions (exit 1), and an empty *baseline* a silent
+        'no regressions' pass (exit 0) — the dangerous ordering.
+        """
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        order = (
+            [str(empty), str(journal_path)]
+            if empty_side == "baseline"
+            else [str(journal_path), str(empty)]
+        )
+        code = main(["journal", "diff", *order])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no records" in err and str(empty) in err
+
+    @pytest.mark.parametrize("empty_side", ("baseline", "candidate"))
+    def test_truncated_to_zero_records_exits_two(
+        self, journal_path, tmp_path, empty_side
+    ):
+        """A journal torn mid-first-line parses to zero records."""
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"v": 3, "t": "run_sta')  # no newline: torn tail
+        order = (
+            [str(torn), str(journal_path)]
+            if empty_side == "baseline"
+            else [str(journal_path), str(torn)]
+        )
+        assert main(["journal", "diff", *order]) == 2
+
     def test_tolerance_flag_parses(self, journal_path, capsys):
         code = main([
             "journal", "diff", str(journal_path), str(journal_path),

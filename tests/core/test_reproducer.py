@@ -94,3 +94,44 @@ class TestRecipe:
     def test_every_appendix_setting_renders(self, number):
         text = recipe(setting(number).workload)
         assert len(text) > 200
+
+
+class TestReproduceRoundTrip:
+    """Search → MFS → replay: anomalies must survive the round trip."""
+
+    @pytest.mark.parametrize("letter", list("ABCDEFGH"))
+    def test_every_quick_search_anomaly_reproduces(self, letter):
+        """Each subsystem's quick-budget anomalies re-trigger their
+        symptom when the MFS witness is replayed on a fresh testbed —
+        the canary's hard reproduction invariant, per subsystem."""
+        from repro.core import Collie
+        from repro.core.reproducer import reproduce_mfs
+
+        report = Collie.for_subsystem(
+            letter, budget_hours=0.5, seed=1
+        ).run()
+        assert report.anomalies, f"subsystem {letter} found nothing"
+        for mfs in report.anomalies:
+            result = reproduce_mfs(mfs, letter)
+            assert result.reproduced, (
+                f"subsystem {letter}: {result.describe()}"
+            )
+            assert result.expected_symptom in result.observed_symptoms
+
+    def test_reproduction_result_describes_failure(self):
+        from repro.core.reproducer import ReproductionResult
+
+        result = ReproductionResult(
+            expected_symptom="pause frame",
+            observed_symptoms=("healthy", "healthy"),
+            reproduced=False,
+        )
+        text = result.describe()
+        assert "pause frame" in text and "healthy" in text
+
+    def test_reproduce_rejects_zero_attempts(self):
+        from repro.core.reproducer import reproduce
+        from repro.workloads.appendix import setting
+
+        with pytest.raises(ValueError):
+            reproduce(setting(1).workload, "A", "pause frame", attempts=0)

@@ -1,0 +1,113 @@
+"""Cross-version journal reads: v1 and v2 journals must keep working.
+
+``tests/obs/fixtures/v1.jsonl`` and ``v2.jsonl`` are committed
+downgrades of a real recorded search journal (subsystem F, 0.5h,
+seed 1): v1 predates the resilience records, v2 has ``retry``/
+``quarantine`` but no observatory ``coverage``/``spans``.  Every
+reader — validator, report reconstruction, metrics, the canary's
+invariant pass — must accept both forever: the canary corpus is
+committed once and read by every future version of the code.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.journaldiff import diff_journals, journal_metrics
+from repro.canary import check_cell
+from repro.canary.corpus import CorpusCell
+from repro.cli import main
+from repro.obs import (
+    SUPPORTED_VERSIONS,
+    reports_from_records,
+    validate_journal,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+FIXTURE_SUBSYSTEM = "F"  # the subsystem the fixture journals recorded
+
+
+def fixture_records(version: int) -> list:
+    path = os.path.join(FIXTURES, f"v{version}.jsonl")
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+@pytest.mark.parametrize("version", (1, 2))
+class TestOldJournalsStillWork:
+    def test_validates_under_current_schema(self, version):
+        records = fixture_records(version)
+        assert all(r["v"] == version for r in records)
+        assert validate_journal(records) == []
+
+    def test_reconstructs_reports(self, version):
+        reports = reports_from_records(fixture_records(version))
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.subsystem_name == FIXTURE_SUBSYSTEM
+        assert report.experiments > 0
+        assert len(report.anomalies) >= 1
+
+    def test_feeds_the_metric_pipeline(self, version):
+        metrics = journal_metrics(fixture_records(version))
+        assert metrics["anomalies"] >= 1
+        assert metrics["time_to_first_anomaly_seconds"] is not None
+        assert metrics["mfs_shape_counts"]
+        # A fixture diffed against itself is exactly clean.
+        records = fixture_records(version)
+        assert diff_journals(records, records).ok
+
+    def test_renders_through_report_cli(self, version, capsys):
+        path = os.path.join(FIXTURES, f"v{version}.jsonl")
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "anomalies" in out
+
+    def test_report_json_roundtrips(self, version, capsys):
+        path = os.path.join(FIXTURES, f"v{version}.jsonl")
+        assert main(["report", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["anomalies"] >= 1
+
+    def test_passes_the_canary_invariant_pass(self, version):
+        """Old journals' anomalies still reproduce on today's testbed."""
+        cell = CorpusCell(
+            name=f"v{version}-fixture",
+            subsystem=FIXTURE_SUBSYSTEM,
+            seed=1,
+            records=fixture_records(version),
+        )
+        assert check_cell(cell) == []
+
+
+class TestVersionStampProperty:
+    @given(
+        stamps=st.lists(
+            st.sampled_from(SUPPORTED_VERSIONS), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_supported_stamp_mix_stays_valid(self, stamps):
+        """Record versions are independent: any supported mix validates
+        and reconstructs identically (readers key on record *type*)."""
+        records = fixture_records(1)
+        stamped = [
+            {**record, "v": stamps[index % len(stamps)]}
+            for index, record in enumerate(records)
+        ]
+        assert validate_journal(stamped) == []
+        baseline = journal_metrics(records)
+        restamped = journal_metrics(stamped)
+        assert restamped == baseline
+
+    @given(version=st.integers(min_value=-3, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_unsupported_versions_are_rejected(self, version):
+        records = fixture_records(1)[:3]
+        if version in SUPPORTED_VERSIONS:
+            return
+        stamped = [{**record, "v": version} for record in records]
+        errors = validate_journal(stamped)
+        assert errors and "unsupported schema version" in errors[0]

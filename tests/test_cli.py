@@ -183,6 +183,32 @@ class TestStats:
         assert code == 1
         assert "cannot read cache store" in capsys.readouterr().err
 
+    def test_stats_multi_file_continues_past_a_bad_store(
+        self, tmp_path, capsys
+    ):
+        """One corrupt store must not hide the good one's statistics."""
+        good = tmp_path / "good.json"
+        main(["search", "H", "--hours", "0.3", "--seed", "3",
+              "--cache", str(good)])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        capsys.readouterr()
+        code = main(["stats", str(bad), str(good)])
+        assert code == 1  # worst per-file code
+        captured = capsys.readouterr()
+        assert "cannot read cache store" in captured.err
+        assert str(bad) in captured.err
+        assert "hit rate" in captured.out  # the good store still printed
+
+    def test_stats_multi_file_all_good_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        main(["search", "H", "--hours", "0.3", "--seed", "3",
+              "--cache", str(good)])
+        capsys.readouterr()
+        code = main(["stats", str(good), str(good)])
+        assert code == 0
+        assert capsys.readouterr().out.count("hit rate") == 2
+
 
 class TestReport:
     def test_search_journal_then_report_roundtrip(self, tmp_path, capsys):
@@ -251,6 +277,48 @@ class TestReport:
         code = main(["report", str(bad)])
         assert code == 2
         assert "schema" in capsys.readouterr().err.lower()
+
+    def test_report_multi_journal_continues_past_a_bad_file(
+        self, tmp_path, capsys
+    ):
+        """One unreadable journal must not hide the others' reports."""
+        journal = tmp_path / "ok.jsonl"
+        assert main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--journal", str(journal)]) == 0
+        missing = tmp_path / "nope.jsonl"
+        capsys.readouterr()
+        code = main(["report", str(missing), str(journal)])
+        assert code == 2  # worst per-file code
+        captured = capsys.readouterr()
+        assert "cannot read journal" in captured.err
+        assert str(missing) in captured.err
+        assert "run 1:" in captured.out  # the good journal still rendered
+
+    def test_report_multi_journal_json_emits_an_array(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "ok.jsonl"
+        assert main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(journal), str(journal), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_report_trajectory_rejects_multiple_journals(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "ok.jsonl"
+        assert main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main([
+            "report", str(journal), str(journal),
+            "--counter", "rx_pause_duration",
+            "--trajectory", str(tmp_path / "out.csv"),
+        ])
+        assert code == 2
+        assert "--trajectory" in capsys.readouterr().err
 
     def test_progress_lines_during_search(self, tmp_path, capsys):
         code = main(["search", "H", "--hours", "1", "--seed", "2",
