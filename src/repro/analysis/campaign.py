@@ -70,31 +70,31 @@ def _run_bayesopt_mfs(sub, hours, seed, cache=None):
     ).run()
 
 
-def _run_sa_perf(sub, hours, seed, cache=None, batch=True):
+def _run_sa_perf(sub, hours, seed, cache=None, batch=True, latency=True):
     return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=False, budget_hours=hours,
-        seed=seed, cache=cache, batch=batch,
+        seed=seed, cache=cache, batch=batch, latency=latency,
     ).run()
 
 
-def _run_sa_diag(sub, hours, seed, cache=None, batch=True):
+def _run_sa_diag(sub, hours, seed, cache=None, batch=True, latency=True):
     return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=False, budget_hours=hours,
-        seed=seed, cache=cache, batch=batch,
+        seed=seed, cache=cache, batch=batch, latency=latency,
     ).run()
 
 
-def _run_collie_perf(sub, hours, seed, cache=None, batch=True):
+def _run_collie_perf(sub, hours, seed, cache=None, batch=True, latency=True):
     return Collie.for_subsystem(
         sub, counter_mode="perf", use_mfs=True, budget_hours=hours,
-        seed=seed, cache=cache, batch=batch,
+        seed=seed, cache=cache, batch=batch, latency=latency,
     ).run()
 
 
-def _run_collie(sub, hours, seed, cache=None, batch=True):
+def _run_collie(sub, hours, seed, cache=None, batch=True, latency=True):
     return Collie.for_subsystem(
         sub, counter_mode="diag", use_mfs=True, budget_hours=hours,
-        seed=seed, cache=cache, batch=batch,
+        seed=seed, cache=cache, batch=batch, latency=latency,
     ).run()
 
 
@@ -136,6 +136,10 @@ def _run_seed(payload: dict) -> dict:
         kwargs["cache"] = cache
     if not payload.get("batch", True) and _accepts_kwarg(factory, "batch"):
         kwargs["batch"] = False
+    if not payload.get("latency", True) and _accepts_kwarg(
+        factory, "latency"
+    ):
+        kwargs["latency"] = False
     report = factory(*args, **kwargs)
     return {
         "report": report,
@@ -228,6 +232,7 @@ def run_campaign(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     resume_from: Union[str, dict, None] = None,
+    latency: bool = True,
 ) -> CampaignResult:
     """Run one approach across seeds.
 
@@ -282,6 +287,7 @@ def run_campaign(
             "use_cache": cache is not None,
             "cache_entries": warm_entries,
             "batch": batch,
+            "latency": latency,
         }
         for seed in todo
     ]

@@ -36,6 +36,7 @@ from repro.obs.coverage import coverage_from_records
 from repro.obs.journal import journal_summary
 from repro.obs.profiler import events_from_records, self_times
 from repro.obs.sadiag import acceptance_rate, time_to_first_anomaly
+from repro.obs.schema import RECORD_FIELDS
 
 #: Default relative tolerance before a worse value counts as a regression.
 DEFAULT_TOLERANCE = 0.05
@@ -48,12 +49,72 @@ GATED_METRICS = {
 }
 
 #: Informational metrics journal_metrics also reports (never gating).
+#: The latency family is informational because schema-v3 journals carry
+#: no latency records at all: gating would turn every old-vs-new diff
+#: into a false regression instead of an honest "-" column.
 INFO_METRICS = (
     "experiments",
     "skips",
     "elapsed_seconds",
     "acceptance_rate",
+    "latency_records",
+    "latency_p99_us_median",
+    "latency_inflation_max",
 )
+
+
+def unknown_record_kinds(records: list[dict]) -> dict:
+    """Kind → count of records the current schema does not know.
+
+    Journals written by a *newer* build may carry record types this
+    build's :data:`~repro.obs.schema.RECORD_FIELDS` has never heard of.
+    Readers skip them, but silently dropping data is how cross-version
+    diffs grow quiet blind spots — so every skipping surface reports
+    what it skipped through this one helper.
+    """
+    counts: dict[str, int] = {}
+    for record in records:
+        kind = record.get("t", "?")
+        if kind not in RECORD_FIELDS:
+            counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def describe_unknown_kinds(records: list[dict]) -> list[str]:
+    """One log line per unknown record kind (empty when none)."""
+    return [
+        f"unknown record kind skipped: {kind} (n={count})"
+        for kind, count in unknown_record_kinds(records).items()
+    ]
+
+
+def latency_metrics(records: list[dict]) -> dict:
+    """The journal's latency family: count, median p99, worst inflation.
+
+    A journal without latency records (schema v3, or a run with the
+    trigger disabled) yields count 0 and ``None`` aggregates, which the
+    diff renders as "-" rather than inventing a zero latency.
+    """
+    p99s: list[float] = []
+    inflations: list[float] = []
+    for record in records:
+        if record.get("t") != "latency":
+            continue
+        p99s.append(float(record["p99_us"]))
+        inflations.append(float(record["inflation"]))
+    p99s.sort()
+    median: Optional[float] = None
+    if p99s:
+        mid = len(p99s) // 2
+        if len(p99s) % 2:
+            median = p99s[mid]
+        else:
+            median = (p99s[mid - 1] + p99s[mid]) / 2.0
+    return {
+        "latency_records": len(p99s),
+        "latency_p99_us_median": median,
+        "latency_inflation_max": max(inflations) if inflations else None,
+    }
 
 
 def mfs_shape_key(mfs_record: dict) -> str:
@@ -117,7 +178,7 @@ def journal_metrics(records: list[dict]) -> dict:
         for r in records if r.get("t") == "run_end"
     )
     spans = self_times(events_from_records(records))
-    return {
+    metrics = {
         "anomalies": summary["anomalies"],
         "time_to_first_anomaly_seconds": time_to_first_anomaly(records),
         "coverage_fraction": coverage,
@@ -129,6 +190,8 @@ def journal_metrics(records: list[dict]) -> dict:
         "mfs_shape_counts": mfs_shape_counts(records),
         "mfs_condition_sizes": mfs_condition_sizes(records),
     }
+    metrics.update(latency_metrics(records))
+    return metrics
 
 
 @dataclasses.dataclass(frozen=True)

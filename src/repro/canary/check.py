@@ -22,6 +22,7 @@ import dataclasses
 import os
 from typing import Callable, Optional, Union
 
+from repro.analysis.journaldiff import describe_unknown_kinds
 from repro.canary.corpus import (
     CorpusError,
     code_fingerprint,
@@ -57,6 +58,10 @@ class CanaryResult:
     current_fingerprint: str
     cells_checked: int
     error: Optional[str] = None
+    #: "unknown record kind skipped" notes from corpus cells written by
+    #: a newer schema — surfaced, never silently dropped (informational:
+    #: the drift gates compare only the kinds both builds understand).
+    skipped_kinds: list[str] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -122,6 +127,12 @@ def canary_check(
             error=f"corpus spec does not parse: {error}",
         )
 
+    skipped_kinds = [
+        f"corpus cell {cell.subsystem}-s{cell.seed}: {note}"
+        for cell in cells
+        for note in describe_unknown_kinds(cell.records)
+    ]
+
     violations: list[InvariantViolation] = []
     if not skip_invariants:
         violations = run_invariants(
@@ -145,6 +156,7 @@ def canary_check(
         corpus_fingerprint=manifest.get("code_fingerprint"),
         current_fingerprint=current,
         cells_checked=len(cells),
+        skipped_kinds=skipped_kinds,
     )
 
 
@@ -157,6 +169,7 @@ def render_check(result: CanaryResult) -> str:
         f"{str(result.corpus_fingerprint)[:12]}, current code "
         f"{result.current_fingerprint[:12]}"
     ]
+    lines.extend(result.skipped_kinds)
     if result.violations:
         lines.append(
             f"hard invariants: {len(result.violations)} violation(s)"

@@ -35,11 +35,16 @@ import numpy as np
 from repro.analysis.journaldiff import journal_metrics
 
 #: Metric name → higher-level family, for rendering.
+#: ``latency_p99_us_median`` gates like TTFA: a corpus recorded before
+#: the latency signal existed reports ``None`` on every seed, which the
+#: missing-value count surfaces as drift exactly once — when the new
+#: default lands — and the corpus refresh that accompanies it clears.
 NUMERIC_METRICS = (
     "anomalies",
     "time_to_first_anomaly_seconds",
     "coverage_fraction",
     "mfs_mean_conditions",
+    "latency_p99_us_median",
 )
 
 
@@ -76,6 +81,9 @@ class CellMetrics:
     experiments: int
     mfs_shapes: tuple[str, ...]
     mfs_condition_sizes: tuple[int, ...]
+    #: Median modeled p99 over the cell's latency records (None for
+    #: journals written before the latency signal existed).
+    latency_p99_us_median: Optional[float] = None
 
     @property
     def mfs_mean_conditions(self) -> Optional[float]:
@@ -101,6 +109,7 @@ def cell_metrics(subsystem: str, seed: int, records: list) -> CellMetrics:
         experiments=int(metrics["experiments"]),
         mfs_shapes=tuple(sorted(shapes)),
         mfs_condition_sizes=tuple(metrics["mfs_condition_sizes"]),
+        latency_p99_us_median=metrics["latency_p99_us_median"],
     )
 
 

@@ -186,6 +186,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         recorder=recorder,
         batch=not args.no_batch,
         batch_probes=args.batch_probes,
+        latency=not args.no_latency,
     )
     report = collie.run()
     logger.info(report.summary())
@@ -220,6 +221,7 @@ def _run_search_campaign(args: argparse.Namespace, cache, recorder) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        latency=not args.no_latency,
         retry=_retry_policy(args),
     )
     logger.info(
@@ -253,6 +255,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        latency=not args.no_latency,
         retry=_retry_policy(args),
     )
     report = fleet.run()
@@ -304,6 +307,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache=cache,
         recorder=recorder,
         batch=not args.no_batch,
+        latency=not args.no_latency,
         retry=_retry_policy(args),
         resume_from=args.resume,
     )
@@ -448,6 +452,11 @@ def _report_one(
             logger.info("  anomaly timeline (first anomalous hit per tag):")
             for tag, seconds in hits:
                 logger.info(f"    {seconds / 3600:8.2f}h  {tag}")
+        latency_line = _latency_line(
+            [e.latency for e in report.events if e.latency is not None]
+        )
+        if latency_line is not None:
+            logger.info(f"  {latency_line}")
     if args.counter:
         events = [event for report in reports for event in report.events]
         trace = counter_trace("journal", events, args.counter)
@@ -469,6 +478,27 @@ def _report_one(
                 bar = "#" * int(round(value * 40))
                 logger.info(f"  {hour:6.2f}h |{bar}")
     return 0
+
+
+def _latency_line(summaries) -> Optional[str]:
+    """One-line per-run aggregate of per-experiment latency summaries.
+
+    Each experiment's latency record already carries its own
+    p50/p90/p99; across a run the medians of those percentiles describe
+    the typical modeled WR, and the worst inflation names the run's
+    closest approach to (or crossing of) the tail-latency trigger.
+    """
+    if not summaries:
+        return None
+    p50 = float(np.median([s["p50_us"] for s in summaries]))
+    p90 = float(np.median([s["p90_us"] for s in summaries]))
+    p99 = float(np.median([s["p99_us"] for s in summaries]))
+    worst = max(float(s["inflation"]) for s in summaries)
+    return (
+        f"latency p50/p90/p99 {p50:.1f}/{p90:.1f}/{p99:.1f} us "
+        f"(medians over {len(summaries)} experiments, "
+        f"worst inflation {worst:.2f}x)"
+    )
 
 
 def _run_completeness(records) -> list:
@@ -520,12 +550,21 @@ def _read_journal_or_none(path: str):
 
 def _cmd_journal_diff(args: argparse.Namespace) -> int:
     """``journal diff``: gate a candidate journal against a baseline."""
-    from repro.analysis.journaldiff import diff_journals, render_diff
+    from repro.analysis.journaldiff import (
+        describe_unknown_kinds,
+        diff_journals,
+        render_diff,
+    )
 
     baseline = _read_journal_or_none(args.baseline)
     candidate = _read_journal_or_none(args.candidate)
     if baseline is None or candidate is None:
         return 2
+    for path, records in (
+        (args.baseline, baseline), (args.candidate, candidate)
+    ):
+        for line in describe_unknown_kinds(records):
+            logger.warning(f"{path}: {line}")
     # An empty (or truncated-to-zero-records) journal has no metrics to
     # compare: diffing it would either crash or — worse — pass silently
     # with every metric "absent in both".  That is unreadable input,
@@ -554,7 +593,7 @@ def _cmd_journal_diff(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     """``coverage``: render a journal's workload-space occupancy maps."""
-    from repro.obs import coverage_from_records
+    from repro.obs import coverage_from_records, render_latency_panel
 
     records = _read_journal_or_none(args.journal)
     if records is None:
@@ -568,6 +607,9 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
             logger.info(f"run {index}:")
         logger.info(tracker.render())
         logger.info("")
+    panel = render_latency_panel(records)
+    if panel is not None:
+        logger.info(panel)
     return 0
 
 
@@ -636,7 +678,7 @@ def _stats_on_journal(path: str) -> Optional[int]:
     to its cache-store error path).  Partial/crashed runs are surfaced
     explicitly — a truncated journal must never read as a finished one.
     """
-    from repro.obs import journal_summary, read_journal_prefix
+    from repro.obs import journal_summary, read_journal_prefix, run_records
 
     try:
         records, tail_error = read_journal_prefix(path)
@@ -654,6 +696,20 @@ def _stats_on_journal(path: str) -> Optional[int]:
         f"{shape['anomalies']} anomalies, {shape['retries']} retries, "
         f"{shape['quarantines']} quarantines"
     )
+    for index, run in enumerate(run_records(records), 1):
+        wires = [
+            float(r["counters"].get("tx_bytes_per_sec", 0.0)) * 8.0 / 1e9
+            for r in run if r.get("t") == "experiment"
+        ]
+        if not wires:
+            continue
+        latency = _latency_line(
+            [r for r in run if r.get("t") == "latency"]
+        ) or "latency: - (no latency records)"
+        logger.info(
+            f"  run {index}: mean tx {float(np.mean(wires)):.1f} Gbps, "
+            f"{latency}"
+        )
     if tail_error is not None:
         logger.warning(tail_error)
     if shape["crashed_runs"]:
@@ -916,6 +972,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--no-batch", action="store_true",
                         help="route evaluation through the scalar code "
                              "path (disable S31 batching)")
+    search.add_argument("--no-latency", action="store_true",
+                        help="disable the tail-latency signal: no latency "
+                             "journal records and no latency-inflation "
+                             "verdicts (bit-identical to pre-latency runs)")
     search.add_argument("--batch-probes", action="store_true",
                         help="pre-sample and batch the counter-ranking "
                              "probes (deterministic per seed, but a "
@@ -936,6 +996,9 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--no-batch", action="store_true",
                           help="route evaluation through the scalar code "
                                "path (disable S31 batching)")
+    parallel.add_argument("--no-latency", action="store_true",
+                          help="disable the tail-latency signal on every "
+                               "machine of the fleet")
     _add_observability_flags(parallel)
     _add_resilience_flags(parallel)
     parallel.set_defaults(func=_cmd_parallel)
@@ -957,6 +1020,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-batch", action="store_true",
                           help="route evaluation through the scalar code "
                                "path (disable S31 batching)")
+    campaign.add_argument("--no-latency", action="store_true",
+                          help="disable the tail-latency signal for every "
+                               "seed of the campaign")
     campaign.add_argument("--resume", metavar="JOURNAL.jsonl",
                           help="resume an interrupted campaign: replay "
                                "this journal's completed runs and "

@@ -27,7 +27,7 @@ from repro.core.mfs import MFSExtractor, MinimalFeatureSet, match_any
 from repro.core.monitor import AnomalyMonitor
 from repro.core.space import SearchSpace, changed_dimensions
 from repro.hardware.counters import MINIMIZED_COUNTERS, is_diagnostic
-from repro.hardware.model import Measurement
+from repro.hardware.model import LatencySummaryView, Measurement
 from repro.hardware.workload import WorkloadDescriptor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -100,6 +100,11 @@ class TraceEvent:
     #: plotted across the whole run (Figure 6 follows one diagnostic
     #: counter through every phase of the search).
     counters: dict = dataclasses.field(default_factory=dict)
+    #: Per-WR latency summary when the monitor's tail-latency signal is
+    #: enabled (a lazily-built ``LatencySummaryView`` in live searches,
+    #: a plain dict when rehydrated from a journal); ``None`` otherwise,
+    #: so latency-disabled runs journal byte-identically to pre-v4 ones.
+    latency: Optional[dict] = None
 
 
 @dataclasses.dataclass
@@ -146,15 +151,26 @@ class AnnealingSearch:
         state.experiments += 1
         measurement = result.measurement
         verdict = self.monitor.classify(measurement)
+        profile = (
+            measurement.latency if self.monitor.latency else None
+        )
+        tags = measurement.tags
+        if profile is not None and profile.tags:
+            # Latency quirks extend the ground truth (L-tags) only when
+            # the signal is enabled, keeping disabled runs byte-identical.
+            tags = tuple(sorted(set(tags) | set(profile.tags)))
         event = TraceEvent(
             time_seconds=result.finished_at,
             counter=signal.counter,
             counter_value=signal.value(measurement),
             symptom=verdict.symptom,
-            tags=measurement.tags,
+            tags=tags,
             workload=workload,
             kind=kind,
             counters=dict(measurement.counters),
+            latency=(
+                LatencySummaryView(profile) if profile is not None else None
+            ),
         )
         state.events.append(event)
         if self.recorder is not None:

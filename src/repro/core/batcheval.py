@@ -43,7 +43,12 @@ import numpy as np
 
 from repro.core.evalcache import DEFAULT_PHASE, canonical_point
 from repro.hardware.counters import ALL_COUNTERS, CounterSample, average_counters
-from repro.hardware.model import Measurement, SteadyStateModel, solve_batch
+from repro.hardware.model import (
+    Measurement,
+    SteadyStateModel,
+    derive_latency,
+    solve_batch,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.workload import WorkloadDescriptor
@@ -126,6 +131,11 @@ def observe_many(
                 directions=solves[i].directions,
                 fired=solves[i].fired,
                 features=solves[i].features,
+                latency=derive_latency(
+                    model.subsystem,
+                    solves[i].features,
+                    solves[i].directions,
+                ),
             )
         )
     return measurements

@@ -124,6 +124,7 @@ class Collie:
         recorder: Optional["FlightRecorder"] = None,
         batch: bool = True,
         batch_probes: bool = False,
+        latency: bool = True,
     ) -> None:
         if counter_mode not in ("diag", "perf"):
             raise ValueError("counter_mode must be 'diag' or 'perf'")
@@ -162,7 +163,13 @@ class Collie:
             subsystem, clock=self.clock, noise=noise, cache=cache,
             metrics=metrics, batch=batch, profiler=profiler,
         )
-        self.monitor = AnomalyMonitor(subsystem, metrics=metrics)
+        #: ``latency=False`` (``--no-latency``) disables the tail-latency
+        #: trigger AND latency journaling: the run is then bit-identical
+        #: to a pre-v4 throughput-only search.
+        self.latency = latency
+        self.monitor = AnomalyMonitor(
+            subsystem, metrics=metrics, latency=latency
+        )
         self.search = AnnealingSearch(
             self.testbed,
             self.space,

@@ -11,6 +11,15 @@ Two precisely-defined anomaly classes (§3):
    the packets bound sums both directions because the RNIC's packet
    engine is shared.
 
+On top of the paper's two symptoms the monitor carries an optional
+third, *tail-latency inflation*: a workload whose modeled per-WR p99
+exceeds a multiple of its own deterministic latency floor
+(:func:`~repro.hardware.model.derive_latency`).  The check runs only on
+measurements the throughput/PFC conditions already call healthy, so
+enabling it never relabels a paper-symptom anomaly — it can only
+surface anomalies the throughput signals miss (an RNIC crawling through
+cache refills can still fill the wire).
+
 The monitor also performs the paper's stability check: it compares the
 per-second samples and only classifies once the traffic is steady.
 """
@@ -28,20 +37,40 @@ from repro.hardware.subsystems import Subsystem
 #: §5.2: a workload 20% below the specification bounds is anomalous.
 THROUGHPUT_FRACTION = 0.8
 
+#: Tail-latency trigger: anomalous when the modeled p99 exceeds this
+#: multiple of the workload's own deterministic latency floor.  The
+#: generic (rule-free) stall tail is analytically bounded below this
+#: multiple (see ``LATENCY_REFILL_VISIBILITY`` in the hardware model) —
+#: sampled sweeps put healthy workloads under ~2.3x — so a verdict here
+#: always means a latency quirk fired: most of a WR's completion time
+#: is serialized refills or RNR backoff while the wire stays full.
+LATENCY_INFLATION_MULTIPLE = 4.0
+
 HEALTHY = "healthy"
 PAUSE_FRAME = "pause frame"
 LOW_THROUGHPUT = "low throughput"
+LATENCY_INFLATION = "latency inflation"
 
 
 @dataclasses.dataclass(frozen=True)
 class AnomalyVerdict:
     """Classification of one measurement."""
 
-    symptom: str  #: ``healthy``, ``pause frame`` or ``low throughput``.
+    #: ``healthy``, ``pause frame``, ``low throughput`` or
+    #: ``latency inflation``.
+    symptom: str
     pause_ratio: float
     min_wire_gbps: float
     total_packets_per_sec: float
     stable: bool
+    #: Modeled per-WR p99.  0.0 when the measurement carries no profile,
+    #: or when the trigger's O(1) bound ruled the profile healthy before
+    #: the percentile summary was ever built (the profile itself always
+    #: has the full numbers via ``measurement.latency.summary()``).
+    latency_p99_us: float = 0.0
+    #: p99 over the workload's deterministic latency floor (same
+    #: placeholder convention as ``latency_p99_us``).
+    latency_inflation: float = 0.0
 
     @property
     def is_anomalous(self) -> bool:
@@ -58,6 +87,8 @@ class AnomalyMonitor:
         throughput_fraction: float = THROUGHPUT_FRACTION,
         stability_cv: float = 0.2,
         metrics=None,
+        latency: bool = True,
+        latency_multiple: float = LATENCY_INFLATION_MULTIPLE,
     ) -> None:
         self.subsystem = subsystem
         self.pause_threshold = pause_threshold
@@ -65,6 +96,9 @@ class AnomalyMonitor:
         self.stability_cv = stability_cv
         #: Optional obs.MetricsRegistry tallying verdicts by symptom.
         self.metrics = metrics
+        #: Whether the tail-latency trigger participates in verdicts.
+        self.latency = latency
+        self.latency_multiple = latency_multiple
 
     def classify(self, measurement: Measurement) -> AnomalyVerdict:
         """Classify one measurement.
@@ -79,10 +113,36 @@ class AnomalyMonitor:
         min_wire = measurement.min_direction_wire_gbps
         total_pps = measurement.total_packets_per_sec
 
+        latency_p99 = 0.0
+        inflation = 0.0
+        profile = measurement.latency if self.latency else None
+        if profile is not None:
+            # Hot path: a profile whose grid maximum cannot reach the
+            # trigger multiple is healthy without building the summary
+            # (its verdict then reports the 0.0 placeholders, like a
+            # profile-less measurement); the full estimator runs only
+            # for profiles near or over the trigger, or ones something
+            # else (the journal recorder, a prior verdict) already
+            # summarized.
+            summary = profile.cached_summary()
+            if summary is None and profile.may_exceed(self.latency_multiple):
+                summary = profile.summary()
+            if summary is not None:
+                latency_p99 = summary["p99_us"]
+                inflation = summary["inflation"]
+
         if pause_ratio > self.pause_threshold:
             symptom = PAUSE_FRAME
         elif self._below_both_bounds(min_wire, total_pps):
             symptom = LOW_THROUGHPUT
+        elif (
+            self.latency
+            and profile is not None
+            and inflation > self.latency_multiple
+        ):
+            # Checked last: the paper's symptoms keep precedence, so the
+            # trigger only ever promotes previously-healthy workloads.
+            symptom = LATENCY_INFLATION
         else:
             symptom = HEALTHY
         if self.metrics is not None:
@@ -93,6 +153,8 @@ class AnomalyMonitor:
             min_wire_gbps=min_wire,
             total_packets_per_sec=total_pps,
             stable=stable,
+            latency_p99_us=latency_p99,
+            latency_inflation=inflation,
         )
 
     def is_anomalous(self, measurement: Measurement) -> bool:

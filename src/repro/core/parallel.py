@@ -94,6 +94,7 @@ def _run_machine(payload: dict) -> dict:
         noise=payload["noise"],
         cache=cache,
         batch=payload.get("batch", True),
+        latency=payload.get("latency", True),
     )
     report = collie.run()
     return {
@@ -123,6 +124,7 @@ class ParallelCollie:
         batch: bool = True,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        latency: bool = True,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
@@ -152,6 +154,8 @@ class ParallelCollie:
         self.cache = cache
         #: Threaded into every machine's Collie (``--no-batch``).
         self.batch = batch
+        #: Threaded into every machine's Collie (``--no-latency``).
+        self.latency = latency
 
     @property
     def executor_stats(self) -> Optional[ExecutorStats]:
@@ -199,6 +203,7 @@ class ParallelCollie:
                 "use_cache": self.cache is not None,
                 "cache_entries": warm_entries,
                 "batch": self.batch,
+                "latency": self.latency,
             }
             for machine, share in enumerate(self._partition(ranked))
         ]

@@ -81,6 +81,17 @@ def steady_state_miss_rate(working_set: float, capacity: float) -> float:
     return max(0.0, 1.0 - capacity / working_set)
 
 
+def miss_stall_us(miss_fraction: float, refill_us: float) -> float:
+    """Mean per-access stall of a cache path, microseconds.
+
+    Each miss costs one refill round trip (a PCIe read for the RNIC's
+    SRAM structures); the steady-state mean stall is simply the miss
+    fraction times that round trip.  Kept as a named helper so the
+    latency decomposition (docs/MODEL.md) reads in domain terms.
+    """
+    return max(0.0, miss_fraction) * refill_us
+
+
 def pressure_score(working_set: float, capacity: float, knee: float = 1.0) -> float:
     """Smooth [0, 1) pressure signal for diagnostic counters.
 

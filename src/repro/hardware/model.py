@@ -16,6 +16,7 @@ rates — that only the test suite and benchmarks read.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 import time
@@ -23,7 +24,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.hardware.caches import pressure_score
+from repro.hardware.caches import miss_stall_us, pressure_score
 from repro.hardware.counters import (
     CounterSample,
     VendorMonitor,
@@ -31,8 +32,8 @@ from repro.hardware.counters import (
 )
 from repro.hardware.features import extract_features
 from repro.hardware.pcie import CQE_BYTES, DOORBELL_BYTES, TLP_HEADER_BYTES
-from repro.hardware.pfc import steady_state_pause_ratio
-from repro.hardware.rules import FiredRule, fired_rules
+from repro.hardware.pfc import pause_stall_us, steady_state_pause_ratio
+from repro.hardware.rules import FiredRule, fired_latency_rules, fired_rules
 from repro.hardware.workload import WorkloadDescriptor
 from repro.verbs.constants import ROCE_HEADER_BYTES, Opcode, QPType
 
@@ -62,6 +63,335 @@ class DirectionRates:
         return self.payload_bytes_per_sec * 8 / 1e9
 
 
+#: Fraction of a cache-refill stall that survives to the completion
+#: path.  The packet-engine pipeline overlaps context refills with the
+#: WRs already in flight, so in steady state only a sliver of each
+#: refill round trip is visible per WR; the regimes where the hiding
+#: breaks down are encoded as explicit latency quirks
+#: (``RNICProfile.latency_rules``), mirroring how the throughput model
+#: keeps its generic accounting conservative and pushes the cliffs into
+#: the Appendix A rule tables.  The bound matters: with visibility
+#: ``v``, generic inflation is at most ``1 + ln(100)·3.6·v`` (the miss
+#: terms sum to ≤ 3.6 refills and the floor always contains the same
+#: round trip), which at 0.12 stays below 3 — strictly under the
+#: monitor's trigger multiple.  Rule-free workloads therefore can never
+#: trip the tail-latency trigger, however hard their caches thrash.
+LATENCY_REFILL_VISIBILITY = 0.12
+
+#: Resolution of the deterministic quantile grid a latency profile is
+#: summarized through (``LatencyProfile.histogram``).
+LATENCY_QUANTILE_POINTS = 128
+
+#: Memoized ``(expo_grid, bucket_bounds)`` arrays of the summary
+#: estimator (lazy: ``repro.obs`` must not be imported at module load).
+_LATENCY_GRID = None
+
+
+def _latency_grid():
+    global _LATENCY_GRID
+    if _LATENCY_GRID is None:
+        from repro.obs.metrics import BUCKET_BOUNDS
+
+        points = LATENCY_QUANTILE_POINTS
+        expo = -np.log1p(-(np.arange(points) + 0.5) / points)
+        _LATENCY_GRID = (
+            expo, np.asarray(BUCKET_BOUNDS), expo.tolist(), BUCKET_BOUNDS
+        )
+    return _LATENCY_GRID
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyProfile:
+    """Analytic per-WR completion-latency distribution of one experiment.
+
+    Derived (:func:`derive_latency`) from the delay components the
+    steady-state solve already prices: a *deterministic floor*
+    ``base_us`` (wire serialization + packet-engine pipeline + PCIe
+    round trips + link queueing) plus an exponential stall tail of mean
+    ``tail_mean_us`` (pipeline-damped cache-miss refills, PFC pause
+    stretching, and any latency-quirk stalls the part's
+    ``latency_rules`` table charges).  The quantile function is
+    closed-form::
+
+        latency(q) = base_us + tail_mean_us * -ln(1 - q)
+
+    Consumes no RNG and is a pure function of the solve outputs, so the
+    profile is bit-identical between the scalar and batched evaluation
+    paths and its presence cannot perturb a search.
+    """
+
+    base_us: float  #: deterministic floor (p0 of the distribution).
+    tail_mean_us: float  #: mean of the exponential stall tail.
+    #: Named per-WR breakdown in microseconds: ``serialization_us``,
+    #: ``pipeline_us``, ``pcie_us``, ``queueing_us`` (the floor) and
+    #: ``cache_us``, ``pause_us``, ``stall_us`` (the tail).
+    components: dict
+    #: Ground-truth tags of the latency quirks that fired (``L1``…);
+    #: benchmark/test surface only, like ``Measurement.tags``.
+    tags: tuple = ()
+
+    @property
+    def mean_us(self) -> float:
+        return self.base_us + self.tail_mean_us
+
+    def quantile(self, q: float) -> float:
+        """Closed-form latency quantile, microseconds."""
+        q = min(max(q, 0.0), 1.0 - 1e-12)
+        return self.base_us + self.tail_mean_us * -math.log1p(-q)
+
+    def histogram(self):
+        """The profile observed into the obs percentile machinery.
+
+        A deterministic mid-point quantile grid feeds a streaming
+        :class:`~repro.obs.metrics.HistogramSummary`, so the recorded
+        p50/p90/p99 go through exactly the same bucket-interpolation
+        estimator every other journaled histogram uses.  The grid is
+        bucketed in one vectorized pass: the summary runs once per
+        experiment inside the monitor, and a per-point ``observe``
+        loop here is what the latency-overhead bench gate caught.
+        """
+        from repro.obs.metrics import HistogramSummary
+
+        expo, bounds = _latency_grid()[:2]
+        values = self.base_us + self.tail_mean_us * expo
+        counts = np.bincount(
+            np.searchsorted(bounds, values, side="left"),
+            minlength=len(bounds) + 1,
+        )
+        # The quantile function is monotone, so the grid is sorted.
+        return HistogramSummary(
+            count=len(values),
+            total=float(values.sum()),
+            minimum=float(values[0]),
+            maximum=float(values[-1]),
+            bucket_counts=counts.tolist(),
+        )
+
+    def summary(self) -> dict:
+        """Journal-ready percentile summary (memoized; plain JSON).
+
+        ``baseline_us`` is the workload's own deterministic floor and
+        ``inflation`` the p99-over-baseline ratio the anomaly monitor's
+        tail-latency trigger compares against its threshold multiple.
+        """
+        cached = self.__dict__.get("_summary")
+        if cached is None:
+            p50, p90, p99 = self._estimator_percentiles()
+            cached = {
+                "p50_us": p50,
+                "p90_us": p90,
+                "p99_us": p99,
+                "mean_us": self.mean_us,
+                "baseline_us": self.base_us,
+                "inflation": p99 / self.base_us if self.base_us > 0 else 0.0,
+                "components": dict(self.components),
+                "tags": list(self.tags),
+            }
+            object.__setattr__(self, "_summary", cached)
+        return cached
+
+    def cached_summary(self) -> Optional[dict]:
+        """The memoized :meth:`summary`, or ``None`` before first use."""
+        return self.__dict__.get("_summary")
+
+    def may_exceed(self, multiple: float) -> bool:
+        """Can the estimator's p99 possibly exceed ``multiple`` x floor?
+
+        Conservative O(1) bound: the estimator clamps p99 to the grid
+        maximum ``base_us + tail_mean_us * expo[-1]``, so a profile
+        whose maximum sits at or under the threshold is healthy without
+        building the percentile summary.  The anomaly monitor's hot
+        path leans on this — the full estimator only runs for profiles
+        near or over the trigger.
+        """
+        if self.base_us <= 0:
+            return False
+        maximum = self.base_us + self.tail_mean_us * _latency_grid()[2][-1]
+        return maximum > multiple * self.base_us
+
+    def _estimator_percentiles(self):
+        """p50/p90/p99 of :meth:`histogram`, without building it.
+
+        Bit-identical to ``histogram().percentile(q)`` — same grid,
+        same bucketing, same interpolation arithmetic — but touching
+        only the handful of buckets the grid actually occupies.  This
+        runs once per experiment on the monitor's hot path, which is
+        what the latency-overhead bench gates.
+        """
+        expo, bounds = _latency_grid()[2:]
+        base, tail = self.base_us, self.tail_mean_us
+        count = LATENCY_QUANTILE_POINTS
+        minimum = base + tail * expo[0]
+        maximum = base + tail * expo[-1]
+        first = bisect.bisect_left(bounds, minimum)
+        last = bisect.bisect_left(bounds, maximum)
+        # Cumulative grid points at or below each occupied bucket's
+        # upper bound (the last occupied bucket absorbs the rest).
+        # The grid is monotone, so each bound's rank is found by a
+        # binary search resuming from the previous bound's rank.
+        cums = []
+        lo = 0
+        for j in range(first, last):
+            bound = bounds[j]
+            hi = count
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if base + tail * expo[mid] <= bound:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cums.append(lo)
+        cums.append(count)
+
+        def percentile(quantile):
+            rank = quantile * count
+            cumulative_before = 0
+            for offset, cumulative in enumerate(cums):
+                bucket_count = cumulative - cumulative_before
+                cumulative_before = cumulative
+                if cumulative >= rank and bucket_count:
+                    index = first + offset
+                    upper = (
+                        bounds[index] if index < len(bounds) else maximum
+                    )
+                    lower = bounds[index - 1] if index > 0 else minimum
+                    upper = min(upper, maximum)
+                    lower = min(max(lower, minimum), upper)
+                    position = (rank - (cumulative - bucket_count)) / bucket_count
+                    estimate = lower + (upper - lower) * position
+                    return min(max(estimate, minimum), maximum)
+            return maximum
+
+        return percentile(0.50), percentile(0.90), percentile(0.99)
+
+
+class LatencySummaryView:
+    """Mapping view over :meth:`LatencyProfile.summary`, built lazily.
+
+    Trace events carry this instead of the summary dict so a search
+    that nobody journals never pays for percentile summaries nobody
+    reads; journal writers subscript the view, which computes (and
+    memoizes) the summary on the underlying profile at that point.
+    """
+
+    __slots__ = ("profile",)
+
+    def __init__(self, profile: LatencyProfile) -> None:
+        self.profile = profile
+
+    def __getitem__(self, key):
+        return self.profile.summary()[key]
+
+    def get(self, key, default=None):
+        return self.profile.summary().get(key, default)
+
+    def keys(self):
+        return self.profile.summary().keys()
+
+    def items(self):
+        return self.profile.summary().items()
+
+    def __iter__(self):
+        return iter(self.profile.summary())
+
+    def __len__(self):
+        return len(self.profile.summary())
+
+    def __eq__(self, other):
+        if isinstance(other, LatencySummaryView):
+            other = other.profile.summary()
+        return self.profile.summary() == other
+
+    def __repr__(self):
+        return f"LatencySummaryView({self.profile.summary()!r})"
+
+
+def derive_latency(
+    subsystem: "Subsystem",
+    features: dict,
+    directions: tuple[DirectionRates, ...],
+) -> LatencyProfile:
+    """Per-WR latency decomposition from one solved experiment.
+
+    A pure scalar function of the solve outputs (feature vector and
+    per-direction rates) plus subsystem constants: both the scalar and
+    the batched evaluation paths call it on bit-identical inputs, so
+    the resulting profiles are bit-identical too.  No RNG is consumed.
+    See docs/MODEL.md ("Per-WR latency") for the derivation.
+    """
+    rnic = subsystem.rnic
+    pcie = subsystem.pcie
+    fwd = directions[0]
+
+    # Deterministic floor: wire serialization of one message, the fixed
+    # packet-engine pipeline traversal, the PCIe round trips a WR cannot
+    # avoid (WQE fetch + amortized doorbell, payload DMA, and READ's
+    # extra request round trip), and M/M/1-style queueing on the shared
+    # PCIe link at its current utilization.
+    achieved = fwd.achieved_msgs_per_sec
+    wire_per_msg = fwd.wire_bytes_per_sec / achieved if achieved > 0 else 0.0
+    serialization = wire_per_msg / rnic.line_rate_bytes_per_sec * 1e6
+    pipeline = rnic.pipeline_latency_us
+    round_trip = pcie.read_latency_us
+    transfer = pcie.transfer_us(int(round(features["avg_msg"])))
+    is_read = features["opcode"] == "READ"
+    pcie_us = (
+        round_trip
+        + round_trip / features["wqe_batch"]
+        + (round_trip if is_read else 0.0)
+        + transfer
+    )
+    bytes_total = sum(d.payload_bytes_per_sec for d in directions)
+    utilization = min(0.95, bytes_total / pcie.effective_bytes_per_sec)
+    queueing = transfer * utilization / (1.0 - utilization)
+
+    # Stall tail: each QPC/MTT/receive-WQE miss costs a refill round
+    # trip, damped by the pipeline's refill hiding (the same smooth
+    # pressure terms the diagnostic counters carry, so the tail has a
+    # gradient before any quirk fires, but analytically bounded under
+    # the monitor's trigger — see LATENCY_REFILL_VISIBILITY), and PFC
+    # pause stretches the wire time.
+    miss_fraction = (
+        features["qpc_miss"]
+        + 0.3 * pressure_score(features["total_qps"], rnic.qpc_cache_entries)
+        + features["mtt_miss"]
+        + 0.3 * pressure_score(features["total_mrs"], rnic.mtt_cache_entries)
+        + min(1.0, features["rxq_capacity_miss"] + features["rxq_burst_miss"])
+    )
+    cache_us = miss_stall_us(
+        miss_fraction * LATENCY_REFILL_VISIBILITY, round_trip
+    )
+    pause_ratio = max(d.pause_ratio for d in directions)
+    pause_us = pause_stall_us(pause_ratio, serialization + transfer)
+
+    # Latency quirks: capacity-neutral stalls from the part's
+    # ``latency_rules`` table — the regimes where refill hiding breaks
+    # down (serialized double refills, RNR backoff storms).  This is the
+    # only term that can push the tail past the trigger multiple.
+    stall_us = 0.0
+    tags = []
+    for rule, stall in fired_latency_rules(rnic.latency_rules, features):
+        stall_us += stall
+        tags.append(rule.tag)
+
+    base = serialization + pipeline + pcie_us + queueing
+    tail = cache_us + pause_us + stall_us
+    return LatencyProfile(
+        base_us=base,
+        tail_mean_us=tail,
+        components={
+            "serialization_us": serialization,
+            "pipeline_us": pipeline,
+            "pcie_us": pcie_us,
+            "queueing_us": queueing,
+            "cache_us": cache_us,
+            "pause_us": pause_us,
+            "stall_us": stall_us,
+        },
+        tags=tuple(tags),
+    )
+
+
 @dataclasses.dataclass
 class Measurement:
     """Everything one experiment produced.
@@ -79,6 +409,9 @@ class Measurement:
     directions: tuple[DirectionRates, ...]
     fired: tuple[FiredRule, ...]
     features: dict
+    #: Analytic per-WR latency distribution (:func:`derive_latency`).
+    #: Optional so bare-hands Measurement construction in tests stays valid.
+    latency: Optional[LatencyProfile] = None
 
     @property
     def pause_ratio(self) -> float:
@@ -148,6 +481,9 @@ class SteadyStateModel:
             directions=solve.directions,
             fired=solve.fired,
             features=solve.features,
+            latency=derive_latency(
+                self.subsystem, solve.features, solve.directions
+            ),
         )
 
     def evaluate_many(

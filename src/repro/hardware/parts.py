@@ -17,7 +17,7 @@ are preserved.
 from __future__ import annotations
 
 from repro.hardware.rnic import RNICProfile, RxWqeCacheSpec
-from repro.hardware.rules import AnomalyRule, Gate
+from repro.hardware.rules import AnomalyRule, Gate, LatencyRule
 
 # Shorthand for bound construction: (low, None) / (None, high) intervals.
 
@@ -359,6 +359,61 @@ def _p2100g_rules() -> tuple[AnomalyRule, ...]:
     )
 
 
+def _mellanox_latency_rules() -> tuple[LatencyRule, ...]:
+    """Latency quirks of the Mellanox parts (subsystems A-G).
+
+    These are the §3 blind spot made concrete: the capacity accounting
+    stays healthy (the wire is full, no pauses), yet every WR crawls.
+    Tags are ``L``-prefixed — they extend the ground truth beyond the
+    Table 2 rows, for the tail-latency trigger the monitor adds on top
+    of the paper's two symptoms.
+    """
+    return (
+        LatencyRule(
+            tag="L1",
+            title="RC SEND, small unbatched messages thrashing QPC and MTT "
+            "together serialize two ICM refills per WR (wire stays full)",
+            root_cause="icm_cache",
+            gate=Gate(
+                bounds={
+                    "qpc_miss": (0.5, None),
+                    "mtt_miss": (0.5, None),
+                    "wqe_batch": (None, 8),
+                    "avg_msg": (None, 4096),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("SEND",)},
+            ),
+            stall_us=40.0,
+            scale_feature="mtt_miss",
+            counter="mtt_cache_miss",
+        ),
+    )
+
+
+def _p2100g_latency_rules() -> tuple[LatencyRule, ...]:
+    """Latency quirks of the Broadcom P2100G (subsystem H)."""
+    return (
+        LatencyRule(
+            tag="L2",
+            title="RC SEND into shallow receive queues over many connections "
+            "overruns the small RX WQE cache: RNR backoff inflates per-WR "
+            "latency at full message rate",
+            root_cause="rx_wqe_cache",
+            gate=Gate(
+                bounds={
+                    "rxq_capacity_miss": (0.9, None),
+                    "wq_depth": (None, 64),
+                    "avg_msg": (None, 1024),
+                },
+                isin={"qp_type": ("RC",), "opcode": ("SEND",)},
+            ),
+            stall_us=30.0,
+            scale_feature="rxq_capacity_miss",
+            counter="rx_wqe_cache_miss",
+        ),
+    )
+
+
 def connectx5(line_rate_gbps: float) -> RNICProfile:
     """Mellanox ConnectX-5 DX at 25 or 100 Gbps (subsystems A/B/C)."""
     return RNICProfile(
@@ -375,6 +430,7 @@ def connectx5(line_rate_gbps: float) -> RNICProfile:
         ack_coalesce=8,
         loopback_rate_limited=False,
         rules=_mellanox_generic_rules(),
+        latency_rules=_mellanox_latency_rules(),
     )
 
 
@@ -394,6 +450,7 @@ def connectx6_100() -> RNICProfile:
         ack_coalesce=8,
         loopback_rate_limited=False,
         rules=_mellanox_generic_rules(),
+        latency_rules=_mellanox_latency_rules(),
     )
 
 
@@ -413,6 +470,7 @@ def connectx6_200(vpi: bool = False) -> RNICProfile:
         ack_coalesce=8,
         loopback_rate_limited=False,
         rules=_cx6_200_rules(),
+        latency_rules=_mellanox_latency_rules(),
     )
 
 
@@ -432,4 +490,5 @@ def p2100g() -> RNICProfile:
         ack_coalesce=8,
         loopback_rate_limited=True,
         rules=_p2100g_rules(),
+        latency_rules=_p2100g_latency_rules(),
     )

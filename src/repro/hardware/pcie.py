@@ -64,6 +64,11 @@ class PCIeLink:
     def effective_bytes_per_sec(self) -> float:
         return self.effective_gbps * 1e9 / 8
 
+    @property
+    def read_latency_us(self) -> float:
+        """DMA read round trip in microseconds (latency-model unit)."""
+        return self.read_latency_ns / 1e3
+
     def transfer_bytes(self, payload_bytes: int) -> int:
         """Bytes on the link to move ``payload_bytes`` of DMA payload.
 
@@ -73,6 +78,14 @@ class PCIeLink:
             return 0
         tlps = -(-payload_bytes // self.max_payload_bytes)
         return payload_bytes + tlps * TLP_HEADER_BYTES
+
+    def transfer_us(self, payload_bytes: int) -> float:
+        """Microseconds to move one DMA payload at the effective rate."""
+        return (
+            self.transfer_bytes(payload_bytes)
+            / self.effective_bytes_per_sec
+            * 1e6
+        )
 
     def describe(self) -> str:
         """Human-readable slot description, e.g. ``3.0 x16``."""

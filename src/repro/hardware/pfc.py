@@ -44,6 +44,20 @@ def steady_state_pause_ratio(arrival_rate: float, service_rate: float) -> float:
     return 1.0 - service_rate / arrival_rate
 
 
+def pause_stall_us(pause_ratio: float, per_wr_us: float) -> float:
+    """Mean extra per-WR stall a PFC pause duty cycle induces.
+
+    A link paused a fraction ``p`` of the time is usable only ``1 - p``
+    of it, so the wire time of one WR stretches by ``p / (1 - p)`` on
+    average (clamped near full saturation to keep the closed form
+    finite).
+    """
+    p = min(max(pause_ratio, 0.0), 0.99)
+    if p <= 0.0:
+        return 0.0
+    return per_wr_us * p / (1.0 - p)
+
+
 def pause_frames_per_second(
     pause_ratio: float, line_rate_gbps: float, quanta_per_frame: int = 0xFFFF
 ) -> float:

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.hardware.rules import AnomalyRule
+from repro.hardware.rules import AnomalyRule, LatencyRule
+
+#: Traversal latency of one packet-engine pipeline stage, nanoseconds.
+#: Multiplied by ``pipeline_stages`` it is the fixed on-chip share of a
+#: WR's completion latency (the `pipeline` component of the per-WR
+#: latency decomposition, docs/MODEL.md).
+PIPELINE_STAGE_NS = 250.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,6 +91,9 @@ class RNICProfile:
     loopback_rate_limited: bool = True
     #: Quirk rules: the declarative Appendix A trigger conditions.
     rules: tuple[AnomalyRule, ...] = ()
+    #: Latency quirks: capacity-neutral stalls only the per-WR latency
+    #: decomposition sees (tags ``L1``…, distinct from Table 2 rows).
+    latency_rules: tuple[LatencyRule, ...] = ()
 
     def __post_init__(self) -> None:
         if self.line_rate_gbps <= 0 or self.max_pps <= 0:
@@ -98,6 +107,11 @@ class RNICProfile:
     def pattern_length(self) -> int:
         """Search-space message-vector length: PUs × pipeline stages."""
         return self.processing_units * self.pipeline_stages
+
+    @property
+    def pipeline_latency_us(self) -> float:
+        """Fixed packet-engine traversal latency per WR, microseconds."""
+        return self.pipeline_stages * PIPELINE_STAGE_NS / 1e3
 
     def wire_payload_cap_bytes_per_sec(self, mtu: int) -> float:
         """Payload bytes/s the wire sustains at a given MTU.

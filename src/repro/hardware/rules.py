@@ -116,6 +116,66 @@ class AnomalyRule:
 
 
 @dataclasses.dataclass(frozen=True)
+class LatencyRule:
+    """One latency quirk: gate + per-WR stall + ground-truth tag.
+
+    Unlike :class:`AnomalyRule`, a latency rule leaves capacity (and so
+    every throughput counter) untouched — the wire stays full — and
+    instead lengthens the mean of the exponential per-WR stall tail the
+    latency decomposition derives (:func:`repro.hardware.model.derive_latency`).
+    That is the anomaly class the paper's two symptoms cannot see: the
+    RNIC sustains its message rate while individual WRs crawl through
+    serialized context refills or RNR backoff.
+
+    ``stall_us`` is the stall-tail mean added when the gate matches; if
+    ``scale_feature`` is set the stall scales linearly with that
+    feature's value (used by the cache-thrash quirks whose severity
+    grows with the miss rate).  Tags use an ``L`` prefix (``L1``…) so
+    ground-truth accounting keeps them distinct from the Table 2 rows.
+    """
+
+    tag: str
+    title: str
+    root_cause: str
+    gate: Gate
+    stall_us: float
+    scale_feature: Optional[str] = None
+    #: Diagnostic counter whose gradient leads the search into the gate
+    #: (latency rules never inflate counters themselves).
+    counter: str = "qpc_cache_miss"
+
+    def __post_init__(self) -> None:
+        if self.stall_us <= 0:
+            raise ValueError(
+                f"latency rule stall must be positive, got {self.stall_us}"
+            )
+
+    @property
+    def symptom(self) -> str:
+        return "latency inflation"
+
+    def matches(self, features: Mapping[str, FeatureValue]) -> bool:
+        return self.gate.matches(features)
+
+    def stall(self, features: Mapping[str, FeatureValue]) -> float:
+        """Stall-tail mean (µs) contributed when the gate matches."""
+        if self.scale_feature is None:
+            return self.stall_us
+        return self.stall_us * float(features.get(self.scale_feature, 0.0))
+
+
+def fired_latency_rules(
+    rules: tuple[LatencyRule, ...], features: Mapping[str, FeatureValue]
+) -> list[tuple[LatencyRule, float]]:
+    """Evaluate a latency-rule table; ``(rule, stall_us)`` in table order."""
+    fired = []
+    for rule in rules:
+        if rule.matches(features):
+            fired.append((rule, rule.stall(features)))
+    return fired
+
+
+@dataclasses.dataclass(frozen=True)
 class FiredRule:
     """A rule that matched a workload, with its resolved factor."""
 

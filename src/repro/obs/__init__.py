@@ -28,7 +28,11 @@ Everything is off by default and adds no work to a run that does not
 request it.
 """
 
-from repro.obs.coverage import CoverageTracker, coverage_from_records
+from repro.obs.coverage import (
+    CoverageTracker,
+    coverage_from_records,
+    render_latency_panel,
+)
 from repro.obs.journal import (
     VERIFY_CORRUPT,
     VERIFY_INCOMPLETE,
@@ -58,6 +62,7 @@ from repro.obs.sadiag import (
     mutation_effectiveness,
     render_sa_diagnostics,
     time_to_first_anomaly,
+    time_to_first_anomaly_by_symptom,
 )
 from repro.obs.schema import (
     SCHEMA_VERSION,
@@ -86,6 +91,7 @@ __all__ = [
     "mutation_effectiveness",
     "read_journal",
     "read_journal_prefix",
+    "render_latency_panel",
     "render_sa_diagnostics",
     "render_span_table",
     "reports_from_journal",
@@ -93,6 +99,7 @@ __all__ = [
     "run_records",
     "setup_logging",
     "time_to_first_anomaly",
+    "time_to_first_anomaly_by_symptom",
     "validate_chrome_trace",
     "validate_journal",
     "validate_record",

@@ -185,6 +185,51 @@ class CoverageTracker:
         return "\n".join(lines)
 
 
+#: Order-of-magnitude buckets of the latency panel's p99 histogram.
+_LATENCY_BUCKETS = (
+    ("<10us", 10.0),
+    ("10-100us", 100.0),
+    ("100us-1ms", 1000.0),
+    ("1-10ms", 10000.0),
+    (">=10ms", float("inf")),
+)
+
+
+def render_latency_panel(records) -> Optional[str]:
+    """Distribution of modeled per-WR p99 over a journal's latency records.
+
+    Pure read-side fold over schema-v4 ``latency`` records — journals
+    written before the latency signal (or with it disabled) have none,
+    and the panel returns ``None`` instead of an empty chart.
+    """
+    latencies = [r for r in records if r.get("t") == "latency"]
+    if not latencies:
+        return None
+    p99s = sorted(float(r["p99_us"]) for r in latencies)
+    counts = {label: 0 for label, _ in _LATENCY_BUCKETS}
+    for p99 in p99s:
+        for label, upper in _LATENCY_BUCKETS:
+            if p99 < upper:
+                counts[label] += 1
+                break
+    peak = max(counts.values())
+    lines = [f"per-WR p99 latency ({len(p99s)} latency records)"]
+    for label, _ in _LATENCY_BUCKETS:
+        count = counts[label]
+        if not count:
+            continue
+        bar = "#" * max(1, round(count * 40 / peak))
+        lines.append(f"  {label:>10} {count:>6} {bar}")
+    median = p99s[len(p99s) // 2]
+    worst = max(float(r["inflation"]) for r in latencies)
+    quirky = sum(1 for r in latencies if r.get("tags"))
+    lines.append(
+        f"  median p99 {median:.1f} us, worst inflation {worst:.2f}x, "
+        f"{quirky} experiment(s) with a fired latency quirk"
+    )
+    return "\n".join(lines)
+
+
 def coverage_from_records(records) -> list[CoverageTracker]:
     """Recompute coverage post-hoc: one tracker per run in a journal."""
     trackers: list[CoverageTracker] = []

@@ -155,6 +155,21 @@ def anomaly_record(index: int, event_index: Optional[int], mfs) -> dict:
     }
 
 
+#: Keys of a TraceEvent latency summary, in record order.
+_LATENCY_KEYS = (
+    "p50_us", "p90_us", "p99_us", "mean_us", "baseline_us", "inflation",
+    "components", "tags",
+)
+
+
+def latency_record(event: TraceEvent) -> dict:
+    """Latency twin of an experiment record (requires ``event.latency``)."""
+    record = {"t": "latency", "time_seconds": event.time_seconds}
+    for key in _LATENCY_KEYS:
+        record[key] = event.latency[key]
+    return record
+
+
 # -- reconstruction (the read side) ------------------------------------------
 
 
@@ -190,6 +205,18 @@ def _report_from_run(records: list[dict]) -> SearchReport:
         kind = record.get("t")
         if kind == "experiment":
             events.append(_event_from_record(record))
+        elif kind == "latency" and events:
+            # Re-attach to its experiment: the writer emits the latency
+            # record immediately after the experiment it describes.
+            summary = {
+                key: (
+                    dict(record[key]) if key == "components"
+                    else list(record[key]) if key == "tags"
+                    else record[key]
+                )
+                for key in _LATENCY_KEYS
+            }
+            events[-1] = dataclasses.replace(events[-1], latency=summary)
         elif kind == "anomaly":
             anomalies.append((record["index"], record))
         elif kind == "skip":

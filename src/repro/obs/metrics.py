@@ -42,8 +42,8 @@ def _bucket_bounds() -> tuple[float, ...]:
 
 #: Fixed upper bounds of the percentile buckets (plus an implicit
 #: overflow bucket).  Fixed bounds keep histograms mergeable and O(1)
-#: per observation; percentiles are bucket-upper-bound estimates
-#: clamped to the observed [min, max].
+#: per observation; percentiles interpolate linearly inside the winning
+#: bucket and are clamped to the observed [min, max].
 BUCKET_BOUNDS = _bucket_bounds()
 
 
@@ -73,7 +73,15 @@ class HistogramSummary:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, quantile: float) -> float:
-        """Bucket-resolution percentile estimate, clamped to [min, max]."""
+        """Bucket-interpolated percentile estimate, clamped to [min, max].
+
+        The requested rank is located in a bucket, then interpolated
+        linearly between the bucket's bounds (narrowed to the observed
+        [min, max]) by its position among the bucket's observations —
+        so a distribution that lands entirely inside one bucket still
+        resolves sub-bucket percentiles instead of collapsing every
+        quantile onto the bucket's upper bound.
+        """
         if self.count == 0:
             return 0.0
         rank = quantile * self.count
@@ -81,10 +89,15 @@ class HistogramSummary:
         for index, bucket_count in enumerate(self.bucket_counts):
             cumulative += bucket_count
             if cumulative >= rank and bucket_count:
-                estimate = (
+                upper = (
                     BUCKET_BOUNDS[index]
                     if index < len(BUCKET_BOUNDS) else self.maximum
                 )
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else self.minimum
+                upper = min(upper, self.maximum)
+                lower = min(max(lower, self.minimum), upper)
+                position = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * position
                 return min(max(estimate, self.minimum), self.maximum)
         return self.maximum
 

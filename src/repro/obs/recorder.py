@@ -30,6 +30,7 @@ from repro.obs.journal import (
     RunJournal,
     anomaly_record,
     experiment_record,
+    latency_record,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import SpanProfiler, spans_records
@@ -130,10 +131,16 @@ class FlightRecorder:
         """One measured experiment (a freshly appended TraceEvent)."""
         self.metrics.counter("search.experiments", kind=event.kind)
         self.metrics.counter("search.symptoms", symptom=event.symptom)
+        if event.latency is not None:
+            self.metrics.observe(
+                "search.latency_p99_us", event.latency["p99_us"]
+            )
         if self.coverage is not None:
             self.coverage.visit(event.workload)
         if self.journal is not None:
             self.journal.write(experiment_record(event))
+            if event.latency is not None:
+                self.journal.write(latency_record(event))
         self._experiments_seen += 1
         if (
             self.progress_every
@@ -301,10 +308,16 @@ class FlightRecorder:
         for event in report.events:
             self.metrics.counter("search.experiments", kind=event.kind)
             self.metrics.counter("search.symptoms", symptom=event.symptom)
+            if event.latency is not None:
+                self.metrics.observe(
+                    "search.latency_p99_us", event.latency["p99_us"]
+                )
             if self.coverage is not None:
                 self.coverage.visit(event.workload)
             if self.journal is not None:
                 self.journal.write(experiment_record(event))
+                if event.latency is not None:
+                    self.journal.write(latency_record(event))
         for index, mfs in enumerate(anomalies):
             self.anomaly(index, None, mfs)
         for _ in range(skipped):

@@ -141,6 +141,24 @@ def time_to_first_anomaly(records) -> Optional[float]:
     return None
 
 
+def time_to_first_anomaly_by_symptom(records) -> dict:
+    """Symptom → simulated seconds until its first anomalous experiment.
+
+    Splits TTFA by anomaly class, so a search that finds pause frames in
+    minutes but needs hours for its first latency inflation shows both
+    numbers instead of only the earlier one.  Symptoms the run never
+    exhibited are simply absent.
+    """
+    first: dict[str, float] = {}
+    for record in records:
+        if record.get("t") != "experiment":
+            continue
+        symptom = record.get("symptom", HEALTHY)
+        if symptom != HEALTHY and symptom not in first:
+            first[symptom] = float(record["time_seconds"])
+    return dict(sorted(first.items(), key=lambda item: item[1]))
+
+
 def render_sa_diagnostics(records) -> str:
     """Terminal rendering of the full SA diagnostic fold."""
     lines = ["simulated-annealing diagnostics"]
@@ -149,6 +167,10 @@ def render_sa_diagnostics(records) -> str:
         "  time to first anomaly: "
         + (f"{ttfa:.0f}s simulated" if ttfa is not None else "never")
     )
+    by_symptom = time_to_first_anomaly_by_symptom(records)
+    if len(by_symptom) > 1:
+        for symptom, seconds in by_symptom.items():
+            lines.append(f"    {symptom}: {seconds:.0f}s simulated")
     overall = acceptance_rate(records)
     if overall is not None:
         lines.append(f"  overall acceptance rate: {overall:.1%}")

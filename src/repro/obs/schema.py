@@ -52,23 +52,30 @@ Record types:
 ``spans``
     A chunk of profiler span events, each ``[path, start, duration]``
     in profiler-relative wall-clock seconds.
+``latency``
+    Per-WR latency percentiles of one experiment (the summary of the
+    measurement's analytic :class:`~repro.hardware.model.LatencyProfile`):
+    p50/p90/p99/mean in microseconds, the deterministic ``baseline_us``
+    floor, the p99-over-baseline ``inflation`` ratio the tail-latency
+    trigger compares, and the named per-component breakdown.  Written
+    immediately after its ``experiment`` record.
 
 Version 2 added the ``retry``/``quarantine`` types; version 3 added the
 observatory's ``coverage``/``spans`` types plus the optional
-``transition.mutated`` and ``skip.workload`` detail fields.  Older
-journals remain valid (the validator accepts every version in
-``SUPPORTED_VERSIONS``; optional fields are only type-checked when
-present).
+``transition.mutated`` and ``skip.workload`` detail fields; version 4
+added the ``latency`` type.  Older journals remain valid (the validator
+accepts every version in ``SUPPORTED_VERSIONS``; optional fields are
+only type-checked when present).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Versions the validator (and readers) accept.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
@@ -163,6 +170,17 @@ RECORD_FIELDS: dict = {
     },
     "spans": {
         "events": list,
+    },
+    "latency": {
+        "time_seconds": NUMBER,
+        "p50_us": NUMBER,
+        "p90_us": NUMBER,
+        "p99_us": NUMBER,
+        "mean_us": NUMBER,
+        "baseline_us": NUMBER,
+        "inflation": NUMBER,
+        "components": dict,
+        "tags": list,
     },
 }
 

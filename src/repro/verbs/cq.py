@@ -19,6 +19,11 @@ class WorkCompletion:
     opcode: WCOpcode
     byte_len: int
     qp_num: int
+    #: Completion latency the datapath attributed to this WR, in µs
+    #: since its send queue started draining — includes head-of-line
+    #: wait behind earlier WQEs on the same QP.  Deterministic; 0.0 for
+    #: completions created outside the datapath.
+    latency_us: float = 0.0
 
     @property
     def ok(self) -> bool:

@@ -33,6 +33,16 @@ _WC_OPCODES = {
     Opcode.CMP_SWAP: WCOpcode.CMP_SWAP,
 }
 
+#: Per-WQE processing tick of the completion-latency attribution, µs.
+#: This is *not* the performance model — :mod:`repro.hardware.model`
+#: owns rates and tail distributions — just enough deterministic
+#: accounting that every CQE carries a completion latency and
+#: head-of-line blocking inside the functional burst is observable.
+WQE_TICK_US = 0.5
+
+#: Bytes-proportional term of the attribution, µs per KiB of payload.
+US_PER_KB = 0.08
+
 
 class DataPath:
     """Executes send queues against a fabric, one WQE at a time."""
@@ -41,6 +51,9 @@ class DataPath:
         self.fabric = fabric
         #: Messages the datapath dropped (UC/UD responder-not-ready).
         self.dropped_messages = 0
+        #: qp_num → µs at which that QP's last WQE finished service.
+        self._busy_until_us: dict[int, float] = {}
+        self._wr_done_us = 0.0
 
     # -- public API ---------------------------------------------------------
 
@@ -74,6 +87,7 @@ class DataPath:
 
     def _execute(self, qp: QueuePair, wr: SendWorkRequest) -> None:
         responder = self.fabric.destination_of(qp, wr.ah)
+        self._wr_done_us = self._advance(qp, wr.byte_length)
         if wr.opcode is Opcode.SEND:
             status = self._execute_send(qp, wr, responder)
         elif wr.opcode is Opcode.WRITE:
@@ -83,6 +97,18 @@ class DataPath:
         else:
             status = self._execute_atomic(qp, wr, responder)
         self._complete_sender(qp, wr, status)
+
+    def _advance(self, qp: QueuePair, byte_len: int) -> float:
+        """Attribute this WQE's completion time on its QP's service clock.
+
+        Service = fixed tick + payload-proportional term; the WQE starts
+        only after everything earlier on the same send queue finished,
+        so the returned time is queueing-inclusive completion latency.
+        """
+        service = WQE_TICK_US + (byte_len / 1024.0) * US_PER_KB
+        done = self._busy_until_us.get(qp.qp_num, 0.0) + service
+        self._busy_until_us[qp.qp_num] = done
+        return done
 
     def _gather(self, qp: QueuePair, wr: SendWorkRequest) -> bytes:
         """Collect the payload described by a local SG list.
@@ -240,6 +266,7 @@ class DataPath:
                     opcode=_WC_OPCODES[wr.opcode],
                     byte_len=wr.byte_length,
                     qp_num=qp.qp_num,
+                    latency_us=self._wr_done_us,
                 )
             )
 
@@ -258,5 +285,6 @@ class DataPath:
                 opcode=WCOpcode.RECV,
                 byte_len=byte_len,
                 qp_num=responder.qp_num,
+                latency_us=self._wr_done_us,
             )
         )

@@ -6,9 +6,12 @@ import pytest
 
 from repro.analysis.journaldiff import (
     DEFAULT_TOLERANCE,
+    describe_unknown_kinds,
     diff_journals,
     journal_metrics,
+    latency_metrics,
     render_diff,
+    unknown_record_kinds,
 )
 from repro.cli import main
 from repro.obs import read_journal
@@ -106,6 +109,63 @@ class TestDiffJournals:
         )
         assert "REGRESSION" in broken and "anomalies" in broken
         assert DEFAULT_TOLERANCE == 0.05
+
+
+class TestUnknownKinds:
+    def test_known_kinds_pass_silently(self, journal_path):
+        records = read_journal(journal_path)
+        assert unknown_record_kinds(records) == {}
+        assert describe_unknown_kinds(records) == []
+
+    def test_unknown_kinds_counted_and_described(self):
+        records = [
+            {"t": "experiment", "symptom": "healthy"},
+            {"t": "flux_capacitor"},
+            {"t": "flux_capacitor"},
+            {"t": "gc_pause"},
+        ]
+        assert unknown_record_kinds(records) == {
+            "flux_capacitor": 2, "gc_pause": 1,
+        }
+        assert describe_unknown_kinds(records) == [
+            "unknown record kind skipped: flux_capacitor (n=2)",
+            "unknown record kind skipped: gc_pause (n=1)",
+        ]
+
+
+class TestLatencyMetrics:
+    def _latency(self, p99, inflation):
+        return {
+            "t": "latency", "time_seconds": 0.0, "p50_us": 1.0,
+            "p90_us": 2.0, "p99_us": p99, "mean_us": 1.0,
+            "baseline_us": 1.0, "inflation": inflation,
+            "components": {}, "tags": [],
+        }
+
+    def test_absent_stream_reports_none(self):
+        metrics = latency_metrics([{"t": "experiment"}])
+        assert metrics == {
+            "latency_records": 0,
+            "latency_p99_us_median": None,
+            "latency_inflation_max": None,
+        }
+
+    def test_median_and_worst_inflation(self):
+        records = [
+            self._latency(10.0, 1.0),
+            self._latency(30.0, 5.5),
+            self._latency(20.0, 2.0),
+        ]
+        metrics = latency_metrics(records)
+        assert metrics["latency_records"] == 3
+        assert metrics["latency_p99_us_median"] == 20.0
+        assert metrics["latency_inflation_max"] == 5.5
+
+    def test_journal_metrics_carry_the_latency_family(self, journal_path):
+        metrics = journal_metrics(read_journal(journal_path))
+        assert metrics["latency_records"] > 0
+        assert metrics["latency_p99_us_median"] is not None
+        assert metrics["latency_inflation_max"] is not None
 
 
 class TestDiffCLI:

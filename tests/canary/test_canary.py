@@ -313,6 +313,48 @@ class TestCanaryCheck:
         assert result.exit_code == CHECK_UNREADABLE
         assert "unreadable" in render_check(result)
 
+    def test_clean_corpus_has_no_skip_notes(self, corpus_dir, tmp_path):
+        result = canary_check(
+            corpus_dir, tmp_path / "fresh", skip_invariants=True
+        )
+        assert result.skipped_kinds == []
+
+    def test_future_record_kinds_surfaced_not_silently_dropped(
+        self, corpus_dir, tmp_path
+    ):
+        """A corpus written by a *newer* schema (extra record kinds) is
+        still checkable: the unknown kinds are named in the verdict, and
+        the drift gates compare only what both builds understand."""
+        import hashlib
+        import shutil
+
+        from repro.canary.corpus import _write_gz
+
+        doctored = tmp_path / "corpus"
+        shutil.copytree(corpus_dir, doctored)
+        cell_file = "F-s1.jsonl.gz"
+        with gzip.open(doctored / cell_file) as handle:
+            data = handle.read()
+        data += b'{"t":"telemetry_v9","payload":1}\n'
+        data += b'{"t":"telemetry_v9","payload":2}\n'
+        _write_gz(str(doctored / cell_file), data)
+        manifest_path = doctored / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        records = [json.loads(line) for line in data.splitlines()]
+        manifest["cells"]["F-s1"]["sha256"] = hashlib.sha256(
+            canonical_journal_bytes(records)
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+
+        result = canary_check(
+            doctored, tmp_path / "fresh", skip_invariants=True
+        )
+        assert result.exit_code == CHECK_OK
+        note = "unknown record kind skipped: telemetry_v9 (n=2)"
+        assert any(note in line for line in result.skipped_kinds)
+        assert any("F-s1" in line for line in result.skipped_kinds)
+        assert note in render_check(result)
+
     def test_acceptance_rule_change_trips_the_gate(
         self, tmp_path, monkeypatch
     ):

@@ -54,6 +54,7 @@ def assert_measurements_equal(left, right):
         assert a.directions == b.directions
         assert a.fired == b.fired
         assert list(a.features.items()) == list(b.features.items())
+        assert a.latency == b.latency
 
 
 class TestEvaluateManyBitIdentity:

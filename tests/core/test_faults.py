@@ -454,7 +454,7 @@ class TestFaultObservability:
         assert retries[0]["host"] == 1
         assert retries[0]["error"] == "crash"
         assert quarantines == [{
-            "v": 3, "t": "quarantine", "host": 1, "failures": 1,
+            "v": 4, "t": "quarantine", "host": 1, "failures": 1,
             "redistributed": 2,
         }]
         # Metrics route through the recorder exactly once (the executor

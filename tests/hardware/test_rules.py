@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.hardware.rules import AnomalyRule, Gate, fired_rules
+from repro.hardware.rules import (
+    AnomalyRule,
+    Gate,
+    LatencyRule,
+    fired_latency_rules,
+    fired_rules,
+)
 
 
 def rule(gate=None, **kwargs):
@@ -92,3 +98,46 @@ class TestFiredRules:
         r = rule(scale_feature="m", scale_coeff=0.5)
         fired = fired_rules((r,), {"x": 2, "m": 1.0})
         assert fired[0].factor == pytest.approx(0.5)
+
+
+def latency_rule(gate=None, **kwargs):
+    defaults = dict(
+        tag="L9", title="test stall", root_cause="test",
+        gate=gate or Gate(bounds={"x": (1, None)}), stall_us=40.0,
+    )
+    defaults.update(kwargs)
+    return LatencyRule(**defaults)
+
+
+class TestLatencyRule:
+    def test_stall_must_be_positive(self):
+        with pytest.raises(ValueError):
+            latency_rule(stall_us=0.0)
+        with pytest.raises(ValueError):
+            latency_rule(stall_us=-1.0)
+
+    def test_symptom_is_the_latency_class(self):
+        assert latency_rule().symptom == "latency inflation"
+
+    def test_constant_stall(self):
+        assert latency_rule().stall({"x": 100}) == 40.0
+
+    def test_scaled_stall_grows_with_feature(self):
+        r = latency_rule(scale_feature="mtt_miss")
+        assert r.stall({"mtt_miss": 0.5}) == pytest.approx(20.0)
+        assert r.stall({"mtt_miss": 0.0}) == 0.0
+        # A missing scale feature contributes nothing rather than raising.
+        assert r.stall({}) == 0.0
+
+    def test_fired_latency_rules_keep_table_order(self):
+        first = latency_rule(tag="L8", gate=Gate(bounds={"x": (0, None)}))
+        second = latency_rule(
+            tag="L9", gate=Gate(bounds={"x": (5, None)}),
+            scale_feature="m",
+        )
+        gated_out = latency_rule(tag="L10", gate=Gate(bounds={"y": (1, None)}))
+        fired = fired_latency_rules(
+            (first, second, gated_out), {"x": 10, "m": 2.0}
+        )
+        assert [(r.tag, stall) for r, stall in fired] \
+            == [("L8", 40.0), ("L9", 80.0)]

@@ -15,6 +15,7 @@ from repro.obs import (
     RunJournal,
     coverage_from_records,
     read_journal,
+    render_latency_panel,
 )
 from repro.obs.schema import validate_record
 
@@ -150,3 +151,44 @@ class TestJournalRoundTrip:
         _, path = recorded
         kinds = [r["t"] for r in read_journal(path)]
         assert "coverage" in kinds
+
+
+class TestLatencyPanel:
+    def _latency(self, p99, inflation=1.0, tags=()):
+        return {
+            "t": "latency", "time_seconds": 0.0, "p50_us": 1.0,
+            "p90_us": 2.0, "p99_us": p99, "mean_us": 1.0,
+            "baseline_us": 1.0, "inflation": inflation,
+            "components": {}, "tags": list(tags),
+        }
+
+    def test_none_without_latency_records(self):
+        records = [{"t": "experiment", "symptom": "healthy"}]
+        assert render_latency_panel(records) is None
+        assert render_latency_panel([]) is None
+
+    def test_buckets_summary_and_quirk_count(self):
+        records = [
+            self._latency(3.0),
+            self._latency(42.0),
+            self._latency(55.0, inflation=6.5, tags=("L1",)),
+            self._latency(2500.0),
+        ]
+        panel = render_latency_panel(records)
+        assert "4 latency records" in panel
+        assert "<10us" in panel and "10-100us" in panel
+        assert "1-10ms" in panel
+        assert ">=10ms" not in panel  # empty buckets are skipped
+        assert "worst inflation 6.50x" in panel
+        assert "1 experiment(s) with a fired latency quirk" in panel
+
+    def test_panel_reads_a_real_latency_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        recorder = FlightRecorder(journal=RunJournal(path))
+        Collie.for_subsystem(
+            "F", budget_hours=0.5, seed=2, recorder=recorder
+        ).run()
+        recorder.close()
+        panel = render_latency_panel(read_journal(path))
+        assert panel is not None
+        assert "median p99" in panel

@@ -1,12 +1,13 @@
-"""Cross-version journal reads: v1 and v2 journals must keep working.
+"""Cross-version journal reads: v1/v2/v3 journals must keep working.
 
-``tests/obs/fixtures/v1.jsonl`` and ``v2.jsonl`` are committed
-downgrades of a real recorded search journal (subsystem F, 0.5h,
-seed 1): v1 predates the resilience records, v2 has ``retry``/
-``quarantine`` but no observatory ``coverage``/``spans``.  Every
+``tests/obs/fixtures/v1.jsonl``, ``v2.jsonl`` and ``v3.jsonl`` are
+committed older-version forms of real recorded search journals
+(subsystem F): v1 predates the resilience records, v2 has ``retry``/
+``quarantine`` but no observatory ``coverage``/``spans``, and v3 has
+the observatory records but predates the ``latency`` stream.  Every
 reader — validator, report reconstruction, metrics, the canary's
-invariant pass — must accept both forever: the canary corpus is
-committed once and read by every future version of the code.
+invariant pass — must accept all of them forever: the canary corpus
+is committed once and read by every future version of the code.
 """
 
 import json
@@ -35,7 +36,7 @@ def fixture_records(version: int) -> list:
         return [json.loads(line) for line in handle]
 
 
-@pytest.mark.parametrize("version", (1, 2))
+@pytest.mark.parametrize("version", (1, 2, 3))
 class TestOldJournalsStillWork:
     def test_validates_under_current_schema(self, version):
         records = fixture_records(version)

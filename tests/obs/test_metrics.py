@@ -99,6 +99,24 @@ class TestPercentiles:
 
         assert HistogramSummary().percentile(0.5) == 0.0
 
+    def test_single_bucket_interpolates_instead_of_collapsing(self):
+        """Regression: quantiles inside one bucket used to collapse onto
+        the bucket's upper bound (25.0 here), making p50 == p90 == p99.
+        Linear interpolation between the observed [min, max] resolves
+        sub-bucket ranks."""
+        metrics = MetricsRegistry()
+        for value in range(11, 21):  # all land in the (10, 25] bucket
+            metrics.observe("tight", float(value))
+        summary = metrics.histogram("tight")
+        assert summary.percentile(0.50) == pytest.approx(15.5)
+        assert summary.percentile(0.90) == pytest.approx(19.1)
+        assert (
+            summary.percentile(0.50)
+            < summary.percentile(0.90)
+            < summary.percentile(0.99)
+        )
+        assert summary.percentile(0.99) < 25.0  # never the raw bound
+
     def test_bucket_estimate_is_order_of_magnitude_right(self):
         metrics = MetricsRegistry()
         for _ in range(90):

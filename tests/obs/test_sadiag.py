@@ -10,6 +10,7 @@ from repro.obs import (
     read_journal,
     render_sa_diagnostics,
     time_to_first_anomaly,
+    time_to_first_anomaly_by_symptom,
 )
 
 
@@ -79,6 +80,26 @@ class TestTimeToFirstAnomaly:
             {"t": "experiment", "time_seconds": 10.0, "symptom": "healthy"},
         ]
         assert time_to_first_anomaly(records) is None
+
+    def test_split_by_symptom_keeps_first_hit_each(self):
+        records = [
+            {"t": "experiment", "time_seconds": 10.0, "symptom": "healthy"},
+            {"t": "experiment", "time_seconds": 20.0,
+             "symptom": "pause frame"},
+            {"t": "experiment", "time_seconds": 25.0,
+             "symptom": "latency inflation"},
+            {"t": "experiment", "time_seconds": 30.0,
+             "symptom": "pause frame"},
+        ]
+        by_symptom = time_to_first_anomaly_by_symptom(records)
+        assert by_symptom == {
+            "pause frame": 20.0, "latency inflation": 25.0,
+        }
+        # Sorted by first-hit time, not alphabetically.
+        assert list(by_symptom) == ["pause frame", "latency inflation"]
+
+    def test_split_is_empty_when_never_anomalous(self):
+        assert time_to_first_anomaly_by_symptom([]) == {}
 
 
 class TestRender:

@@ -66,17 +66,18 @@ class TestValidateRecord:
 
 
 class TestSchemaVersions:
-    def test_current_version_is_three(self):
-        assert SCHEMA_VERSION == 3
-        assert SUPPORTED_VERSIONS == (1, 2, 3)
+    def test_current_version_is_four(self):
+        assert SCHEMA_VERSION == 4
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
 
-    def test_v1_and_v2_journals_still_validate(self):
+    def test_older_journals_still_validate(self):
         assert validate_record(skip_record(v=1)) == []
         assert validate_record(skip_record(v=2)) == []
+        assert validate_record(skip_record(v=3)) == []
 
     def test_future_version_rejected(self):
-        errors = validate_record(skip_record(v=4))
-        assert any("unsupported schema version 4" in e for e in errors)
+        errors = validate_record(skip_record(v=5))
+        assert any("unsupported schema version 5" in e for e in errors)
 
 
 class TestResilienceRecords:

@@ -544,3 +544,83 @@ class TestReportResilience:
         out = capsys.readouterr().out
         assert "resilience: 1 retried attempt(s), 1 quarantined host(s)" \
             in out
+
+
+class TestLatencySurfaces:
+    """The tail-latency signal's CLI surfaces: search, stats, report."""
+
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("latency") / "run.jsonl"
+        assert main(["search", "F", "--hours", "0.5", "--seed", "2",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_journal_carries_latency_records(self, journal):
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert any(r["t"] == "latency" for r in records)
+
+    def test_no_latency_flag_suppresses_the_stream(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "off.jsonl"
+        assert main(["search", "F", "--hours", "0.5", "--seed", "2",
+                     "--journal", str(path), "--no-latency"]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert not any(r["t"] == "latency" for r in records)
+
+    def test_report_prints_per_run_latency_line(self, journal, capsys):
+        assert main(["report", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "latency p50/p90/p99" in out
+        assert "worst inflation" in out
+
+    def test_report_json_metrics_carry_the_latency_family(
+        self, journal, capsys
+    ):
+        assert main(["report", str(journal), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["latency_records"] > 0
+        assert metrics["latency_p99_us_median"] is not None
+        assert metrics["latency_inflation_max"] is not None
+
+    def test_stats_prints_latency_next_to_throughput(
+        self, journal, capsys
+    ):
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "mean tx" in out
+        assert "latency p50/p90/p99" in out
+
+    def test_stats_falls_back_without_latency_records(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "off.jsonl"
+        assert main(["search", "F", "--hours", "0.5", "--seed", "2",
+                     "--journal", str(path), "--no-latency"]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "latency: - (no latency records)" in out
+
+    def test_coverage_appends_the_latency_panel(self, journal, capsys):
+        assert main(["coverage", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "per-WR p99 latency" in out
+
+    def test_journal_diff_warns_about_unknown_kinds(
+        self, journal, tmp_path, capsys
+    ):
+        future = tmp_path / "future.jsonl"
+        future.write_text(
+            journal.read_text()
+            + '{"v": 4, "t": "hologram", "x": 1}\n'
+        )
+        assert main(["journal", "diff", str(journal), str(future)]) == 0
+        err = capsys.readouterr().err
+        assert "unknown record kind skipped: hologram (n=1)" in err

@@ -216,3 +216,78 @@ class TestProcessAll:
         assert executed == 6
         assert pair.qp_a.send_queue_depth == 0
         assert pair.qp_b.send_queue_depth == 0
+
+
+class TestLatencyAttribution:
+    """Per-CQE completion latency: deterministic, queueing-inclusive."""
+
+    def _write(self, pair, length=64):
+        pair.qp_a.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE, sg_list=[sg(pair.mr_a, length=length)],
+                remote_addr=pair.mr_b.addr, rkey=pair.mr_b.rkey,
+            )
+        )
+
+    def test_single_wqe_latency_is_tick_plus_payload(self, pair):
+        from repro.verbs.datapath import US_PER_KB, WQE_TICK_US
+
+        self._write(pair, length=1024)
+        pair.datapath.process(pair.qp_a)
+        wc = pair.cq_a.poll_one()
+        assert wc.latency_us == pytest.approx(WQE_TICK_US + US_PER_KB)
+
+    def test_same_qp_wqes_queue_behind_each_other(self, pair):
+        """Head-of-line blocking is visible: each completion's latency
+        includes the service time of everything posted before it."""
+        for _ in range(3):
+            self._write(pair, length=1024)
+        pair.datapath.process(pair.qp_a)
+        latencies = [wc.latency_us for wc in pair.cq_a.poll()]
+        assert len(latencies) == 3
+        assert latencies == sorted(latencies)
+        assert latencies[1] == pytest.approx(2 * latencies[0])
+        assert latencies[2] == pytest.approx(3 * latencies[0])
+
+    def test_distinct_qps_have_independent_clocks(self, pair):
+        self._write(pair, length=1024)
+        self._write(pair, length=1024)
+        pair.qp_b.post_send(
+            SendWorkRequest(
+                opcode=Opcode.WRITE, sg_list=[sg(pair.mr_b, length=1024)],
+                remote_addr=pair.mr_a.addr, rkey=pair.mr_a.rkey,
+            )
+        )
+        pair.datapath.process(pair.qp_a)
+        pair.datapath.process(pair.qp_b)
+        a_latencies = [wc.latency_us for wc in pair.cq_a.poll()]
+        b_latency = pair.cq_b.poll_one().latency_us
+        # qp_b's first WQE is not delayed by qp_a's queue.
+        assert b_latency == pytest.approx(a_latencies[0])
+        assert a_latencies[1] > b_latency
+
+    def test_receiver_completion_carries_the_same_stamp(self, pair):
+        pair.qp_b.post_recv(
+            RecvWorkRequest(sg_list=[sg(pair.mr_b, length=64)])
+        )
+        pair.qp_a.post_send(
+            SendWorkRequest(opcode=Opcode.SEND, sg_list=[sg(pair.mr_a)])
+        )
+        pair.datapath.process(pair.qp_a)
+        assert pair.cq_a.poll_one().latency_us \
+            == pair.cq_b.poll_one().latency_us
+
+    def test_attribution_is_deterministic(self, pair):
+        pair2 = ConnectedPair()
+        for p in (pair, pair2):
+            for length in (64, 512, 64):
+                p.qp_a.post_send(
+                    SendWorkRequest(
+                        opcode=Opcode.WRITE,
+                        sg_list=[sg(p.mr_a, length=length)],
+                        remote_addr=p.mr_b.addr, rkey=p.mr_b.rkey,
+                    )
+                )
+            p.datapath.process(p.qp_a)
+        assert [wc.latency_us for wc in pair.cq_a.poll()] \
+            == [wc.latency_us for wc in pair2.cq_a.poll()]
