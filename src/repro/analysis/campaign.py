@@ -160,15 +160,16 @@ def completed_runs_from_journal(
     partial run — the one a crash interrupted — is deliberately
     dropped, so resume re-runs that seed from scratch and the final
     report stays bit-identical to an uninterrupted campaign.
-    """
-    from repro.obs.journal import reports_from_records
 
-    runs: list[list[dict]] = []
-    for record in records:
-        if record.get("t") == "run_start":
-            runs.append([record])
-        elif runs:
-            runs[-1].append(record)
+    Run grouping goes through :func:`~repro.obs.journal.run_records`,
+    which demultiplexes chain-stamped population journals before
+    splitting on ``run_start`` — so resuming from a ``--chains``
+    campaign journal sees each chain's run intact instead of N
+    interleaved fragments.  Unstamped journals group exactly as before.
+    """
+    from repro.obs.journal import reports_from_records, run_records
+
+    runs = run_records(records)
     completed: dict[int, SearchReport] = {}
     for run in runs:
         seed = run[0].get("seed")

@@ -172,10 +172,32 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from repro.analysis.serialize import save_report
     from repro.core import Collie
 
+    population = args.chains > 1 or args.tempering
+    if args.seeds > 1 and population:
+        logger.error("--seeds and --chains/--tempering are mutually "
+                     "exclusive: a population already runs one chain "
+                     "per seed")
+        return 2
+    if args.tempering and args.chains < 2:
+        logger.error("--tempering needs --chains >= 2 (one chain per "
+                     "ladder rung)")
+        return 2
     cache = _open_cache(args)
     recorder = _open_recorder(args)
     if args.seeds > 1:
+        if args.workers == 1 and _retry_policy(args) is None:
+            # Same seeds, same reports, one process: the population
+            # driver steps the chains in lockstep with batched solves
+            # instead of running the seeds one scalar walk at a time.
+            return _run_search_population(
+                args, cache, recorder, chains=args.seeds,
+                campaign_format=True,
+            )
         return _run_search_campaign(args, cache, recorder)
+    if population:
+        return _run_search_population(
+            args, cache, recorder, chains=args.chains
+        )
     collie = Collie.for_subsystem(
         args.subsystem,
         counter_mode=args.counters,
@@ -204,14 +226,83 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _search_approach(args: argparse.Namespace) -> str:
+    if args.no_mfs:
+        return "sa-perf" if args.counters == "perf" else "sa-diag"
+    return "collie-perf" if args.counters == "perf" else "collie"
+
+
+def _run_search_population(
+    args: argparse.Namespace, cache, recorder,
+    chains: int, campaign_format: bool = False,
+) -> int:
+    """``search --chains N`` / ``--tempering`` / delegated ``--seeds N``.
+
+    Steps N SA chains in lockstep in this process, batching each
+    generation's steady-state solves through the shared cache.  Chain
+    ``c`` is bit-identical to ``search --seed (seed+c)``, so with
+    ``campaign_format`` (the ``--seeds`` delegation) the printed
+    campaign summary matches the per-seed process path exactly.
+    """
+    from repro.analysis.campaign import CampaignResult
+    from repro.core.population import PopulationCollie
+
+    ladder = None
+    if args.tempering:
+        from repro.core.annealing import SAParams
+
+        t0 = SAParams().t0
+        # Geometric ladder, hottest rung first: each colder rung halves
+        # the whole schedule.
+        ladder = tuple(t0 * 0.5 ** rung for rung in range(chains))
+    driver = PopulationCollie(
+        args.subsystem,
+        chains=chains,
+        budget_hours=args.hours,
+        seed=args.seed,
+        counter_mode=args.counters,
+        use_mfs=not args.no_mfs,
+        cache=cache,
+        recorder=recorder,
+        batch=not args.no_batch,
+        batch_probes=args.batch_probes,
+        latency=not args.no_latency,
+        temperature_ladder=ladder,
+        exchange_every=args.exchange_every,
+    )
+    report = driver.run()
+    if campaign_format:
+        result = CampaignResult(
+            approach=_search_approach(args),
+            subsystem=args.subsystem,
+            budget_hours=args.hours,
+            reports=report.reports,
+        )
+        logger.info(
+            f"{result.approach} on subsystem {args.subsystem}: "
+            f"{result.seeds} seeds, "
+            f"{result.mean_found():.1f} anomalies/seed, "
+            f"{sorted(result.union_tags()) or ['-']}"
+        )
+        for seed, seed_report in zip(
+            range(args.seed, args.seed + chains), result.reports
+        ):
+            logger.info(
+                f"  seed {seed}: {len(seed_report.anomalies)} anomalies, "
+                f"{seed_report.experiments} experiments"
+            )
+    else:
+        logger.info(report.summary())
+    _close_recorder(recorder)
+    _close_cache(cache)
+    return 0
+
+
 def _run_search_campaign(args: argparse.Namespace, cache, recorder) -> int:
     """``search --seeds N``: the multi-seed campaign path."""
     from repro.analysis.campaign import run_campaign
 
-    if args.no_mfs:
-        approach = "sa-perf" if args.counters == "perf" else "sa-diag"
-    else:
-        approach = "collie-perf" if args.counters == "perf" else "collie"
+    approach = _search_approach(args)
     result = run_campaign(
         approach,
         subsystem=args.subsystem,
@@ -257,6 +348,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         batch=not args.no_batch,
         latency=not args.no_latency,
         retry=_retry_policy(args),
+        chains=args.chains,
     )
     report = fleet.run()
     logger.info(
@@ -502,15 +594,18 @@ def _latency_line(summaries) -> Optional[str]:
 
 
 def _run_completeness(records) -> list:
-    """Per-run completion flags, in run order (False = no run_end)."""
-    flags: list = []
-    for record in records:
-        kind = record.get("t")
-        if kind == "run_start":
-            flags.append(False)
-        elif kind == "run_end" and flags:
-            flags[-1] = True
-    return flags
+    """Per-run completion flags (False = no run_end).
+
+    Delegates the run grouping to :func:`run_records` so the flags line
+    up with ``reports_from_records`` on population journals, where N
+    chains' runs interleave in one file.
+    """
+    from repro.obs import run_records
+
+    return [
+        any(record.get("t") == "run_end" for record in run)
+        for run in run_records(records)
+    ]
 
 
 def _cmd_journal(args: argparse.Namespace) -> int:
@@ -964,9 +1059,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a vendor reproduction recipe per anomaly")
     search.add_argument("--seeds", type=_positive_int, default=1,
                         help="run a campaign over this many seeds "
-                             "(starting at --seed)")
+                             "(starting at --seed); without --workers or "
+                             "retry flags this runs as one lockstep "
+                             "population (same reports, batched solves)")
     search.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes for multi-seed campaigns")
+    search.add_argument("--chains", type=_positive_int, default=1,
+                        help="population size: step N SA chains (seeds "
+                             "--seed..--seed+N-1) in lockstep with "
+                             "whole-generation batched solves")
+    search.add_argument("--tempering", action="store_true",
+                        help="parallel tempering: run --chains rungs on a "
+                             "geometric temperature ladder with "
+                             "deterministic replica exchange")
+    search.add_argument("--exchange-every", type=_positive_int, default=25,
+                        metavar="N",
+                        help="generations between replica-exchange sweeps "
+                             "(with --tempering)")
     search.add_argument("--cache", metavar="PATH",
                         help="memoize evaluations in this JSON store")
     search.add_argument("--no-batch", action="store_true",
@@ -991,6 +1100,10 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--seed", type=int, default=0)
     parallel.add_argument("--workers", type=_positive_int, default=1,
                           help="worker processes for the machine fleet")
+    parallel.add_argument("--chains", type=_positive_int, default=1,
+                          help="SA chains per machine, stepped as one "
+                               "lockstep population over the machine's "
+                               "counter share")
     parallel.add_argument("--cache", metavar="PATH",
                           help="memoize evaluations in this JSON store")
     parallel.add_argument("--no-batch", action="store_true",

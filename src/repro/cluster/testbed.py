@@ -82,6 +82,17 @@ class Testbed:
         #: the space's coercion invariants, which the test suite verifies.
         self.functional_check = functional_check
         self.experiments_run = 0
+        #: Population lockstep seam: ``(workload, measurement)`` staged
+        #: by :meth:`prime` for the next :meth:`run` call (see
+        #: :mod:`repro.core.population`).  Always None outside a
+        #: population generation.
+        self._prepared: Optional[tuple] = None
+        #: Set by the population driver on multi-chain runs: every
+        #: yielded point is evaluated in the generation batch, so
+        #: scalar-path accelerators (the MFS ladder presolve) would
+        #: only re-solve what the generation already covers.  Purely a
+        #: performance hint — trajectories are identical either way.
+        self.lockstep = False
 
     @property
     def cache(self) -> Optional["EvalCache"]:
@@ -171,6 +182,30 @@ class Testbed:
             )
         return results
 
+    def prime(
+        self, workload: WorkloadDescriptor, measurement: Measurement
+    ) -> None:
+        """Stage the next :meth:`run` result (population lockstep seam).
+
+        The measurement must have been produced by the batched engine
+        from *this* testbed's chain RNG
+        (:meth:`~repro.core.batcheval.BatchEvaluator.evaluate_each`),
+        so the consuming ``run`` call skips only redundant work: clock
+        charging, accounting and the returned result are bit-identical
+        to an unprimed scalar evaluation.  The slot holds one workload,
+        matched by identity, and is cleared on consumption.
+        """
+        self._prepared = (workload, measurement)
+
+    def _take_prepared(
+        self, workload: WorkloadDescriptor
+    ) -> Optional[Measurement]:
+        prepared = self._prepared
+        if prepared is not None and prepared[0] is workload:
+            self._prepared = None
+            return prepared[1]
+        return None
+
     def run(
         self,
         workload: WorkloadDescriptor,
@@ -182,24 +217,31 @@ class Testbed:
         started = self.clock.now
         setup = self.engine.setup_seconds(workload)
         measure = self.engine.measurement_seconds()
+        prepared = self._take_prepared(workload)
         span = (
             self.profiler.span("solve")
             if self.profiler is not None else _NO_SPAN
         )
         if self.metrics is not None:
             with self.metrics.timer("testbed.measure_wall", phase=phase), span:
-                measurement = self.engine.measure(
-                    workload, rng=rng,
-                    functional_check=self.functional_check, phase=phase,
+                measurement = (
+                    prepared if prepared is not None
+                    else self.engine.measure(
+                        workload, rng=rng,
+                        functional_check=self.functional_check, phase=phase,
+                    )
                 )
             self.metrics.counter("testbed.experiments", phase=phase)
             self.metrics.observe("testbed.setup_seconds", setup)
             self.metrics.observe("testbed.measurement_seconds", measure)
         else:
             with span:
-                measurement = self.engine.measure(
-                    workload, rng=rng,
-                    functional_check=self.functional_check, phase=phase,
+                measurement = (
+                    prepared if prepared is not None
+                    else self.engine.measure(
+                        workload, rng=rng,
+                        functional_check=self.functional_check, phase=phase,
+                    )
                 )
         self.clock.advance(setup + measure)
         self.experiments_run += 1

@@ -22,6 +22,7 @@ from repro.core.faults import (
 )
 from repro.core.mfs import MinimalFeatureSet
 from repro.core.monitor import AnomalyMonitor, AnomalyVerdict
+from repro.core.population import PopulationCollie, PopulationReport
 from repro.core.space import SearchSpace
 
 __all__ = [
@@ -39,5 +40,7 @@ __all__ = [
     "MinimalFeatureSet",
     "AnomalyMonitor",
     "AnomalyVerdict",
+    "PopulationCollie",
+    "PopulationReport",
     "SearchSpace",
 ]

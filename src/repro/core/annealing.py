@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.cluster.testbed import Testbed
 from repro.core.mfs import MFSExtractor, MinimalFeatureSet, match_any
-from repro.core.monitor import AnomalyMonitor
+from repro.core.monitor import AnomalyMonitor, AnomalyVerdict
 from repro.core.space import SearchSpace, changed_dimensions
 from repro.hardware.counters import MINIMIZED_COUNTERS, is_diagnostic
 from repro.hardware.model import LatencySummaryView, Measurement
@@ -107,6 +107,21 @@ class TraceEvent:
     latency: Optional[dict] = None
 
 
+@dataclasses.dataclass(frozen=True)
+class MeasuredPoint:
+    """One measurement plus the verdict and event bookkeeping from it.
+
+    ``_measure`` classifies every measurement exactly once; threading the
+    verdict (and the trace-event index) through to ``_handle_anomaly``
+    keeps the hot path free of repeat classifications and makes the
+    anomaly re-tag an O(1) indexed write instead of a backwards scan.
+    """
+
+    measurement: Measurement
+    verdict: AnomalyVerdict
+    event_index: int
+
+
 @dataclasses.dataclass
 class SearchState:
     """Mutable state shared across the per-counter SA passes."""
@@ -140,13 +155,23 @@ class AnnealingSearch:
         self.mfs_probes_per_dimension = mfs_probes_per_dimension
         #: Optional flight recorder; observes only, never draws RNG.
         self.recorder = recorder
+        #: Parallel-tempering hooks, driven by the population driver and
+        #: dormant otherwise (the single-run path never reads them, so
+        #: legacy trajectories stay byte-identical).  ``exchange_state``
+        #: publishes ``(counter, workload, value)`` at the top of each
+        #: SA iteration; the driver injects ``(workload, value)`` into
+        #: ``exchange_inbox`` and the chain adopts it — recording an
+        #: ``exchange`` transition — at its next iteration boundary.
+        self.exchange_enabled = False
+        self.exchange_state: Optional[tuple] = None
+        self.exchange_inbox: Optional[tuple] = None
 
     # -- measurement helpers ---------------------------------------------
 
     def _measure(
         self, state: SearchState, workload: WorkloadDescriptor,
         signal: SearchSignal, kind: str,
-    ) -> Measurement:
+    ) -> MeasuredPoint:
         result = self.testbed.run(workload, rng=self.rng, phase=kind)
         state.experiments += 1
         measurement = result.measurement
@@ -172,21 +197,53 @@ class AnnealingSearch:
                 LatencySummaryView(profile) if profile is not None else None
             ),
         )
+        event_index = len(state.events)
         state.events.append(event)
         if self.recorder is not None:
             self.recorder.experiment(event, state)
-        return measurement
+        return MeasuredPoint(
+            measurement=measurement, verdict=verdict,
+            event_index=event_index,
+        )
+
+    def _extract(
+        self, state: SearchState, stepper, signal: SearchSignal,
+        deadline: float,
+    ):
+        """Drive an MFS extraction, suspending before each probe.
+
+        A sub-generator: yields every in-budget probe workload right
+        before measuring it (``kind="mfs"``), so the population driver
+        batches probes from many chains exactly like SA candidates.
+        Deadline-expired probes are answered ``"healthy"`` — yielding a
+        conservative, narrower MFS — *without* suspending: there is
+        nothing to batch, and a suspended-but-unmeasured point would
+        leave a stale primed slot on the testbed.
+        """
+        try:
+            probe = next(stepper)
+            while True:
+                if self.testbed.clock.now >= deadline:
+                    probe = stepper.send("healthy")
+                    continue
+                yield probe
+                measured = self._measure(state, probe, signal, kind="mfs")
+                probe = stepper.send(measured.verdict.symptom)
+        except StopIteration as stop:
+            return stop.value
 
     def _handle_anomaly(
         self, state: SearchState, workload: WorkloadDescriptor,
-        measurement: Measurement, signal: SearchSignal, deadline: float,
-    ) -> bool:
+        measured: MeasuredPoint, signal: SearchSignal, deadline: float,
+    ):
         """Extract an MFS for a newly found anomaly (Alg. 1 lines 14-17).
 
-        Returns True when a new anomaly entered the set (callers restart).
-        Without MFS the anomaly is logged but the search keeps climbing.
+        A sub-generator (``yield from`` it): yields each MFS probe
+        workload immediately before its measurement, and returns True
+        when a new anomaly entered the set (callers restart).  Without
+        MFS the anomaly is logged but the search keeps climbing.
         """
-        verdict = self.monitor.classify(measurement)
+        verdict = measured.verdict
         if not verdict.is_anomalous:
             return False
         if not self.use_mfs:
@@ -194,16 +251,8 @@ class AnnealingSearch:
         if match_any(state.anomalies, workload) is not None:
             return False
 
-        def probe(candidate: WorkloadDescriptor) -> str:
-            if self.testbed.clock.now >= deadline:
-                # Out of budget mid-probe: report healthy, which yields a
-                # conservative (narrower) MFS.
-                return "healthy"
-            probed = self._measure(state, candidate, signal, kind="mfs")
-            return self.monitor.classify(probed).symptom
-
         extractor = MFSExtractor(
-            self.space, probe,
+            self.space, None,
             probes_per_dimension=self.mfs_probes_per_dimension,
             metrics=(
                 self.recorder.metrics if self.recorder is not None else None
@@ -211,37 +260,34 @@ class AnnealingSearch:
             presolve=(
                 (lambda pts: self.testbed.presolve(pts, phase="mfs"))
                 if getattr(self.testbed, "batch_enabled", False)
+                and not getattr(self.testbed, "lockstep", False)
                 else None
             ),
+        )
+        stepper = extractor.construct_steps(
+            workload, verdict.symptom, at_seconds=self.testbed.clock.now,
+            known=state.anomalies,
         )
         if self.recorder is not None:
             profiler = self.recorder.profiler
             span = profiler.span("mfs") if profiler is not None else _NO_SPAN
             with self.recorder.metrics.timer("mfs.construct_wall"), span:
-                mfs = extractor.construct(
-                    workload, verdict.symptom,
-                    at_seconds=self.testbed.clock.now,
-                    known=state.anomalies,
+                mfs = yield from self._extract(
+                    state, stepper, signal, deadline
                 )
         else:
-            mfs = extractor.construct(
-                workload, verdict.symptom, at_seconds=self.testbed.clock.now,
-                known=state.anomalies,
-            )
+            mfs = yield from self._extract(state, stepper, signal, deadline)
         if mfs is None:
             return False  # re-find of a known anomaly; keep climbing
         state.anomalies.append(mfs)
         index = len(state.anomalies) - 1
-        # Re-tag the triggering event with the anomaly index.
-        event_index: Optional[int] = None
-        for i in range(len(state.events) - 1, -1, -1):
-            event = state.events[i]
-            if event.workload is workload and event.kind != "mfs":
-                state.events[i] = dataclasses.replace(
-                    event, new_anomaly_index=index
-                )
-                event_index = i
-                break
+        # Re-tag the triggering event with the anomaly index; the event
+        # slot is the one ``_measure`` just filled for this workload (MFS
+        # probes only ever append after it), so the write is O(1).
+        event_index = measured.event_index
+        state.events[event_index] = dataclasses.replace(
+            state.events[event_index], new_anomaly_index=index
+        )
         if self.recorder is not None:
             self.recorder.anomaly(index, event_index, mfs)
         return True
@@ -258,6 +304,22 @@ class AnnealingSearch:
         the schedule loose on purpose), and a reheat usually resumes from
         a perturbation of the best point seen in this pass — basin
         hopping — rather than losing the climbed niche entirely.
+        """
+        for _ in self.iter_pass(state, signal, deadline):
+            pass
+
+    def iter_pass(
+        self, state: SearchState, signal: SearchSignal, deadline: float
+    ):
+        """Generator form of the SA pass (see :meth:`run_pass`).
+
+        Yields each workload — SA candidate or MFS probe — immediately
+        before it is measured.  Driving the generator to exhaustion is
+        exactly the scalar pass — no state crosses the yield, so the RNG
+        stream, clock charges and journal records are untouched.  A
+        population driver interleaves several of these, gathering one
+        pending point per chain per generation and pre-solving the whole
+        generation as one batched array op before resuming the chains.
         """
         clock = self.testbed.clock
         best: Optional[tuple[float, WorkloadDescriptor]] = None
@@ -281,8 +343,13 @@ class AnnealingSearch:
             if best is None or score > best[0]:
                 best = (score, workload)
 
-        def reseed(prefer_best: bool) -> Optional[tuple]:
-            """Measure a fresh start point; returns (workload, value)."""
+        def reseed(prefer_best: bool):
+            """Measure a fresh start point; returns (workload, value).
+
+            A sub-generator (driven with ``yield from``): its yields are
+            the pre-measurement suspension points, its return value the
+            seeded pair — or None when the budget ran out.
+            """
             nonlocal best
             if (
                 best is not None
@@ -302,18 +369,19 @@ class AnnealingSearch:
                     if recorder is not None:
                         recorder.skip(clock.now, point)
                     continue
-                measurement = self._measure(state, point, signal, kind="search")
-                value = signal.value(measurement)
-                if self._handle_anomaly(
-                    state, point, measurement, signal, deadline
-                ):
+                yield point
+                measured = self._measure(state, point, signal, kind="search")
+                value = signal.value(measured.measurement)
+                if (yield from self._handle_anomaly(
+                    state, point, measured, signal, deadline
+                )):
                     record_transition("restart", self.params.t0)
                     continue  # new anomaly: restart again (Alg. 1 line 17)
                 track_best(value, point)
                 return point, value
             return None
 
-        seeded = reseed(prefer_best=False)
+        seeded = yield from reseed(prefer_best=False)
         if seeded is None:
             return
         current, energy_value = seeded
@@ -324,6 +392,14 @@ class AnnealingSearch:
             for _ in range(self.params.iterations_per_temperature):
                 if out_of_time():
                     return
+                if self.exchange_enabled:
+                    if self.exchange_inbox is not None:
+                        current, energy_value = self.exchange_inbox
+                        self.exchange_inbox = None
+                        record_transition("exchange", temperature)
+                    self.exchange_state = (
+                        signal.counter, current, energy_value
+                    )
                 with (
                     profiler.span("iteration")
                     if profiler is not None else _NO_SPAN
@@ -340,15 +416,16 @@ class AnnealingSearch:
                         if recorder is not None:
                             recorder.skip(clock.now, candidate)
                         continue
-                    cand_measurement = self._measure(
+                    yield candidate
+                    measured = self._measure(
                         state, candidate, signal, kind="search"
                     )
-                    cand_value = signal.value(cand_measurement)
-                    if self._handle_anomaly(
-                        state, candidate, cand_measurement, signal, deadline
-                    ):
+                    cand_value = signal.value(measured.measurement)
+                    if (yield from self._handle_anomaly(
+                        state, candidate, measured, signal, deadline
+                    )):
                         record_transition("restart", temperature)
-                        seeded = reseed(prefer_best=True)
+                        seeded = yield from reseed(prefer_best=True)
                         if seeded is None:
                             return
                         current, energy_value = seeded
@@ -378,7 +455,7 @@ class AnnealingSearch:
                 cycle += 1
                 temperature = self.params.t0
                 record_transition("reheat", temperature)
-                seeded = reseed(prefer_best=True)
+                seeded = yield from reseed(prefer_best=True)
                 if seeded is None:
                     return
                 current, energy_value = seeded

@@ -46,7 +46,7 @@ from repro.hardware.counters import ALL_COUNTERS, CounterSample, average_counter
 from repro.hardware.model import (
     Measurement,
     SteadyStateModel,
-    derive_latency,
+    latency_for_solve,
     solve_batch,
 )
 
@@ -101,6 +101,81 @@ def observe_many(
                 rows[point_idx, second, cols] *= clipped[
                     first + second * step
                 ]
+    return _measurements_from_rows(model, workloads, solves, rows, window)
+
+
+def observe_each(
+    model: SteadyStateModel,
+    workloads: "list[WorkloadDescriptor]",
+    solves: list,
+    rngs: "list[np.random.Generator]",
+    sample_seconds: int = 4,
+) -> list[Measurement]:
+    """Noisy observation with one independent RNG per point.
+
+    The population driver's seam: point ``i``'s noise is drawn from
+    ``rngs[i]`` with the exact call :meth:`VendorMonitor._sample_rows`
+    would make — one ``normal(size=(window, active))`` draw — so chain
+    ``i``'s generator lands in the bit-identical state a standalone
+    scalar evaluation would leave it in, while the deterministic row
+    construction and averaging stay vectorized across the batch.
+    """
+    n = len(workloads)
+    window = int(sample_seconds)
+    count = len(ALL_COUNTERS)
+    base = np.array(
+        [
+            [float(s.ideal_counters.get(name, 0.0)) for name in ALL_COUNTERS]
+            for s in solves
+        ]
+    ).reshape(n, count)
+    rows = np.repeat(base[:, None, :], window, axis=1)
+    noise = model.noise
+    if noise > 0 and window > 0:
+        jitter = base > 0
+        active = jitter.sum(axis=1)
+        total_active = int(active.sum())
+        if total_active:
+            # The only per-point step is the mandatory draw from that
+            # chain's generator — exactly the ``(window, active)``
+            # request the scalar path makes.  Raveling each (row-major)
+            # block and concatenating in point order yields the same
+            # flat layout ``observe_many`` draws in one request, so the
+            # application below is the shared vectorized scatter.
+            flat = np.concatenate(
+                [
+                    rngs[i].normal(
+                        0.0, noise, size=(window, int(active[i]))
+                    ).ravel()
+                    for i in range(n)
+                    if active[i]
+                ]
+            )
+            clipped = np.maximum(0.0, 1.0 + flat)
+            point_idx, cols = np.nonzero(jitter)
+            starts = np.concatenate(([0], np.cumsum(window * active)))[:-1]
+            group_starts = np.concatenate(([0], np.cumsum(active)))[:-1]
+            within = np.arange(point_idx.size) - np.repeat(
+                group_starts, active
+            )
+            first = starts[point_idx] + within
+            step = active[point_idx]
+            for second in range(window):
+                rows[point_idx, second, cols] *= clipped[
+                    first + second * step
+                ]
+    return _measurements_from_rows(model, workloads, solves, rows, window)
+
+
+def _measurements_from_rows(
+    model: SteadyStateModel,
+    workloads: "list[WorkloadDescriptor]",
+    solves: list,
+    rows: np.ndarray,
+    window: int,
+) -> list[Measurement]:
+    """Assemble Measurements from a solved+sampled ``(n, window, c)`` cube."""
+    n = len(workloads)
     measurements = []
     subsystem_name = model.subsystem.name
     if window:
@@ -109,17 +184,14 @@ def observe_many(
         # numpy's pairwise threshold) and thus every bit is the same as
         # scalar ``average_counters``.
         means = rows.mean(axis=1)
+        means_list = means.tolist()
     for i in range(n):
-        samples = []
-        for second in range(window):
-            row = rows[i, second]
-            sample = CounterSample(
-                second=second, values=dict(zip(ALL_COUNTERS, row.tolist()))
-            )
-            object.__setattr__(sample, "_row", row)
-            samples.append(sample)
+        samples = [
+            CounterSample(second=second, row=rows[i, second])
+            for second in range(window)
+        ]
         if window:
-            counters = dict(zip(ALL_COUNTERS, means[i].tolist()))
+            counters = dict(zip(ALL_COUNTERS, means_list[i]))
         else:
             counters = average_counters(samples)
         measurements.append(
@@ -131,11 +203,7 @@ def observe_many(
                 directions=solves[i].directions,
                 fired=solves[i].fired,
                 features=solves[i].features,
-                latency=derive_latency(
-                    model.subsystem,
-                    solves[i].features,
-                    solves[i].directions,
-                ),
+                latency=latency_for_solve(model.subsystem, solves[i]),
             )
         )
     return measurements
@@ -273,6 +341,44 @@ class BatchEvaluator:
         return len(to_solve)
 
     # -- full evaluation ------------------------------------------------------
+
+    def evaluate_each(
+        self,
+        workloads: "list[WorkloadDescriptor]",
+        rngs: "list[np.random.Generator]",
+        sample_seconds: int = 4,
+        phase: str = DEFAULT_PHASE,
+    ) -> list[Measurement]:
+        """Batched evaluation with an independent RNG per point.
+
+        The population generation step: N chains' pending points solved
+        as one deduplicated array program, each point's observation
+        noise drawn from its own chain's generator in scalar order.
+        Point ``i``'s measurement — and the state ``rngs[i]`` is left
+        in — is bit-identical to
+        ``model.evaluate(workloads[i], rngs[i], phase=phase)``.
+        """
+        model = self.model
+        if not self.enabled or len(workloads) <= 1:
+            self._count_points(len(workloads), "scalar")
+            return [
+                model.evaluate(
+                    w, rng=r, sample_seconds=sample_seconds, phase=phase
+                )
+                for w, r in zip(workloads, rngs)
+            ]
+        started = time.perf_counter()
+        solves = self.solve_many(workloads, phase=phase)
+        measurements = observe_each(
+            model, workloads, solves, rngs, sample_seconds
+        )
+        if self.metrics is not None:
+            self.metrics.observe(
+                "batcheval.point_seconds",
+                (time.perf_counter() - started) / len(workloads),
+                phase=phase,
+            )
+        return measurements
 
     def evaluate_many(
         self,

@@ -195,6 +195,24 @@ class Collie:
         The report is memoised on the instance (``last_report``) for the
         §7.3 developer workflows that interrogate a finished campaign.
         """
+        stepper = self.steps()
+        while True:
+            try:
+                next(stepper)
+            except StopIteration as stop:
+                return stop.value
+
+    def steps(self):
+        """Generator twin of :meth:`run`.
+
+        Yields each workload (ranking probe, SA candidate or MFS probe)
+        immediately before it is measured; driving it to exhaustion is
+        exactly ``run()`` — no state crosses a yield, so the trajectory,
+        RNG stream and journal are bit-identical.  The population driver
+        interleaves several of these, pre-solving each generation's
+        pending points as one batch.  ``StopIteration.value`` is the
+        :class:`SearchReport`.
+        """
         if self.recorder is not None:
             self.recorder.run_start(
                 self.subsystem.name, self.counter_mode, self.use_mfs,
@@ -208,10 +226,10 @@ class Collie:
             with (
                 profiler.span("rank") if profiler is not None else _NO_SPAN
             ):
-                ranking = self._rank_counters(state)
+                ranking = yield from self._rank_counters(state)
             if self.recorder is not None:
                 self.recorder.ranking(ranking, self._dispersions)
-            self._search_counters(state, ranking)
+            yield from self._search_counters(state, ranking)
         self.last_report = SearchReport(
             subsystem_name=self.subsystem.name,
             counter_mode=self.counter_mode,
@@ -234,8 +252,12 @@ class Collie:
             return DIAGNOSTIC_COUNTERS
         return tuple(sorted(MINIMIZED_COUNTERS))
 
-    def _rank_counters(self, state: SearchState) -> list[str]:
-        """Probe 10 random points; rank counters by std/mean, descending."""
+    def _rank_counters(self, state: SearchState):
+        """Probe 10 random points; rank counters by std/mean, descending.
+
+        A sub-generator of :meth:`steps`: yields each probe workload
+        right before measuring it, returns the ranking.
+        """
         candidates = self._candidate_counters()
         observations: dict = {name: [] for name in candidates}
         signal = SearchSignal(candidates[0])
@@ -252,15 +274,17 @@ class Collie:
                 workload = presampled[i]
             else:
                 workload = self.space.random(self.rng)
-            measurement = self.search._measure(
+            yield workload
+            measured = self.search._measure(
                 state, workload, signal, kind="probe"
             )
-            self.search._handle_anomaly(
-                state, workload, measurement, signal,
+            yield from self.search._handle_anomaly(
+                state, workload, measured, signal,
                 deadline=self.budget_seconds,
             )
+            counters = measured.measurement.counters
             for name in candidates:
-                observations[name].append(float(measurement.counters[name]))
+                observations[name].append(float(counters[name]))
 
         def dispersion(name: str) -> float:
             values = np.array(observations[name])
@@ -277,7 +301,7 @@ class Collie:
         self._dispersions = {name: dispersion(name) for name in ranked}
         return [name for name in ranked if dispersion(name) > 0.0]
 
-    def _search_counters(self, state: SearchState, ranking: list[str]) -> None:
+    def _search_counters(self, state: SearchState, ranking: list[str]):
         """Run one SA pass per counter, in ranking order.
 
         Budget allocation is geometric: each pass receives a fixed
@@ -299,7 +323,9 @@ class Collie:
                 self.profiler.span("pass")
                 if self.profiler is not None else _NO_SPAN
             ):
-                self.search.run_pass(state, SearchSignal(counter), deadline)
+                yield from self.search.iter_pass(
+                    state, SearchSignal(counter), deadline
+                )
 
     # -- §7.3 developer workflows -----------------------------------------
 

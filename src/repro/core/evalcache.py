@@ -56,7 +56,21 @@ def canonical_point(workload: WorkloadDescriptor) -> str:
     two workloads with different feature vectors therefore always
     canonicalize differently, while logically identical points (however
     constructed) canonicalize identically.
+
+    The key is memoized on the (frozen, immutable) descriptor: one
+    point is typically keyed several times on its way through presolve,
+    the generation batch and the scalar replay, and population runs key
+    thousands of points per generation wave.
     """
+    memo = getattr(workload, "_canonical_key", None)
+    if memo is not None:
+        return memo
+    key = _canonical_key(workload)
+    object.__setattr__(workload, "_canonical_key", key)
+    return key
+
+
+def _canonical_key(workload: WorkloadDescriptor) -> str:
     return "|".join(
         (
             workload.qp_type.value,

@@ -176,7 +176,10 @@ class MFSExtractor:
 
     ``classify`` is a callable running one (charged) experiment and
     returning the monitor's symptom string; the extractor counts every
-    probe so callers can charge testbed time.
+    probe so callers can charge testbed time.  Callers that drive
+    :meth:`construct_steps` directly — the population driver's batched
+    path — answer each yielded probe themselves and may pass
+    ``classify=None``.
 
     A probe counts as *triggering* only when it reproduces the witness's
     symptom class.  Without this, a probe that lands in a *different*
@@ -188,7 +191,7 @@ class MFSExtractor:
     def __init__(
         self,
         space: SearchSpace,
-        classify: Callable[[WorkloadDescriptor], str],
+        classify: Optional[Callable[[WorkloadDescriptor], str]],
         probes_per_dimension: int = 4,
         validate_box: bool = True,
         same_symptom_only: bool = True,
@@ -228,6 +231,40 @@ class MFSExtractor:
     ) -> Optional[MinimalFeatureSet]:
         """ConstructMFS (paper Alg. 1 line 15).
 
+        Scalar driver of :meth:`construct_steps`: every yielded probe is
+        answered with ``self.classify`` on the spot, reproducing the
+        historical inline probing loop bit-identically.
+        """
+        stepper = self.construct_steps(
+            witness, symptom, at_seconds=at_seconds, reduce=reduce,
+            known=known,
+        )
+        try:
+            probe = next(stepper)
+            while True:
+                probe = stepper.send(self.classify(probe))
+        except StopIteration as stop:
+            return stop.value
+
+    def construct_steps(
+        self,
+        witness: WorkloadDescriptor,
+        symptom: str,
+        at_seconds: float = 0.0,
+        reduce: bool = True,
+        known: Optional[list] = None,
+    ):
+        """Generator form of :meth:`construct`.
+
+        Yields each probe workload immediately before its (charged)
+        experiment and receives the monitor's symptom string back via
+        ``send``; ``StopIteration.value`` is the finished
+        :class:`MinimalFeatureSet` — or None for a re-find of a known
+        anomaly.  Nothing else crosses a yield, so a driver answering
+        every probe with ``classify`` replays the scalar probe sequence
+        exactly, while the population driver batches the suspended
+        probes of many chains into one array program per generation.
+
         With ``reduce=True`` (default) the witness is first simplified
         toward a benign baseline, one dimension at a time, keeping only
         changes that preserve the anomaly.  This mirrors the paper's "we
@@ -241,7 +278,9 @@ class MFSExtractor:
         self._target_symptom = symptom
         reduced_to_default: set = set()
         if reduce:
-            witness, reduced_to_default = self.reduce_witness(witness)
+            witness, reduced_to_default = yield from self.reduce_witness(
+                witness
+            )
             if known and match_any(known, witness) is not None:
                 # The simplified witness lands inside an already-extracted
                 # anomaly's region: this is a re-find of a known anomaly
@@ -258,7 +297,7 @@ class MFSExtractor:
         intervals = []
         memberships = []
         for dimension in CATEGORICAL_DIMENSIONS:
-            condition = self._probe_categorical(witness, dimension)
+            condition = yield from self._probe_categorical(witness, dimension)
             if condition is not None:
                 memberships.append(condition)
         for dimension in ORDERED_DIMENSIONS:
@@ -267,17 +306,19 @@ class MFSExtractor:
             # can still include the default (e.g. "wqe_batch <= 2" with
             # default 1), so it gets light probing — ladder extremes
             # only, refined by bisection — instead of none.
-            condition = self._probe_ordered(
+            condition = yield from self._probe_ordered(
                 witness, dimension,
                 light=dimension in reduced_to_default,
             )
             if condition is not None:
                 intervals.append(condition)
-        pattern_interval, requires_mix = self._probe_pattern(witness)
+        pattern_interval, requires_mix = yield from self._probe_pattern(
+            witness
+        )
         if pattern_interval is not None:
             intervals.append(pattern_interval)
         if self.validate_box:
-            intervals = self._validate_box(
+            intervals = yield from self._validate_box(
                 witness, intervals, memberships, requires_mix
             )
         if not intervals and not memberships and not requires_mix:
@@ -303,7 +344,7 @@ class MFSExtractor:
 
     def reduce_witness(
         self, witness: WorkloadDescriptor
-    ) -> tuple[WorkloadDescriptor, set]:
+    ):
         """Simplify a witness toward a benign baseline, keeping the anomaly.
 
         One pass over the dimensions in a fixed order; each simplification
@@ -311,7 +352,8 @@ class MFSExtractor:
         sits inside a single anomaly's region even when the original
         witness straddled several.
 
-        Returns the reduced witness and the set of dimensions that were
+        A sub-generator of :meth:`construct_steps` (probes suspend);
+        returns the reduced witness and the set of dimensions that were
         successfully moved to their benign default — evidence those
         dimensions are not necessary conditions.
         """
@@ -326,7 +368,7 @@ class MFSExtractor:
             candidate = self.space.with_value(reduced, dimension, default)
             if _dimension_values(candidate)[dimension] != default_label:
                 continue  # coercion refused the simplification
-            if self._check(candidate):
+            if (yield from self._check(candidate)):
                 reduced = candidate
                 reduced_to_default.add(dimension)
         # Pattern simplification: prefer a uniform pattern if it still
@@ -338,7 +380,7 @@ class MFSExtractor:
                     reduced, "msg_pattern",
                     (size,) * len(reduced.msg_sizes_bytes),
                 )
-                if self._check(uniform):
+                if (yield from self._check(uniform)):
                     reduced = uniform
                     break
         return reduced, reduced_to_default
@@ -374,18 +416,20 @@ class MFSExtractor:
 
     # -- probes -----------------------------------------------------------
 
-    def _check(self, workload: WorkloadDescriptor) -> bool:
+    def _check(self, workload: WorkloadDescriptor):
+        """One probe (a sub-generator): yield the point, receive the
+        symptom, return whether the anomaly survived."""
         self.experiments += 1
         if self.metrics is not None:
             self.metrics.counter("mfs.probes")
-        symptom = self.classify(workload)
+        symptom = yield workload
         if self.same_symptom_only:
             return symptom == self._target_symptom
         return symptom != "healthy"
 
     def _probe_categorical(
         self, witness: WorkloadDescriptor, dimension: str
-    ) -> Optional[MembershipCondition]:
+    ):
         original = _dimension_values(witness)[dimension]
         triggering = [original]
         all_trigger = True
@@ -398,7 +442,7 @@ class MFSExtractor:
                 # Coercion rolled the change back (e.g. READ on UD):
                 # this alternative is not expressible, skip it.
                 continue
-            if self._check(probe):
+            if (yield from self._check(probe)):
                 triggering.append(label)
             else:
                 all_trigger = False
@@ -481,26 +525,26 @@ class MFSExtractor:
     def _probe_ordered(
         self, witness: WorkloadDescriptor, dimension: str,
         light: bool = False,
-    ) -> Optional[IntervalCondition]:
+    ):
         ladder, origin_index, probe_indices = self._ordered_ladder(
             witness, dimension, light
         )
 
-        def test(index: int) -> Optional[bool]:
+        def test(index: int):
             probe = self.space.with_value(witness, dimension, ladder[index])
             if _dimension_values(probe)[dimension] != ladder[index]:
                 return None  # coercion clamped the value (e.g. MR budget)
-            return self._check(probe)
+            return (yield from self._check(probe))
 
         results = {origin_index: True}
         for index in probe_indices:
             if index in results:
                 continue
-            outcome = test(index)
+            outcome = yield from test(index)
             if outcome is not None:
                 results[index] = outcome
 
-        self._bisect_boundaries(results, origin_index, test)
+        yield from self._bisect_boundaries(results, origin_index, test)
         low_bound, high_bound = _triggering_run_bounds(
             ladder, results, origin_index
         )
@@ -510,14 +554,15 @@ class MFSExtractor:
             dimension=dimension, low=low_bound, high=high_bound
         )
 
-    def _bisect_boundaries(self, results: dict, origin_index: int, test) -> None:
+    def _bisect_boundaries(self, results: dict, origin_index: int, test):
         """Sharpen the triggering run's edges by bisecting probe gaps.
 
-        Wide gaps between a failing and a triggering probe leave large
-        under-covered corners of the anomaly region; each such corner the
-        search later stumbles into costs a whole re-extraction, so a
-        couple of bisection probes here pay for themselves many times
-        over.
+        ``test`` is a sub-generator (as is this whole method — probes
+        suspend through it).  Wide gaps between a failing and a
+        triggering probe leave large under-covered corners of the
+        anomaly region; each such corner the search later stumbles into
+        costs a whole re-extraction, so a couple of bisection probes
+        here pay for themselves many times over.
         """
         for direction in (-1, 1):
             while True:
@@ -539,7 +584,7 @@ class MFSExtractor:
                 mid = (fail_edge + run_edge) // 2
                 if mid in results:
                     break
-                outcome = test(mid)
+                outcome = yield from test(mid)
                 if outcome is None:
                     break
                 results[mid] = outcome
@@ -552,7 +597,7 @@ class MFSExtractor:
         requires_mix: bool,
         samples: int = 8,
         max_tightenings: int = 12,
-    ) -> list[IntervalCondition]:
+    ):
         """Adversarially sample the MFS box; tighten until samples trigger.
 
         Per-dimension probing holds the other dimensions at witness
@@ -647,7 +692,7 @@ class MFSExtractor:
                 return False
             return True
 
-        def tighten(probe: WorkloadDescriptor) -> bool:
+        def tighten(probe: WorkloadDescriptor):
             """Exclude a healthy sample by bounding a *culpable* dimension.
 
             Deviation alone misattributes blame (an irrelevant dimension
@@ -674,7 +719,7 @@ class MFSExtractor:
                 reset = self.space.with_value(
                     repaired, dim, witness_values[dim]
                 )
-                if self._check(reset):
+                if (yield from self._check(reset)):
                     return bound_out(dim, float(probe_values[dim]))
                 repaired = reset
             return False
@@ -702,7 +747,7 @@ class MFSExtractor:
             if probe is None:
                 consecutive_ok += 1  # clamped sample: counts as benign
                 continue
-            if self._check(probe):
+            if (yield from self._check(probe)):
                 consecutive_ok += 1
                 continue
             consecutive_ok = 0
@@ -710,7 +755,7 @@ class MFSExtractor:
             if burst:
                 rng.bit_generator.state = state_after
                 burst.clear()
-            if not tighten(probe):
+            if not (yield from tighten(probe)):
                 break  # cannot separate further; accept best effort
         return [
             cond for cond in conditions.values()
@@ -726,18 +771,18 @@ class MFSExtractor:
 
     def _probe_pattern(
         self, witness: WorkloadDescriptor
-    ) -> tuple[Optional[IntervalCondition], bool]:
+    ):
         """Probe the message-pattern dimension with uniform patterns."""
         sizes = sorted(set(witness.msg_sizes_bytes))
         if len(sizes) == 1:
             # Uniform witness: probe other uniform sizes as an ordered dim.
-            return self._probe_uniform_sizes(witness), False
+            return (yield from self._probe_uniform_sizes(witness)), False
         uniform_results = {}
         for size in (min(sizes), max(sizes)):
             probe = self.space.with_value(
                 witness, "msg_pattern", (size,) * len(witness.msg_sizes_bytes)
             )
-            uniform_results[size] = self._check(probe)
+            uniform_results[size] = yield from self._check(probe)
         if not any(uniform_results.values()):
             if witness.mixes_small_and_large:
                 return None, True  # only the mixed pattern triggers
@@ -753,28 +798,28 @@ class MFSExtractor:
 
     def _probe_uniform_sizes(
         self, witness: WorkloadDescriptor
-    ) -> Optional[IntervalCondition]:
+    ):
         ladder = list(self.space.msg_size_choices)
         original = witness.msg_sizes_bytes[0]
         if original not in ladder:
             ladder = sorted(set(ladder + [original]))
         origin_index = ladder.index(original)
 
-        def test(index: int) -> Optional[bool]:
+        def test(index: int):
             pattern = (ladder[index],) * len(witness.msg_sizes_bytes)
             probe = self.space.with_value(witness, "msg_pattern", pattern)
             if probe.msg_sizes_bytes[0] != ladder[index]:
                 return None  # UD clipped the size to the MTU
-            return self._check(probe)
+            return (yield from self._check(probe))
 
         results = {origin_index: True}
         for index in self._probe_indices(len(ladder), origin_index):
             if index in results:
                 continue
-            outcome = test(index)
+            outcome = yield from test(index)
             if outcome is not None:
                 results[index] = outcome
-        self._bisect_boundaries(results, origin_index, test)
+        yield from self._bisect_boundaries(results, origin_index, test)
         low, high = _triggering_run_bounds(ladder, results, origin_index)
         if low is None and high is None:
             return None

@@ -30,6 +30,7 @@ from repro.core.evalcache import EvalCache
 from repro.core.executor import CampaignExecutor, ExecutorStats
 from repro.core.faults import FaultPlan, RetryPolicy
 from repro.core.mfs import MinimalFeatureSet
+from repro.core.population import PopulationCollie
 from repro.core.space import SearchSpace
 from repro.hardware.counters import DIAGNOSTIC_COUNTERS
 from repro.hardware.model import SteadyStateModel
@@ -80,29 +81,56 @@ def _run_machine(payload: dict) -> dict:
     payload's seed, so the machine's trajectory does not depend on which
     process runs it.  A per-machine :class:`EvalCache` is attached when
     requested; its entries and stats travel back for merging.
+
+    With ``chains > 1`` the machine runs a lockstep SA population over
+    its counter share instead of a single trajectory — chain ``c``
+    seeds at ``seed + c``, and the machine returns one report per chain
+    (bit-identical to running each seed standalone, so the fleet merge
+    semantics are unchanged).
     """
     cache = EvalCache() if payload["use_cache"] else None
     if cache is not None and payload["cache_entries"]:
         cache.import_entries(payload["cache_entries"])
-    collie = Collie(
-        payload["subsystem"],
-        space=payload["space"],
-        counters=payload["share"],
-        budget_hours=payload["budget_hours"],
-        seed=payload["seed"],
-        sa_params=payload["sa_params"],
-        noise=payload["noise"],
-        cache=cache,
-        batch=payload.get("batch", True),
-        latency=payload.get("latency", True),
-    )
-    report = collie.run()
+    chains = payload.get("chains", 1)
+    if chains > 1:
+        driver = PopulationCollie(
+            payload["subsystem"],
+            chains=chains,
+            space=payload["space"],
+            counters=payload["share"],
+            budget_hours=payload["budget_hours"],
+            seed=payload["seed"],
+            sa_params=payload["sa_params"],
+            noise=payload["noise"],
+            cache=cache,
+            batch=payload.get("batch", True),
+            latency=payload.get("latency", True),
+        )
+        reports = driver.run().reports
+    else:
+        collie = Collie(
+            payload["subsystem"],
+            space=payload["space"],
+            counters=payload["share"],
+            budget_hours=payload["budget_hours"],
+            seed=payload["seed"],
+            sa_params=payload["sa_params"],
+            noise=payload["noise"],
+            cache=cache,
+            batch=payload.get("batch", True),
+            latency=payload.get("latency", True),
+        )
+        reports = [collie.run()]
     return {
-        "report": report,
+        "reports": reports,
         "cache_entries": (
-            cache.export_entries(new_only=True) if cache else None
+            cache.export_entries(new_only=True)
+            if payload["use_cache"] and cache else None
         ),
-        "cache_stats": cache.stats_dict() if cache else None,
+        "cache_stats": (
+            cache.stats_dict()
+            if payload["use_cache"] and cache else None
+        ),
     }
 
 
@@ -125,9 +153,12 @@ class ParallelCollie:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         latency: bool = True,
+        chains: int = 1,
     ) -> None:
         if machines <= 0:
             raise ValueError("need at least one machine")
+        if chains <= 0:
+            raise ValueError("need at least one chain per machine")
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
         self.subsystem = subsystem
@@ -156,6 +187,11 @@ class ParallelCollie:
         self.batch = batch
         #: Threaded into every machine's Collie (``--no-latency``).
         self.latency = latency
+        #: SA chains per machine: each machine steps a lockstep
+        #: population over its counter share (chain ``c`` of machine
+        #: ``m`` seeds at ``seed * 1000 + m + c``) and contributes one
+        #: report per chain to the merge.
+        self.chains = chains
 
     @property
     def executor_stats(self) -> Optional[ExecutorStats]:
@@ -204,18 +240,23 @@ class ParallelCollie:
                 "cache_entries": warm_entries,
                 "batch": self.batch,
                 "latency": self.latency,
+                "chains": self.chains,
             }
             for machine, share in enumerate(self._partition(ranked))
         ]
         outcomes = self.executor.map(_run_machine, payloads)
-        reports = [outcome["report"] for outcome in outcomes]
+        reports: list[SearchReport] = []
+        seeds: list[int] = []
+        for machine, outcome in enumerate(outcomes):
+            for chain, report in enumerate(outcome["reports"]):
+                reports.append(report)
+                seeds.append(self.seed * 1000 + machine + chain)
         if self.recorder is not None:
             if self.executor.last_stats is not None:
                 self.recorder.fanout(self.executor.last_stats)
-            for machine, report in enumerate(reports):
+            for report, report_seed in zip(reports, seeds):
                 self.recorder.record_report(
-                    report, self.budget_hours,
-                    seed=self.seed * 1000 + machine,
+                    report, self.budget_hours, seed=report_seed,
                 )
         if self.cache is not None:
             for outcome in outcomes:

@@ -14,7 +14,6 @@ samples a subsystem once per simulated second and returns noisy readings.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Mapping
 
 import numpy as np
@@ -62,18 +61,54 @@ def is_performance(counter: str) -> bool:
     return counter in PERFORMANCE_COUNTERS
 
 
-@dataclasses.dataclass(frozen=True)
-class CounterSample:
-    """One per-second reading of every counter."""
+#: Counter name -> column index in a row vector over ``ALL_COUNTERS``.
+_COUNTER_COLUMN = {name: i for i, name in enumerate(ALL_COUNTERS)}
 
-    second: int
-    values: Mapping[str, float]
+
+class CounterSample:
+    """One per-second reading of every counter.
+
+    Both evaluation paths construct samples from a row vector over
+    ``ALL_COUNTERS``; the ``values`` mapping materializes lazily from
+    it.  Single-counter reads (the monitor's stability check) index the
+    row directly — the same float64 payload the dict would hold — so
+    the per-second dicts are only built for consumers that want a full
+    mapping (tests, user code inspecting a measurement).
+    """
+
+    __slots__ = ("second", "_values", "_row")
+
+    def __init__(self, second: int, values=None, row=None) -> None:
+        self.second = second
+        self._values = values
+        self._row = row
+
+    @property
+    def values(self) -> Mapping[str, float]:
+        if self._values is None:
+            self._values = dict(zip(ALL_COUNTERS, self._row.tolist()))
+        return self._values
 
     def __getitem__(self, counter: str) -> float:
+        row = self._row
+        if row is not None:
+            return row[_COUNTER_COLUMN[counter]]
         return self.values[counter]
 
     def get(self, counter: str, default: float = 0.0) -> float:
+        row = self._row
+        if row is not None:
+            column = _COUNTER_COLUMN.get(counter)
+            return row[column] if column is not None else default
         return self.values.get(counter, default)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CounterSample):
+            return NotImplemented
+        return self.second == other.second and self.values == other.values
+
+    def __repr__(self) -> str:
+        return f"CounterSample(second={self.second!r}, values={self.values!r})"
 
 
 class VendorMonitor:
@@ -126,16 +161,10 @@ class VendorMonitor:
                     0.0, self._noise, size=(len(seconds_list), active)
                 )
                 rows[:, jitter] *= np.maximum(0.0, 1.0 + draws)
-        samples = []
-        for second, row in zip(seconds_list, rows):
-            sample = CounterSample(
-                second=second, values=dict(zip(ALL_COUNTERS, row.tolist()))
-            )
-            # Non-field fast path for average_counters (invisible to
-            # equality, repr and serialization).
-            object.__setattr__(sample, "_row", row)
-            samples.append(sample)
-        return samples
+        return [
+            CounterSample(second=second, row=row)
+            for second, row in zip(seconds_list, rows)
+        ]
 
 
 def average_counters(samples: list[CounterSample]) -> dict[str, float]:

@@ -306,6 +306,22 @@ class LatencySummaryView:
         return f"LatencySummaryView({self.profile.summary()!r})"
 
 
+def latency_for_solve(subsystem: "Subsystem", solve) -> LatencyProfile:
+    """:func:`derive_latency` memoized on the (frozen) solve object.
+
+    The profile is a pure function of the solve, so duplicate points
+    sharing one cached solve — MFS ladders re-probing a witness, chains
+    of a population rediscovering each other's regions — share one
+    profile computation too.  Cache-less paths get a fresh solve per
+    evaluation and pay full price, exactly as before.
+    """
+    memo = getattr(solve, "_latency", None)
+    if memo is None:
+        memo = derive_latency(subsystem, solve.features, solve.directions)
+        object.__setattr__(solve, "_latency", memo)
+    return memo
+
+
 def derive_latency(
     subsystem: "Subsystem",
     features: dict,
@@ -481,9 +497,7 @@ class SteadyStateModel:
             directions=solve.directions,
             fired=solve.fired,
             features=solve.features,
-            latency=derive_latency(
-                self.subsystem, solve.features, solve.directions
-            ),
+            latency=latency_for_solve(self.subsystem, solve),
         )
 
     def evaluate_many(

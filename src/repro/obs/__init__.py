@@ -20,7 +20,7 @@ The *search observatory* builds the read side on top of the journal:
   (visited vs MFS-skipped buckets per dimension);
 * :mod:`repro.obs.sadiag` — SA diagnostics: per-temperature-epoch
   acceptance rates, per-dimension mutation effectiveness,
-  time-to-first-anomaly;
+  time-to-first-anomaly, per-chain splits for population journals;
 * :mod:`repro.obs.profiler` — hierarchical wall-clock span profiler
   with Chrome trace-event export and a terminal self-time table.
 
@@ -57,10 +57,13 @@ from repro.obs.profiler import (
 )
 from repro.obs.recorder import FlightRecorder
 from repro.obs.sadiag import (
+    ChainDiagnostics,
     acceptance_rate,
     fold_epochs,
     mutation_effectiveness,
+    per_chain_diagnostics,
     render_sa_diagnostics,
+    split_by_chain,
     time_to_first_anomaly,
     time_to_first_anomaly_by_symptom,
 )
@@ -72,6 +75,7 @@ from repro.obs.schema import (
 )
 
 __all__ = [
+    "ChainDiagnostics",
     "CoverageTracker",
     "FlightRecorder",
     "MetricsRegistry",
@@ -89,6 +93,7 @@ __all__ = [
     "fold_epochs",
     "journal_summary",
     "mutation_effectiveness",
+    "per_chain_diagnostics",
     "read_journal",
     "read_journal_prefix",
     "render_latency_panel",
@@ -98,6 +103,7 @@ __all__ = [
     "reports_from_records",
     "run_records",
     "setup_logging",
+    "split_by_chain",
     "time_to_first_anomaly",
     "time_to_first_anomaly_by_symptom",
     "validate_chrome_trace",

@@ -231,23 +231,29 @@ def render_latency_panel(records) -> Optional[str]:
 
 
 def coverage_from_records(records) -> list[CoverageTracker]:
-    """Recompute coverage post-hoc: one tracker per run in a journal."""
+    """Recompute coverage post-hoc: one tracker per run in a journal.
+
+    Runs are grouped by :func:`~repro.obs.journal.run_records`, which
+    demultiplexes chain-stamped population journals — each chain gets
+    its own tracker instead of attributing its visits to whichever run
+    started last in file order.
+    """
+    from repro.obs.journal import run_records
+
     trackers: list[CoverageTracker] = []
-    current: Optional[CoverageTracker] = None
-    for record in records:
-        kind = record.get("t")
-        if kind == "run_start":
-            current = CoverageTracker.for_subsystem(record["subsystem"])
-            trackers.append(current)
-        elif current is None:
-            continue
-        elif kind == "experiment":
-            current.visit(workload_from_dict(record["workload"]))
-        elif kind == "skip":
-            workload = record.get("workload")
-            current.skip(
-                workload_from_dict(workload) if workload is not None else None
-            )
-        elif kind == "anomaly":
-            current.mark_mfs(mfs_from_dict(record["mfs"]))
+    for run in run_records(records):
+        current = CoverageTracker.for_subsystem(run[0]["subsystem"])
+        trackers.append(current)
+        for record in run[1:]:
+            kind = record.get("t")
+            if kind == "experiment":
+                current.visit(workload_from_dict(record["workload"]))
+            elif kind == "skip":
+                workload = record.get("workload")
+                current.skip(
+                    workload_from_dict(workload)
+                    if workload is not None else None
+                )
+            elif kind == "anomaly":
+                current.mark_mfs(mfs_from_dict(record["mfs"]))
     return trackers

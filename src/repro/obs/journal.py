@@ -266,13 +266,30 @@ def run_records(records: Iterable[dict]) -> list[list[dict]]:
     snapshots) are ignored.  The canary's invariant pass iterates these
     groups directly so it can attribute a violation to one run without
     first paying for full report reconstruction.
+
+    Population journals (schema v5) interleave N chains' records in one
+    file; records are first demultiplexed by their ``chain`` stamp — in
+    first-appearance order — then each chain's stream splits on its own
+    ``run_start``.  Journals without chain stamps take the single-stream
+    path unchanged.
     """
-    runs: list[list[dict]] = []
+    streams: dict = {}
+    order: list = []
     for record in records:
-        if record.get("t") == "run_start":
-            runs.append([record])
-        elif runs:
-            runs[-1].append(record)
+        key = record.get("chain")
+        if key not in streams:
+            streams[key] = []
+            order.append(key)
+        streams[key].append(record)
+    runs: list[list[dict]] = []
+    for key in order:
+        current: Optional[list[dict]] = None
+        for record in streams[key]:
+            if record.get("t") == "run_start":
+                current = [record]
+                runs.append(current)
+            elif current is not None:
+                current.append(record)
     return runs
 
 
@@ -294,18 +311,21 @@ def journal_summary(records: Iterable[dict]) -> dict:
     ``run_end`` before the next run begins; anything else is a crashed
     (partial) run — ``crashed_runs`` surfaces it explicitly rather
     than letting a truncated journal masquerade as a finished one.
+    Start/end matching is per chain stream (population journals
+    interleave N concurrent runs in one file).
     """
     by_type: dict[str, int] = {}
     complete = 0
-    in_run = False
+    in_run: dict = {}
     for record in records:
         kind = record.get("t", "?")
         by_type[kind] = by_type.get(kind, 0) + 1
+        chain = record.get("chain")
         if kind == "run_start":
-            in_run = True
-        elif kind == "run_end" and in_run:
+            in_run[chain] = True
+        elif kind == "run_end" and in_run.get(chain):
             complete += 1
-            in_run = False
+            in_run[chain] = False
     runs = by_type.get("run_start", 0)
     return {
         "records": sum(by_type.values()),

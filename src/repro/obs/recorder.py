@@ -60,8 +60,38 @@ class FlightRecorder:
         #: Track 4-D workload-space coverage (one tracker per run).
         self.track_coverage = track_coverage
         self.coverage: Optional[CoverageTracker] = None
+        #: Which population chain this recorder writes for.  ``None``
+        #: (single-trajectory runs) stamps nothing, keeping legacy
+        #: journals byte-identical; an int stamps every record with
+        #: ``"chain": n`` (schema v5) so readers can demultiplex the
+        #: interleaved streams of a population run.
+        self.chain: Optional[int] = None
         self._experiments_seen = 0
         self._spans_flushed = 0
+
+    def for_chain(self, chain: int) -> "FlightRecorder":
+        """A chain-stamped view sharing this recorder's journal/metrics.
+
+        The population driver hands each SA chain its own view: records
+        land interleaved in the one journal, each stamped with the
+        chain id.  Views never own the journal — only the parent's
+        :meth:`close` closes it — and carry no profiler (spans would
+        interleave wrongly across chains suspended mid-iteration).
+        """
+        view = FlightRecorder(
+            journal=self.journal,
+            metrics=self.metrics,
+            progress_every=self.progress_every,
+            profiler=None,
+            track_coverage=self.track_coverage,
+        )
+        view.chain = chain
+        return view
+
+    def _write(self, record: dict) -> None:
+        if self.chain is not None:
+            record["chain"] = self.chain
+        self.journal.write(record)
 
     # -- run lifecycle -----------------------------------------------------
 
@@ -81,7 +111,7 @@ class FlightRecorder:
                 else CoverageTracker.for_subsystem(subsystem_name)
             )
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "run_start",
                 "subsystem": subsystem_name,
                 "counter_mode": counter_mode,
@@ -94,7 +124,7 @@ class FlightRecorder:
         self, counters: list, dispersions: Optional[dict] = None
     ) -> None:
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "ranking",
                 "counters": list(counters),
                 "dispersions": dict(dispersions) if dispersions else None,
@@ -113,9 +143,9 @@ class FlightRecorder:
     ) -> None:
         if self.journal is not None:
             if self.coverage is not None:
-                self.journal.write(self.coverage.as_record(elapsed_seconds))
+                self._write(self.coverage.as_record(elapsed_seconds))
             self._flush_spans()
-            self.journal.write({
+            self._write({
                 "t": "run_end",
                 "elapsed_seconds": elapsed_seconds,
                 "experiments": experiments,
@@ -138,9 +168,9 @@ class FlightRecorder:
         if self.coverage is not None:
             self.coverage.visit(event.workload)
         if self.journal is not None:
-            self.journal.write(experiment_record(event))
+            self._write(experiment_record(event))
             if event.latency is not None:
-                self.journal.write(latency_record(event))
+                self._write(latency_record(event))
         self._experiments_seen += 1
         if (
             self.progress_every
@@ -166,7 +196,7 @@ class FlightRecorder:
             if action == "improve":
                 self.metrics.counter("sa.improvements", dimension=dimension)
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "transition",
                 "time_seconds": time_seconds,
                 "action": action,
@@ -184,7 +214,7 @@ class FlightRecorder:
             record = {"t": "skip", "time_seconds": time_seconds}
             if workload is not None:
                 record["workload"] = workload_to_dict(workload)
-            self.journal.write(record)
+            self._write(record)
 
     def anomaly(self, index: int, event_index: Optional[int], mfs) -> None:
         """A new MFS entered the anomaly set."""
@@ -194,14 +224,14 @@ class FlightRecorder:
         if self.coverage is not None:
             self.coverage.mark_mfs(mfs)
         if self.journal is not None:
-            self.journal.write(anomaly_record(index, event_index, mfs))
+            self._write(anomaly_record(index, event_index, mfs))
 
     def cache_event(self, phase: str, hit: bool) -> None:
         """One evaluation-cache lookup (wired as the cache's observer)."""
         outcome = "hit" if hit else "miss"
         self.metrics.counter("cache.lookups", phase=phase, outcome=outcome)
         if self.journal is not None:
-            self.journal.write({"t": "cache", "phase": phase, "hit": hit})
+            self._write({"t": "cache", "phase": phase, "hit": hit})
 
     # -- fan-out (executor / fleet) ----------------------------------------
 
@@ -212,7 +242,7 @@ class FlightRecorder:
         self.metrics.observe("executor.busy_seconds", stats.busy_seconds)
         self.metrics.gauge("executor.workers", stats.workers)
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "fanout",
                 "tasks": stats.tasks,
                 "workers": stats.workers,
@@ -252,7 +282,7 @@ class FlightRecorder:
         self.metrics.counter("faults.retries", kind=error)
         self.metrics.observe("faults.backoff_seconds", backoff_seconds)
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "retry",
                 "task": task,
                 "host": host,
@@ -268,7 +298,7 @@ class FlightRecorder:
         self.metrics.counter("faults.quarantines")
         self.metrics.counter("faults.redistributed", redistributed)
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "quarantine",
                 "host": host,
                 "failures": failures,
@@ -315,9 +345,9 @@ class FlightRecorder:
             if self.coverage is not None:
                 self.coverage.visit(event.workload)
             if self.journal is not None:
-                self.journal.write(experiment_record(event))
+                self._write(experiment_record(event))
                 if event.latency is not None:
-                    self.journal.write(latency_record(event))
+                    self._write(latency_record(event))
         for index, mfs in enumerate(anomalies):
             self.anomaly(index, None, mfs)
         for _ in range(skipped):
@@ -325,7 +355,7 @@ class FlightRecorder:
             if self.coverage is not None:
                 self.coverage.skip(None)
             if self.journal is not None:
-                self.journal.write({
+                self._write({
                     "t": "skip", "time_seconds": report.elapsed_seconds,
                 })
         self._run_end_totals(
@@ -343,7 +373,7 @@ class FlightRecorder:
             time_seconds / 3600.0,
         )
         if self.journal is not None:
-            self.journal.write({
+            self._write({
                 "t": "snapshot",
                 "time_seconds": time_seconds,
                 "experiments": state.experiments,
@@ -352,7 +382,7 @@ class FlightRecorder:
                 "metrics": self.metrics.snapshot(),
             })
             if self.coverage is not None:
-                self.journal.write(self.coverage.as_record(time_seconds))
+                self._write(self.coverage.as_record(time_seconds))
 
     def _flush_spans(self) -> None:
         """Journal any profiler events not yet written (chunked)."""
@@ -362,7 +392,7 @@ class FlightRecorder:
         pending = events[self._spans_flushed:]
         self._spans_flushed = len(events)
         for record in spans_records(pending):
-            self.journal.write(record)
+            self._write(record)
 
     def close(self) -> None:
         if self.journal is not None:

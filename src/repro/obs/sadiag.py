@@ -12,6 +12,14 @@ restart / reheat) into the numbers behind the paper's Fig. 5 ablation:
   computed from ``experiment`` records so it also works for baselines
   that never record transitions.
 
+Population journals (schema v5) interleave N chains' records, each
+stamped with its chain id; :func:`per_chain_diagnostics` splits the
+acceptance rate, mutation effectiveness and TTFA per chain — and, for
+parallel tempering, per ladder rung (a chain's rung is the hottest
+temperature its transitions ever recorded, i.e. its ``t0``).  Journals
+from before the population driver carry no stamps and fold into a
+single unnamed chain, so every caller degrades gracefully.
+
 Everything here is a pure fold over journal records; nothing touches
 the search.
 """
@@ -38,6 +46,7 @@ class EpochStats:
     reject: int = 0
     restart: int = 0
     reheat: int = 0
+    exchange: int = 0  #: replica swaps adopted (tempering runs only).
 
     @property
     def decisions(self) -> int:
@@ -125,6 +134,69 @@ def mutation_effectiveness(records) -> list[DimensionStats]:
     )
 
 
+def split_by_chain(records) -> dict:
+    """Chain id → that chain's records, in first-appearance order.
+
+    Population journals (schema v5) stamp every record with its chain;
+    journals from before the population driver carry no stamps, so the
+    whole journal folds into a single ``{None: records}`` stream and
+    every per-chain caller degrades gracefully to whole-run numbers.
+    """
+    streams: dict = {}
+    for record in records:
+        streams.setdefault(record.get("chain"), []).append(record)
+    return streams
+
+
+@dataclasses.dataclass
+class ChainDiagnostics:
+    """One population chain's slice of the SA diagnostic fold."""
+
+    chain: Optional[int]  #: None for unstamped (pre-population) journals.
+    t0: Optional[float]  #: hottest transition temperature = ladder rung.
+    decisions: int
+    acceptance: Optional[float]
+    exchanges: int  #: replica swaps this chain adopted (tempering).
+    dimensions: list  #: per-chain :class:`DimensionStats`, best first.
+    ttfa: Optional[float]
+
+    @property
+    def best_dimension(self) -> Optional[str]:
+        return self.dimensions[0].dimension if self.dimensions else None
+
+
+def per_chain_diagnostics(records) -> list[ChainDiagnostics]:
+    """Acceptance, effectiveness, exchanges and TTFA split per chain.
+
+    For parallel-tempering journals the ``t0`` column identifies the
+    ladder rung (every chain's schedule starts at its rung, so the
+    hottest temperature it ever journaled *is* the rung).  Unstamped
+    journals yield a single entry with ``chain=None`` holding the same
+    numbers the whole-journal folds report.
+    """
+    diagnostics: list[ChainDiagnostics] = []
+    for chain, stream in split_by_chain(records).items():
+        transitions = list(_transitions(stream))
+        decided = sum(
+            1 for r in transitions if r["action"] in DECISION_ACTIONS
+        )
+        diagnostics.append(ChainDiagnostics(
+            chain=chain,
+            t0=max(
+                (float(r["temperature"]) for r in transitions),
+                default=None,
+            ),
+            decisions=decided,
+            acceptance=acceptance_rate(transitions),
+            exchanges=sum(
+                1 for r in transitions if r["action"] == "exchange"
+            ),
+            dimensions=mutation_effectiveness(transitions),
+            ttfa=time_to_first_anomaly(stream),
+        ))
+    return diagnostics
+
+
 def time_to_first_anomaly(records) -> Optional[float]:
     """Simulated seconds until the first anomalous experiment.
 
@@ -209,4 +281,24 @@ def render_sa_diagnostics(records) -> str:
             )
     if len(lines) == 2:
         lines.append("  no transition records in this journal")
+    chains = per_chain_diagnostics(records)
+    if any(entry.chain is not None for entry in chains):
+        lines.append("  per-chain split:")
+        lines.append(
+            f"    {'chain':>5} {'t0':>8} {'decisions':>9} {'accept %':>9} "
+            f"{'exchanges':>9} {'ttfa':>8}  best dimension"
+        )
+        for entry in chains:
+            chain = "—" if entry.chain is None else str(entry.chain)
+            t0 = f"{entry.t0:.4f}" if entry.t0 is not None else "—"
+            accept = (
+                f"{entry.acceptance:.1%}"
+                if entry.acceptance is not None else "—"
+            )
+            ttfa = f"{entry.ttfa:.0f}s" if entry.ttfa is not None else "never"
+            lines.append(
+                f"    {chain:>5} {t0:>8} {entry.decisions:>9d} "
+                f"{accept:>9} {entry.exchanges:>9d} {ttfa:>8}  "
+                + (entry.best_dimension or "—")
+            )
     return "\n".join(lines)

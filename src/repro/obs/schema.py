@@ -63,26 +63,33 @@ Record types:
 Version 2 added the ``retry``/``quarantine`` types; version 3 added the
 observatory's ``coverage``/``spans`` types plus the optional
 ``transition.mutated`` and ``skip.workload`` detail fields; version 4
-added the ``latency`` type.  Older journals remain valid (the validator
-accepts every version in ``SUPPORTED_VERSIONS``; optional fields are
-only type-checked when present).
+added the ``latency`` type; version 5 added population-search support:
+an optional integer ``chain`` field on every record (which SA chain of
+a population run wrote it — absent on single-trajectory journals, so
+those stay byte-compatible) and the ``exchange`` transition action
+(parallel tempering adopted a replica from an adjacent ladder rung).
+Older journals remain valid (the validator accepts every version in
+``SUPPORTED_VERSIONS``; optional fields are only type-checked when
+present).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Versions the validator (and readers) accept.
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
 MAYBE_DICT = (dict, type(None))
 
 #: SA transition actions the schema admits.
-TRANSITION_ACTIONS = ("improve", "accept", "reject", "restart", "reheat")
+TRANSITION_ACTIONS = (
+    "improve", "accept", "reject", "restart", "reheat", "exchange",
+)
 
 #: Record type → {field: accepted types}.  Extra fields are allowed
 #: (forward compatibility); missing or mistyped ones are errors.
@@ -217,6 +224,10 @@ def validate_record(record, line: Optional[int] = None) -> list[str]:
     for name, accepted in OPTIONAL_RECORD_FIELDS.get(kind, {}).items():
         if name in record:
             errors.extend(_check_field(record, kind, name, accepted, where))
+    # ``chain`` (v5) may appear on any record type a population chain
+    # writes; validated generically so new record types inherit it.
+    if "chain" in record:
+        errors.extend(_check_field(record, kind, "chain", int, where))
     if kind == "transition":
         action = record.get("action")
         if isinstance(action, str) and action not in TRANSITION_ACTIONS:

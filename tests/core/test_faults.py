@@ -28,6 +28,7 @@ from repro.core.faults import (
 )
 from repro.core.space import SearchSpace
 from repro.obs import (
+    SCHEMA_VERSION,
     FlightRecorder,
     MetricsRegistry,
     RunJournal,
@@ -454,8 +455,8 @@ class TestFaultObservability:
         assert retries[0]["host"] == 1
         assert retries[0]["error"] == "crash"
         assert quarantines == [{
-            "v": 4, "t": "quarantine", "host": 1, "failures": 1,
-            "redistributed": 2,
+            "v": SCHEMA_VERSION, "t": "quarantine", "host": 1,
+            "failures": 1, "redistributed": 2,
         }]
         # Metrics route through the recorder exactly once (the executor
         # holds both the recorder and its registry — no double counting).

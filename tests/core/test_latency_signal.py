@@ -57,13 +57,22 @@ def _canonical(records):
     real elapsed time (zeroed in the committed fixture); simulated-time
     histograms keep every moment but drop p50/p90/p99, which the
     percentile-interpolation fix changed deliberately (the regression
-    test in tests/obs/test_metrics.py pins the new values).
+    test in tests/obs/test_metrics.py pins the new values).  Verdict
+    tallies (``monitor.verdicts{...}``) are dropped too: the fixture
+    predates the classify-dedup change, which counts one classification
+    per measurement instead of re-classifying on the anomaly path — the
+    search trajectory itself is still compared record for record.
     """
     out = []
     for record in records:
         record = {k: v for k, v in record.items() if k != "v"}
         if isinstance(record.get("metrics"), dict):
             metrics = json.loads(json.dumps(record["metrics"]))
+            metrics["counters"] = {
+                name: value
+                for name, value in metrics.get("counters", {}).items()
+                if not name.startswith("monitor.verdicts")
+            }
             for name, histogram in metrics.get("histograms", {}).items():
                 if "wall" in name:
                     metrics["histograms"][name] = {

@@ -7,15 +7,17 @@ from repro.obs import (
     acceptance_rate,
     fold_epochs,
     mutation_effectiveness,
+    per_chain_diagnostics,
     read_journal,
     render_sa_diagnostics,
+    split_by_chain,
     time_to_first_anomaly,
     time_to_first_anomaly_by_symptom,
 )
 
 
-def transition(action, temperature, mutated=()):
-    return {
+def transition(action, temperature, mutated=(), chain=None):
+    record = {
         "t": "transition",
         "time_seconds": 0.0,
         "action": action,
@@ -23,6 +25,9 @@ def transition(action, temperature, mutated=()):
         "delta": 0.0,
         "mutated": list(mutated),
     }
+    if chain is not None:
+        record["chain"] = chain
+    return record
 
 
 SYNTHETIC = [
@@ -102,6 +107,71 @@ class TestTimeToFirstAnomaly:
         assert time_to_first_anomaly_by_symptom([]) == {}
 
 
+# An interleaved tempering journal: chain 0 anneals the hot rung
+# (t0=1.0), chain 1 the cold rung (t0=0.5); chain 1 adopts one replica
+# exchange and finds an anomaly.
+POPULATION = [
+    transition("improve", 1.0, ["mtu"], chain=0),
+    transition("reject", 0.5, ["num_qps"], chain=1),
+    transition("reject", 1.0, ["mtu"], chain=0),
+    transition("accept", 0.5, ["mtu"], chain=1),
+    transition("exchange", 0.5, chain=1),
+    transition("improve", 0.25, ["num_qps"], chain=1),
+    {"t": "experiment", "time_seconds": 40.0, "symptom": "pfc_storm",
+     "chain": 1},
+]
+
+
+class TestPerChainSplit:
+    def test_split_keys_in_first_appearance_order(self):
+        streams = split_by_chain(POPULATION)
+        assert list(streams) == [0, 1]
+        assert len(streams[0]) == 2
+        assert len(streams[1]) == 5
+
+    def test_unstamped_journal_folds_into_one_stream(self):
+        streams = split_by_chain(SYNTHETIC)
+        assert list(streams) == [None]
+        assert streams[None] == SYNTHETIC
+
+    def test_per_chain_acceptance_and_exchanges(self):
+        by_chain = {d.chain: d for d in per_chain_diagnostics(POPULATION)}
+        assert by_chain[0].acceptance == 0.5   # improve out of 2
+        assert by_chain[0].exchanges == 0
+        assert by_chain[1].acceptance == 2 / 3  # accept+improve out of 3
+        assert by_chain[1].exchanges == 1
+
+    def test_t0_identifies_the_ladder_rung(self):
+        by_chain = {d.chain: d for d in per_chain_diagnostics(POPULATION)}
+        assert by_chain[0].t0 == 1.0
+        assert by_chain[1].t0 == 0.5
+
+    def test_ttfa_is_attributed_to_the_finding_chain(self):
+        by_chain = {d.chain: d for d in per_chain_diagnostics(POPULATION)}
+        assert by_chain[0].ttfa is None
+        assert by_chain[1].ttfa == 40.0
+
+    def test_best_dimension_is_per_chain(self):
+        by_chain = {d.chain: d for d in per_chain_diagnostics(POPULATION)}
+        assert by_chain[0].best_dimension == "mtu"
+
+    def test_unstamped_fallback_matches_whole_journal_folds(self):
+        (entry,) = per_chain_diagnostics(SYNTHETIC)
+        assert entry.chain is None
+        assert entry.acceptance == acceptance_rate(SYNTHETIC)
+        assert entry.t0 == 1.0
+        assert entry.exchanges == 0
+
+    def test_exchange_transitions_fold_into_epochs(self):
+        epochs = fold_epochs(POPULATION)
+        assert sum(e.exchange for e in epochs) == 1
+        # exchange is a schedule event, not a Metropolis decision.
+        records = [transition("exchange", 0.5, chain=1)]
+        (epoch,) = fold_epochs(records)
+        assert epoch.decisions == 0
+        assert acceptance_rate(records) is None
+
+
 class TestRender:
     def test_renders_synthetic_records(self):
         text = render_sa_diagnostics(SYNTHETIC)
@@ -110,6 +180,14 @@ class TestRender:
 
     def test_renders_without_transitions(self):
         assert "no transition records" in render_sa_diagnostics([])
+
+    def test_renders_per_chain_split_for_population_journals(self):
+        text = render_sa_diagnostics(POPULATION)
+        assert "per-chain split:" in text
+        assert "best dimension" in text
+
+    def test_legacy_journals_render_without_chain_section(self):
+        assert "per-chain split" not in render_sa_diagnostics(SYNTHETIC)
 
     def test_renders_a_real_journal(self, tmp_path):
         path = tmp_path / "run.jsonl"

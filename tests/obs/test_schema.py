@@ -66,18 +66,38 @@ class TestValidateRecord:
 
 
 class TestSchemaVersions:
-    def test_current_version_is_four(self):
-        assert SCHEMA_VERSION == 4
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
+    def test_current_version_is_five(self):
+        assert SCHEMA_VERSION == 5
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5)
 
     def test_older_journals_still_validate(self):
         assert validate_record(skip_record(v=1)) == []
         assert validate_record(skip_record(v=2)) == []
         assert validate_record(skip_record(v=3)) == []
+        assert validate_record(skip_record(v=4)) == []
 
     def test_future_version_rejected(self):
-        errors = validate_record(skip_record(v=5))
-        assert any("unsupported schema version 5" in e for e in errors)
+        errors = validate_record(skip_record(v=6))
+        assert any("unsupported schema version 6" in e for e in errors)
+
+
+class TestPopulationRecords:
+    def test_chain_stamp_validates_on_any_record(self):
+        assert validate_record(skip_record(chain=3)) == []
+
+    def test_chain_stamp_must_be_an_int(self):
+        errors = validate_record(skip_record(chain="3"))
+        assert any("field 'chain' is str" in e for e in errors)
+        errors = validate_record(skip_record(chain=True))
+        assert any("field 'chain' is bool" in e for e in errors)
+
+    def test_exchange_transition_action_validates(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "transition", "time_seconds": 9.0,
+            "action": "exchange", "temperature": 0.5, "delta": 0.0,
+            "chain": 1,
+        }
+        assert validate_record(record) == []
 
 
 class TestResilienceRecords:

@@ -112,6 +112,58 @@ class TestSearch:
         assert "unsupported cache format 99" in err
 
 
+class TestPopulationSearch:
+    def test_chains_prints_population_summary(self, capsys):
+        code = main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--chains", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Population(3 chains) on subsystem H" in out
+        assert "chain 0:" in out and "chain 2:" in out
+
+    def test_seeds_delegation_prints_campaign_format(self, capsys):
+        code = main(["search", "H", "--hours", "0.3", "--seed", "1",
+                     "--seeds", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Delegated to the population driver, but the printed summary
+        # stays in the per-seed campaign format.
+        assert "3 seeds" in out
+        assert "seed 1:" in out and "seed 3:" in out
+
+    def test_tempering_prints_ladder(self, capsys):
+        code = main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--chains", "2", "--tempering",
+                     "--exchange-every", "5"])
+        assert code == 0
+        assert "tempering ladder" in capsys.readouterr().out
+
+    def test_seeds_and_chains_mutually_exclusive(self, capsys):
+        code = main(["search", "H", "--seeds", "2", "--chains", "2"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_tempering_needs_two_chains(self, capsys):
+        code = main(["search", "H", "--tempering"])
+        assert code == 2
+        assert "--chains >= 2" in capsys.readouterr().err
+
+    def test_report_renders_population_journal_runs_complete(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "population.jsonl"
+        assert main(["search", "H", "--hours", "0.3", "--seed", "2",
+                     "--chains", "2", "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Interleaved chain runs demultiplex into complete runs — the
+        # per-chain run_end matching must not flag them as crashed.
+        assert "2 run(s)" in out
+        assert "run 1:" in out and "run 2:" in out
+        assert "[CRASHED — partial]" not in out
+
+
 class TestParallel:
     def test_fleet_search(self, capsys):
         code = main(
