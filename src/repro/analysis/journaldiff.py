@@ -30,6 +30,7 @@ benign jitter does not gate.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional
 
 from repro.obs.coverage import coverage_from_records
@@ -60,6 +61,8 @@ INFO_METRICS = (
     "latency_records",
     "latency_p99_us_median",
     "latency_inflation_max",
+    "isolation_experiments",
+    "interference_min",
 )
 
 
@@ -114,6 +117,31 @@ def latency_metrics(records: list[dict]) -> dict:
         "latency_records": len(p99s),
         "latency_p99_us_median": median,
         "latency_inflation_max": max(inflations) if inflations else None,
+    }
+
+
+def isolation_metrics(records: list[dict]) -> dict:
+    """The journal's isolation family: co-run experiments, worst case.
+
+    Solo journals (schema ≤ v5, or any run without ``--victim``) carry
+    no ``interference`` fields and yield count 0 with a ``None``
+    minimum, rendered as "-" by the diff.  Non-finite interference
+    values (the zero-fair-share sentinel) are excluded from the
+    minimum — NaN would poison the comparison, not inform it.
+    """
+    values: list[float] = []
+    for record in records:
+        if record.get("t") != "experiment":
+            continue
+        interference = record.get("interference")
+        if interference is None:
+            continue
+        value = float(interference)
+        if math.isfinite(value):
+            values.append(value)
+    return {
+        "isolation_experiments": len(values),
+        "interference_min": min(values) if values else None,
     }
 
 
@@ -191,6 +219,7 @@ def journal_metrics(records: list[dict]) -> dict:
         "mfs_condition_sizes": mfs_condition_sizes(records),
     }
     metrics.update(latency_metrics(records))
+    metrics.update(isolation_metrics(records))
     return metrics
 
 

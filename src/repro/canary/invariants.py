@@ -88,6 +88,26 @@ def mfs_soundness_errors(mfs, space: SearchSpace) -> list[str]:
     return errors
 
 
+def cell_victim(records) -> tuple:
+    """``(victim, victim_share)`` from a journal's isolation preamble.
+
+    Isolation journals (schema v6) open with an ``isolation`` record
+    naming the pinned victim; their anomalies only reproduce in co-run
+    mode, so the reproduction invariant must replay them against the
+    same victim.  Solo journals yield ``(None, 0.5)`` and the replay
+    path is bit-identical to the pre-isolation pass.
+    """
+    from repro.analysis.serialize import workload_from_dict
+
+    for record in records:
+        if record.get("t") == "isolation":
+            return (
+                workload_from_dict(record["victim"]),
+                float(record["victim_share"]),
+            )
+    return None, 0.5
+
+
 def check_cell(
     cell: CorpusCell, attempts: int = REPRODUCE_ATTEMPTS
 ) -> list[InvariantViolation]:
@@ -107,6 +127,7 @@ def check_cell(
             )
         )
     space = SearchSpace.for_subsystem(cell.subsystem)
+    victim, victim_share = cell_victim(cell.records)
     for index, record in enumerate(cell.records):
         if record.get("t") != "anomaly":
             continue
@@ -129,7 +150,10 @@ def check_cell(
                     detail=f"record {index}: {error}",
                 )
             )
-        result = reproduce_mfs(mfs, cell.subsystem, attempts=attempts)
+        result = reproduce_mfs(
+            mfs, cell.subsystem, attempts=attempts,
+            victim=victim, victim_share=victim_share,
+        )
         if not result.reproduced:
             violations.append(
                 InvariantViolation(

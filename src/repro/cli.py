@@ -30,6 +30,10 @@ Commands mirror how the paper's operators use Collie:
                     seed population plus hard behavioural invariants
                     (exit 0 clean, 1 drift/violation, 2 corpus
                     unreadable — see :mod:`repro.canary`);
+* ``isolation``   — the adversarial-neighbor catalog: per-subsystem
+                    co-run searches against a pinned victim (the
+                    ``search --victim`` domain), every minimized
+                    attacker verified by replay before listing;
 * ``replay``      — replay the 18 Appendix A trigger settings;
 * ``diagnose``    — match a workload (JSON file) against a saved
                     report's MFS set (§7.3 debugging workflow);
@@ -168,6 +172,65 @@ def _retry_policy(args: argparse.Namespace):
     )
 
 
+#: ``--victim`` preset names → victim factory.
+_VICTIM_PRESETS = ("small-message", "default")
+
+
+def _parse_victim(spec: str):
+    """``--victim SPEC`` → the pinned victim workload.
+
+    ``SPEC`` is either a preset name (``small-message``, its alias
+    ``default``) or comma-separated ``key=value`` overrides applied on
+    top of the small-message preset — e.g.
+    ``num_qps=64,msg_sizes_bytes=512;4096``.  Values are coerced to the
+    field's serialized type (``;`` separates message-pattern entries).
+    """
+    from repro.analysis.isolation import default_victim
+    from repro.analysis.serialize import workload_from_dict, workload_to_dict
+
+    if spec in _VICTIM_PRESETS:
+        return default_victim()
+    base = workload_to_dict(default_victim())
+    for part in spec.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"bad --victim entry {part!r}: expected a preset "
+                f"({', '.join(_VICTIM_PRESETS)}) or key=value pairs"
+            )
+        if key not in base:
+            raise ValueError(
+                f"unknown victim field {key!r} "
+                f"(choose from {', '.join(sorted(base))})"
+            )
+        current = base[key]
+        value = value.strip()
+        if isinstance(current, bool):
+            base[key] = value.lower() in ("1", "true", "yes")
+        elif isinstance(current, int):
+            base[key] = int(value)
+        elif isinstance(current, float):
+            base[key] = float(value)
+        elif isinstance(current, (list, tuple)):
+            base[key] = [int(item) for item in value.split(";")]
+        else:
+            base[key] = value
+    return workload_from_dict(base)
+
+
+def _victim_from_args(args: argparse.Namespace):
+    """The (victim, share) the flags describe; SystemExit(2) on bad spec."""
+    spec = getattr(args, "victim", None)
+    if not spec:
+        return None
+    try:
+        return _parse_victim(spec)
+    except (ValueError, KeyError) as error:
+        logger.error(f"cannot parse --victim {spec!r}: {error}")
+        raise SystemExit(2)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.analysis.serialize import save_report
     from repro.core import Collie
@@ -182,6 +245,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         logger.error("--tempering needs --chains >= 2 (one chain per "
                      "ladder rung)")
         return 2
+    victim = _victim_from_args(args)
+    if victim is not None and args.seeds > 1 and (
+        args.workers > 1 or _retry_policy(args) is not None
+    ):
+        logger.error("--victim campaigns run in-process (the lockstep "
+                     "population path): drop --workers and the retry "
+                     "flags")
+        return 2
     cache = _open_cache(args)
     recorder = _open_recorder(args)
     if args.seeds > 1:
@@ -191,12 +262,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
             # instead of running the seeds one scalar walk at a time.
             return _run_search_population(
                 args, cache, recorder, chains=args.seeds,
-                campaign_format=True,
+                campaign_format=True, victim=victim,
             )
         return _run_search_campaign(args, cache, recorder)
     if population:
         return _run_search_population(
-            args, cache, recorder, chains=args.chains
+            args, cache, recorder, chains=args.chains, victim=victim,
         )
     collie = Collie.for_subsystem(
         args.subsystem,
@@ -209,8 +280,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
         batch=not args.no_batch,
         batch_probes=args.batch_probes,
         latency=not args.no_latency,
+        victim=victim,
+        victim_share=args.victim_share,
     )
     report = collie.run()
+    if victim is not None:
+        floor = collie.testbed.victim_floor
+        logger.info(
+            f"victim: {victim.summary()} — share {args.victim_share:g} "
+            f"(fair {floor.fair_share_gbps:.1f} of {floor.alone_gbps:.1f} "
+            f"Gbps alone, p99 floor {floor.alone_p99_us:.2f} us)"
+        )
     logger.info(report.summary())
     if args.recipes:
         from repro.core.reproducer import recipe
@@ -234,7 +314,7 @@ def _search_approach(args: argparse.Namespace) -> str:
 
 def _run_search_population(
     args: argparse.Namespace, cache, recorder,
-    chains: int, campaign_format: bool = False,
+    chains: int, campaign_format: bool = False, victim=None,
 ) -> int:
     """``search --chains N`` / ``--tempering`` / delegated ``--seeds N``.
 
@@ -269,6 +349,8 @@ def _run_search_population(
         latency=not args.no_latency,
         temperature_ladder=ladder,
         exchange_every=args.exchange_every,
+        victim=victim,
+        victim_share=getattr(args, "victim_share", 0.5),
     )
     report = driver.run()
     if campaign_format:
@@ -524,6 +606,7 @@ def _report_one(
             f"resilience: {shape['retries']} retried attempt(s), "
             f"{shape['quarantines']} quarantined host(s)"
         )
+    _report_isolation(records)
     if shape["crashed_runs"]:
         logger.warning(
             f"{shape['crashed_runs']} of {shape['runs']} run(s) are "
@@ -570,6 +653,31 @@ def _report_one(
                 bar = "#" * int(round(value * 40))
                 logger.info(f"  {hour:6.2f}h |{bar}")
     return 0
+
+
+def _report_isolation(records) -> None:
+    """Log the co-run context of an isolation journal (no-op for solo)."""
+    isolation = [r for r in records if r.get("t") == "isolation"]
+    if not isolation:
+        return
+    from repro.analysis.journaldiff import isolation_metrics
+    from repro.analysis.serialize import workload_from_dict
+
+    for record in isolation:
+        victim = workload_from_dict(record["victim"])
+        logger.info(
+            f"isolation run: victim {victim.summary()} — "
+            f"share {record['victim_share']:g}, alone "
+            f"{record['alone_gbps']:.1f} Gbps / p99 "
+            f"{record['alone_p99_us']:.2f} us"
+        )
+    metrics = isolation_metrics(records)
+    if metrics["isolation_experiments"]:
+        logger.info(
+            f"  co-run experiments: {metrics['isolation_experiments']}, "
+            f"worst interference {metrics['interference_min']:.2f} of "
+            f"fair share"
+        )
 
 
 def _latency_line(summaries) -> Optional[str]:
@@ -705,6 +813,15 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     panel = render_latency_panel(records)
     if panel is not None:
         logger.info(panel)
+    from repro.analysis.journaldiff import isolation_metrics
+
+    metrics = isolation_metrics(records)
+    if metrics["isolation_experiments"]:
+        logger.info(
+            f"co-run coverage: {metrics['isolation_experiments']} "
+            f"experiments carried victim interference, worst "
+            f"{metrics['interference_min']:.2f} of fair share"
+        )
     return 0
 
 
@@ -974,6 +1091,63 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_isolation(args: argparse.Namespace) -> int:
+    """``isolation``: the adversarial-neighbor catalog (Table 2's twin).
+
+    Runs one quick-budget co-run search per requested subsystem against
+    the pinned victim, verifies every minimized attacker through the
+    co-run reproducer, and prints the catalog.  Exit 1 when a subsystem
+    yielded no reproduced isolation anomaly — the catalog's guarantee.
+    """
+    from repro.analysis import render_table
+    from repro.analysis.isolation import (
+        ISOLATION_COLUMNS,
+        catalog_findings,
+        catalog_rows,
+        default_victim,
+        isolation_search,
+    )
+
+    subsystems = tuple(args.subsystems.upper())
+    unknown = sorted(set(subsystems) - set("ABCDEFGH"))
+    if unknown:
+        logger.error(
+            f"unknown subsystem(s) {', '.join(unknown)} "
+            f"(choose letters from A-H)"
+        )
+        return 2
+    victim = _victim_from_args(args) or default_victim()
+    recorder = _open_recorder(args)
+    findings = []
+    bare: list[str] = []
+    for letter in subsystems:
+        report = isolation_search(
+            letter, victim=victim, victim_share=args.victim_share,
+            budget_hours=args.hours, seed=args.seed, recorder=recorder,
+        )
+        verified = catalog_findings(report, victim, args.victim_share)
+        findings.extend(verified)
+        reproduced = sum(f.reproduced for f in verified)
+        logger.info(
+            f"subsystem {letter}: {len(verified)} isolation anomaly(ies), "
+            f"{reproduced} reproduced, {report.experiments} experiments"
+        )
+        if not reproduced:
+            bare.append(letter)
+    logger.info("")
+    logger.info(f"victim: {victim.summary()} (share {args.victim_share:g})")
+    if findings:
+        logger.info(render_table(catalog_rows(findings), ISOLATION_COLUMNS))
+    _close_recorder(recorder)
+    if bare:
+        logger.warning(
+            f"no reproduced isolation anomaly on subsystem(s) "
+            f"{', '.join(bare)}"
+        )
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import render_table, table1_rows
 
@@ -1085,6 +1259,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the tail-latency signal: no latency "
                              "journal records and no latency-inflation "
                              "verdicts (bit-identical to pre-latency runs)")
+    search.add_argument("--victim", metavar="SPEC",
+                        help="adversarial-neighbor mode: pin this victim "
+                             "workload on the testbed and search the "
+                             "attacker that degrades it; SPEC is a preset "
+                             "('small-message') or comma-separated "
+                             "key=value overrides of it, e.g. "
+                             "'num_qps=64,msg_sizes_bytes=512;4096'")
+    search.add_argument("--victim-share", type=float, default=0.5,
+                        metavar="FRACTION",
+                        help="victim's fair bandwidth share of the "
+                             "bottleneck links (default 0.5)")
     search.add_argument("--batch-probes", action="store_true",
                         help="pre-sample and batch the counter-ranking "
                              "probes (deterministic per seed, but a "
@@ -1306,6 +1491,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="log per-cell progress while re-running the matrix",
     )
     canary_check_parser.set_defaults(func=_cmd_canary_check)
+
+    isolation = sub.add_parser(
+        "isolation",
+        help="adversarial-neighbor catalog: per-subsystem co-run "
+             "searches against a pinned victim, every minimized "
+             "attacker verified by replay (exit 1 when a subsystem "
+             "yields no reproduced isolation anomaly)",
+    )
+    isolation.add_argument(
+        "--subsystems", default="ABCDEFGH", metavar="LETTERS",
+        help="subsystems to catalog, as a string of Table 1 letters "
+             "(default: ABCDEFGH)",
+    )
+    isolation.add_argument("--hours", type=float, default=0.3,
+                           help="simulated budget per subsystem "
+                                "(default 0.3)")
+    isolation.add_argument("--seed", type=int, default=3)
+    isolation.add_argument("--victim", metavar="SPEC",
+                           help="victim workload (same SPEC as "
+                                "'search --victim'; default: the "
+                                "small-message preset)")
+    isolation.add_argument("--victim-share", type=float, default=0.5,
+                           metavar="FRACTION",
+                           help="victim's fair bandwidth share "
+                                "(default 0.5)")
+    isolation.add_argument("--journal", metavar="JOURNAL.jsonl",
+                           help="write every subsystem's co-run search "
+                                "into one JSONL flight-recorder journal")
+    isolation.set_defaults(func=_cmd_isolation)
 
     replay = sub.add_parser(
         "replay", help="replay the 18 Appendix A trigger settings"

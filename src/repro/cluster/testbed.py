@@ -62,6 +62,8 @@ class Testbed:
         metrics=None,
         batch: bool = True,
         profiler=None,
+        victim: Optional[WorkloadDescriptor] = None,
+        victim_share: float = 0.5,
     ) -> None:
         from repro.core.engine import WorkloadEngine
 
@@ -72,7 +74,14 @@ class Testbed:
         self.engine = WorkloadEngine(
             subsystem, noise=noise, cache=cache, batch=batch,
             metrics=metrics, profiler=profiler,
+            victim=victim, victim_share=victim_share,
         )
+        #: Isolation mode (see :class:`~repro.hardware.coexist.CoRunModel`):
+        #: with a pinned victim every run measures the *victim* next to
+        #: the given attacker point.  ``None`` leaves the solo datapath
+        #: untouched.
+        self.victim = victim
+        self.victim_share = victim_share
         #: Optional obs.MetricsRegistry accounting experiment costs.
         self.metrics = metrics
         #: Optional obs.SpanProfiler ("solve" spans around evaluation).
@@ -98,6 +107,11 @@ class Testbed:
     def cache(self) -> Optional["EvalCache"]:
         """The evaluation cache, if one is attached."""
         return self.engine.cache
+
+    @property
+    def victim_floor(self):
+        """The pinned victim's solo baseline (isolation mode), else None."""
+        return getattr(self.engine.model, "floor", None)
 
     def _before_experiment(
         self, workload: WorkloadDescriptor, phase: str, index: int

@@ -105,6 +105,10 @@ class TraceEvent:
     #: a plain dict when rehydrated from a journal); ``None`` otherwise,
     #: so latency-disabled runs journal byte-identically to pre-v4 ones.
     latency: Optional[dict] = None
+    #: Isolation runs only: the verdict's victim-shared-over-fair-share
+    #: ratio.  ``None`` on solo searches, so their journals stay
+    #: byte-identical to pre-v6 ones.
+    interference: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -196,6 +200,7 @@ class AnnealingSearch:
             latency=(
                 LatencySummaryView(profile) if profile is not None else None
             ),
+            interference=verdict.interference,
         )
         event_index = len(state.events)
         state.events.append(event)

@@ -47,7 +47,6 @@ from repro.hardware.model import (
     Measurement,
     SteadyStateModel,
     latency_for_solve,
-    solve_batch,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -276,7 +275,7 @@ class BatchEvaluator:
             for workload in to_solve:
                 model._validate(workload)
             with self._span():
-                solved = solve_batch(model.subsystem, to_solve)
+                solved = model.solve_points(to_solve)
             for i, solve in zip(missing, solved):
                 solves[i] = solve
             if cache is not None:
@@ -330,7 +329,7 @@ class BatchEvaluator:
             return 0
         started = time.perf_counter()
         with self._span():
-            solved = solve_batch(model.subsystem, to_solve)
+            solved = model.solve_points(to_solve)
         cache.put_many(model.subsystem, to_solve, solved)
         cache.charge("solve", time.perf_counter() - started)
         if self.metrics is not None:

@@ -125,6 +125,8 @@ class Collie:
         batch: bool = True,
         batch_probes: bool = False,
         latency: bool = True,
+        victim=None,
+        victim_share: float = 0.5,
     ) -> None:
         if counter_mode not in ("diag", "perf"):
             raise ValueError("counter_mode must be 'diag' or 'perf'")
@@ -159,17 +161,33 @@ class Collie:
         #: instead of alternating), so while runs stay deterministic per
         #: seed they differ from the scalar sequence — opt-in only.
         self.batch_probes = batch_probes
+        #: Isolation mode: a pinned victim turns the run into an
+        #: adversarial-neighbor search — every searched point is an
+        #: attacker co-running next to the victim, and verdicts come
+        #: from the isolation monitor's victim-degradation conditions.
+        #: ``None`` leaves the solo search byte-identical to before.
+        self.victim = victim
+        self.victim_share = victim_share
         self.testbed = Testbed(
             subsystem, clock=self.clock, noise=noise, cache=cache,
             metrics=metrics, batch=batch, profiler=profiler,
+            victim=victim, victim_share=victim_share,
         )
         #: ``latency=False`` (``--no-latency``) disables the tail-latency
         #: trigger AND latency journaling: the run is then bit-identical
         #: to a pre-v4 throughput-only search.
         self.latency = latency
-        self.monitor = AnomalyMonitor(
-            subsystem, metrics=metrics, latency=latency
-        )
+        if victim is not None:
+            from repro.core.monitor import IsolationMonitor
+
+            self.monitor: AnomalyMonitor = IsolationMonitor(
+                subsystem, self.testbed.victim_floor,
+                metrics=metrics, latency=latency,
+            )
+        else:
+            self.monitor = AnomalyMonitor(
+                subsystem, metrics=metrics, latency=latency
+            )
         self.search = AnnealingSearch(
             self.testbed,
             self.space,
@@ -218,6 +236,11 @@ class Collie:
                 self.subsystem.name, self.counter_mode, self.use_mfs,
                 self.budget_hours, self.seed, space=self.space,
             )
+            if self.victim is not None:
+                self.recorder.isolation(
+                    self.victim, self.victim_share,
+                    self.testbed.victim_floor,
+                )
         profiler = self.profiler
         with (
             profiler.span("search") if profiler is not None else _NO_SPAN

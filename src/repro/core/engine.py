@@ -76,11 +76,31 @@ class WorkloadEngine:
         batch: bool = True,
         metrics=None,
         profiler=None,
+        victim: Optional[WorkloadDescriptor] = None,
+        victim_share: float = 0.5,
     ) -> None:
         from repro.core.batcheval import BatchEvaluator
 
         self.subsystem = subsystem
-        self.model = SteadyStateModel(subsystem, noise=noise, cache=cache)
+        #: Isolation mode: a pinned victim tenant makes every measured
+        #: point an *attacker* co-running next to it — the model becomes
+        #: a :class:`~repro.hardware.coexist.CoRunModel` and
+        #: measurements describe the victim under that neighbor.  With
+        #: no victim the construction is byte-identical to before.
+        self.victim = victim
+        self.victim_share = victim_share
+        if victim is not None:
+            from repro.hardware.coexist import CoRunModel
+
+            self.model: SteadyStateModel = CoRunModel(
+                subsystem,
+                victim,
+                victim_share=victim_share,
+                noise=noise,
+                cache=cache,
+            )
+        else:
+            self.model = SteadyStateModel(subsystem, noise=noise, cache=cache)
         #: Batched front end to the solver (S31); ``batch=False`` routes
         #: everything through the scalar code path unchanged.
         self.batch = BatchEvaluator(
@@ -107,7 +127,8 @@ class WorkloadEngine:
         """
         cache = self.cache
         if functional_check and not (
-            cache is not None and cache.contains(self.subsystem, workload)
+            cache is not None
+            and cache.contains(self.model.subsystem, workload)
         ):
             self.functional_burst(workload)
         return self.model.evaluate(workload, rng=rng, phase=phase)
@@ -136,7 +157,7 @@ class WorkloadEngine:
                     continue
                 seen.add(key)
                 if cache is not None and cache.contains(
-                    self.subsystem, workload
+                    self.model.subsystem, workload
                 ):
                     continue
                 self.functional_burst(workload)

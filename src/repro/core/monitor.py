@@ -30,6 +30,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.hardware.coexist import UNDEFINED_INTERFERENCE, VictimFloor
 from repro.hardware.model import Measurement
 from repro.hardware.pfc import PAUSE_RATIO_THRESHOLD
 from repro.hardware.subsystems import Subsystem
@@ -50,14 +51,21 @@ HEALTHY = "healthy"
 PAUSE_FRAME = "pause frame"
 LOW_THROUGHPUT = "low throughput"
 LATENCY_INFLATION = "latency inflation"
+#: Isolation-domain symptoms (co-run searches only): the victim's
+#: shared throughput fell below the §5.2 fraction of its *fair
+#: bandwidth share*, or its p99 inflated past the trigger multiple of
+#: its own alone-floor.
+VICTIM_DEGRADED = "victim degraded"
+VICTIM_LATENCY = "victim latency inflation"
 
 
 @dataclasses.dataclass(frozen=True)
 class AnomalyVerdict:
     """Classification of one measurement."""
 
-    #: ``healthy``, ``pause frame``, ``low throughput`` or
-    #: ``latency inflation``.
+    #: ``healthy``, ``pause frame``, ``low throughput``, ``latency
+    #: inflation`` — or, from the isolation monitor, ``victim
+    #: degraded`` / ``victim latency inflation``.
     symptom: str
     pause_ratio: float
     min_wire_gbps: float
@@ -69,8 +77,14 @@ class AnomalyVerdict:
     #: has the full numbers via ``measurement.latency.summary()``).
     latency_p99_us: float = 0.0
     #: p99 over the workload's deterministic latency floor (same
-    #: placeholder convention as ``latency_p99_us``).
+    #: placeholder convention as ``latency_p99_us``).  The isolation
+    #: monitor reports p99 over the *victim's alone-floor* p99 here.
     latency_inflation: float = 0.0
+    #: Isolation runs only: victim shared throughput over its fair
+    #: bandwidth share (``None`` for solo verdicts; NaN when the fair
+    #: share is zero — see
+    #: :data:`~repro.hardware.coexist.UNDEFINED_INTERFERENCE`).
+    interference: "float | None" = None
 
     @property
     def is_anomalous(self) -> bool:
@@ -175,3 +189,112 @@ class AnomalyMonitor:
         if mean <= 0:
             return True
         return float(readings.std() / mean) <= self.stability_cv
+
+
+class IsolationMonitor(AnomalyMonitor):
+    """Victim-degradation verdicts for co-run (isolation) searches.
+
+    Classifies the *victim's* co-run measurements (what a
+    :class:`~repro.hardware.coexist.CoRunModel` testbed produces)
+    against the victim's own deterministic alone-floor
+    (:class:`~repro.hardware.coexist.VictimFloor`) instead of the
+    RNIC's full specification — a tenant holding half the bandwidth is
+    not anomalous for running at half the line rate:
+
+    * **victim degraded** — shared throughput below the §5.2 fraction
+      (default 80%) of the victim's *fair bandwidth share*;
+    * **victim latency inflation** — shared p99 above the trigger
+      multiple of the victim's own alone-floor p99.
+
+    PFC pause keeps its paper precedence (a victim pushed into emitting
+    pause frames is the worst isolation failure); the latency trigger
+    again runs last, so it only promotes co-runs the throughput signals
+    call healthy.  Every verdict carries ``interference`` — shared
+    throughput over fair share — which the flight recorder feeds into
+    the ``isolation.*`` metrics.
+    """
+
+    def __init__(
+        self,
+        subsystem: Subsystem,
+        floor: VictimFloor,
+        pause_threshold: float = PAUSE_RATIO_THRESHOLD,
+        throughput_fraction: float = THROUGHPUT_FRACTION,
+        stability_cv: float = 0.2,
+        metrics=None,
+        latency: bool = True,
+        latency_multiple: float = LATENCY_INFLATION_MULTIPLE,
+    ) -> None:
+        super().__init__(
+            subsystem,
+            pause_threshold=pause_threshold,
+            throughput_fraction=throughput_fraction,
+            stability_cv=stability_cv,
+            metrics=metrics,
+            latency=latency,
+            latency_multiple=latency_multiple,
+        )
+        #: The pinned victim's solo baseline (noise-free, full part).
+        self.floor = floor
+
+    def classify(self, measurement: Measurement) -> AnomalyVerdict:
+        """Classify one co-run measurement of the victim."""
+        stable = self.is_stable(measurement)
+        pause_us = measurement.counters["pause_duration_us_per_sec"]
+        pause_ratio = pause_us / 1e6
+        min_wire = measurement.min_direction_wire_gbps
+        total_pps = measurement.total_packets_per_sec
+        shared_gbps = measurement.directions[0].wire_gbps
+        fair_gbps = self.floor.fair_share_gbps
+        interference = (
+            shared_gbps / fair_gbps
+            if fair_gbps > 0
+            else UNDEFINED_INTERFERENCE
+        )
+
+        latency_p99 = 0.0
+        inflation = 0.0
+        alone_p99 = self.floor.alone_p99_us
+        profile = measurement.latency if self.latency else None
+        if profile is not None and alone_p99 > 0:
+            # Same hot-path shape as the base monitor, with the O(1)
+            # bound taken against the victim's alone-floor p99: a
+            # profile whose grid maximum cannot reach the trigger is
+            # healthy without building the percentile summary, and the
+            # verdict is the same whether or not something else already
+            # summarized the profile.
+            summary = profile.cached_summary()
+            if summary is None and profile.may_exceed_value(
+                self.latency_multiple * alone_p99
+            ):
+                summary = profile.summary()
+            if summary is not None:
+                latency_p99 = summary["p99_us"]
+                inflation = latency_p99 / alone_p99
+
+        if pause_ratio > self.pause_threshold:
+            symptom = PAUSE_FRAME
+        elif fair_gbps > 0 and shared_gbps < (
+            self.throughput_fraction * fair_gbps
+        ):
+            symptom = VICTIM_DEGRADED
+        elif (
+            self.latency
+            and profile is not None
+            and inflation > self.latency_multiple
+        ):
+            symptom = VICTIM_LATENCY
+        else:
+            symptom = HEALTHY
+        if self.metrics is not None:
+            self.metrics.counter("monitor.verdicts", symptom=symptom)
+        return AnomalyVerdict(
+            symptom=symptom,
+            pause_ratio=pause_ratio,
+            min_wire_gbps=min_wire,
+            total_packets_per_sec=total_pps,
+            stable=stable,
+            latency_p99_us=latency_p99,
+            latency_inflation=inflation,
+            interference=interference,
+        )

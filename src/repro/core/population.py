@@ -141,6 +141,8 @@ class PopulationCollie:
         latency: bool = True,
         temperature_ladder: Optional[tuple] = None,
         exchange_every: int = 25,
+        victim=None,
+        victim_share: float = 0.5,
     ) -> None:
         if isinstance(subsystem, str):
             subsystem = get_subsystem(subsystem)
@@ -163,6 +165,8 @@ class PopulationCollie:
         self.seed = seed
         self.temperature_ladder = ladder
         self.exchange_every = exchange_every
+        self.victim = victim
+        self.victim_share = victim_share
         self.recorder = recorder
         self._user_cache = cache is not None
         #: The shared cross-chain cache the generation presolve batches
@@ -213,6 +217,8 @@ class PopulationCollie:
                 batch=batch,
                 batch_probes=batch_probes,
                 latency=latency,
+                victim=victim,
+                victim_share=victim_share,
             )
             if ladder is not None:
                 collie.search.exchange_enabled = True

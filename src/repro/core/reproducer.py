@@ -216,6 +216,8 @@ def reproduce(
     attempts: int = REPRODUCE_ATTEMPTS,
     seed: int = REPRODUCE_SEED,
     noise: float = 0.02,
+    victim: "WorkloadDescriptor | None" = None,
+    victim_share: float = 0.5,
 ) -> ReproductionResult:
     """Replay a trigger workload and check the symptom recurs.
 
@@ -225,14 +227,27 @@ def reproduce(
     reproduced when *any* attempt yields the expected symptom;
     ``attempts`` draws of measurement noise keep a borderline sample
     from condemning a sound anomaly.
+
+    With a ``victim``, the replay is an *isolation* reproduction: the
+    workload is the minimized attacker, the testbed co-runs it next to
+    the pinned victim, and the isolation monitor judges the victim's
+    degradation against its own alone-floor — the same machinery an
+    adversarial-neighbor search uses.
     """
     from repro.cluster.testbed import Testbed
-    from repro.core.monitor import AnomalyMonitor
+    from repro.core.monitor import AnomalyMonitor, IsolationMonitor
 
     if attempts < 1:
         raise ValueError("need at least one reproduction attempt")
-    testbed = Testbed(subsystem, noise=noise)
-    monitor = AnomalyMonitor(testbed.subsystem)
+    testbed = Testbed(
+        subsystem, noise=noise, victim=victim, victim_share=victim_share
+    )
+    if victim is not None:
+        monitor: AnomalyMonitor = IsolationMonitor(
+            testbed.subsystem, testbed.victim_floor
+        )
+    else:
+        monitor = AnomalyMonitor(testbed.subsystem)
     rng = np.random.default_rng(seed)
     observed: list[str] = []
     for _ in range(attempts):
@@ -254,9 +269,16 @@ def reproduce_mfs(
     attempts: int = REPRODUCE_ATTEMPTS,
     seed: int = REPRODUCE_SEED,
     noise: float = 0.02,
+    victim: "WorkloadDescriptor | None" = None,
+    victim_share: float = 0.5,
 ) -> ReproductionResult:
-    """Replay an MFS's witness against its recorded symptom class."""
+    """Replay an MFS's witness against its recorded symptom class.
+
+    For isolation anomalies the witness *is* the minimized attacker;
+    pass the run's victim to replay the co-run.
+    """
     return reproduce(
         mfs.witness, subsystem, mfs.symptom,
         attempts=attempts, seed=seed, noise=noise,
+        victim=victim, victim_share=victim_share,
     )

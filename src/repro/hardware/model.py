@@ -206,8 +206,17 @@ class LatencyProfile:
         """
         if self.base_us <= 0:
             return False
+        return self.may_exceed_value(multiple * self.base_us)
+
+    def may_exceed_value(self, threshold_us: float) -> bool:
+        """Can the estimator's p99 possibly exceed ``threshold_us``?
+
+        The absolute-threshold twin of :meth:`may_exceed`, for triggers
+        comparing against an *external* floor (the isolation monitor's
+        victim alone-p99 rather than this profile's own base).
+        """
         maximum = self.base_us + self.tail_mean_us * _latency_grid()[2][-1]
-        return maximum > multiple * self.base_us
+        return maximum > threshold_us
 
     def _estimator_percentiles(self):
         """p50/p90/p99 of :meth:`histogram`, without building it.
@@ -520,6 +529,17 @@ class SteadyStateModel:
         return BatchEvaluator(self).evaluate_many(
             workloads, rng=rng, sample_seconds=sample_seconds, phase=phase
         )
+
+    def solve_points(self, workloads: "list[WorkloadDescriptor]") -> list:
+        """Deterministic solves for a set of points — the batch seam.
+
+        The batch evaluator calls this instead of reaching for
+        :func:`solve_batch` directly, so model subclasses with a
+        different datapath (:class:`~repro.hardware.coexist.CoRunModel`)
+        plug into batched evaluation by overriding one method.
+        Workloads are assumed validated and deduplicated by the caller.
+        """
+        return solve_batch(self.subsystem, workloads)
 
     def _solve(self, workload: WorkloadDescriptor, phase: str):
         """Deterministic solve, memoized when a cache is attached."""

@@ -66,6 +66,7 @@ from repro.obs.sadiag import (
     split_by_chain,
     time_to_first_anomaly,
     time_to_first_anomaly_by_symptom,
+    worst_interference,
 )
 from repro.obs.schema import (
     SCHEMA_VERSION,
@@ -106,6 +107,7 @@ __all__ = [
     "split_by_chain",
     "time_to_first_anomaly",
     "time_to_first_anomaly_by_symptom",
+    "worst_interference",
     "validate_chrome_trace",
     "validate_journal",
     "validate_record",

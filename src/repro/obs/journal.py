@@ -132,7 +132,7 @@ def read_journal_prefix(
 
 
 def experiment_record(event: TraceEvent) -> dict:
-    return {
+    record = {
         "t": "experiment",
         "time_seconds": event.time_seconds,
         "counter": event.counter,
@@ -143,6 +143,22 @@ def experiment_record(event: TraceEvent) -> dict:
         "workload": workload_to_dict(event.workload),
         "counters": dict(event.counters),
         "new_anomaly_index": event.new_anomaly_index,
+    }
+    # Only isolation (co-run) searches stamp interference; solo
+    # journals stay byte-identical to pre-v6 writers.
+    if event.interference is not None:
+        record["interference"] = event.interference
+    return record
+
+
+def isolation_record(victim_dict: dict, victim_share, floor) -> dict:
+    """The isolation run preamble (pinned victim + alone-floor)."""
+    return {
+        "t": "isolation",
+        "victim": victim_dict,
+        "victim_share": victim_share,
+        "alone_gbps": floor.alone_gbps,
+        "alone_p99_us": floor.alone_p99_us,
     }
 
 
@@ -184,6 +200,7 @@ def _event_from_record(record: dict) -> TraceEvent:
         kind=record["kind"],
         new_anomaly_index=record.get("new_anomaly_index"),
         counters=dict(record["counters"]),
+        interference=record.get("interference"),
     )
 
 

@@ -30,6 +30,7 @@ from repro.obs.journal import (
     RunJournal,
     anomaly_record,
     experiment_record,
+    isolation_record,
     latency_record,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -120,6 +121,20 @@ class FlightRecorder:
                 "seed": seed,
             })
 
+    def isolation(self, victim, victim_share: float, floor) -> None:
+        """The co-run context of an isolation run (right after run_start).
+
+        Journals the pinned victim, its bandwidth share, and the
+        deterministic alone-floor the victim-degradation verdicts
+        compare against, so a reader can interpret the run's
+        ``interference`` values without re-solving anything.
+        """
+        self.metrics.counter("isolation.runs")
+        if self.journal is not None:
+            self._write(isolation_record(
+                workload_to_dict(victim), victim_share, floor,
+            ))
+
     def ranking(
         self, counters: list, dispersions: Optional[dict] = None
     ) -> None:
@@ -165,6 +180,9 @@ class FlightRecorder:
             self.metrics.observe(
                 "search.latency_p99_us", event.latency["p99_us"]
             )
+        interference = getattr(event, "interference", None)
+        if interference is not None:
+            self.metrics.observe("isolation.interference", interference)
         if self.coverage is not None:
             self.coverage.visit(event.workload)
         if self.journal is not None:
@@ -342,6 +360,9 @@ class FlightRecorder:
                 self.metrics.observe(
                     "search.latency_p99_us", event.latency["p99_us"]
                 )
+            interference = getattr(event, "interference", None)
+            if interference is not None:
+                self.metrics.observe("isolation.interference", interference)
             if self.coverage is not None:
                 self.coverage.visit(event.workload)
             if self.journal is not None:

@@ -27,6 +27,7 @@ the search.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional
 
 #: Actions that participate in acceptance-rate denominators.  restart
@@ -231,6 +232,30 @@ def time_to_first_anomaly_by_symptom(records) -> dict:
     return dict(sorted(first.items(), key=lambda item: item[1]))
 
 
+def worst_interference(records) -> Optional[tuple]:
+    """``(interference, time_seconds)`` of the worst co-run experiment.
+
+    Isolation journals (schema v6) stamp every co-run experiment with
+    the victim's interference (shared throughput over fair share); the
+    minimum is the search's deepest cut into the victim.  ``None`` for
+    solo journals.  Non-finite values (the zero-fair-share sentinel)
+    are ignored — they mark an undefined comparison, not a deep cut.
+    """
+    worst: Optional[tuple] = None
+    for record in records:
+        if record.get("t") != "experiment":
+            continue
+        value = record.get("interference")
+        if value is None:
+            continue
+        value = float(value)
+        if not math.isfinite(value):
+            continue
+        if worst is None or value < worst[0]:
+            worst = (value, float(record["time_seconds"]))
+    return worst
+
+
 def render_sa_diagnostics(records) -> str:
     """Terminal rendering of the full SA diagnostic fold."""
     lines = ["simulated-annealing diagnostics"]
@@ -243,6 +268,13 @@ def render_sa_diagnostics(records) -> str:
     if len(by_symptom) > 1:
         for symptom, seconds in by_symptom.items():
             lines.append(f"    {symptom}: {seconds:.0f}s simulated")
+    interference = worst_interference(records)
+    if interference is not None:
+        lines.append(
+            f"  worst victim interference: {interference[0]:.2f} of fair "
+            f"share at {interference[1]:.0f}s simulated"
+        )
+    prelude = len(lines)
     overall = acceptance_rate(records)
     if overall is not None:
         lines.append(f"  overall acceptance rate: {overall:.1%}")
@@ -279,7 +311,7 @@ def render_sa_diagnostics(records) -> str:
                     if effectiveness is not None else f"{'—':>10}"
                 )
             )
-    if len(lines) == 2:
+    if len(lines) == prelude:
         lines.append("  no transition records in this journal")
     chains = per_chain_diagnostics(records)
     if any(entry.chain is not None for entry in chains):

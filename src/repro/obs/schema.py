@@ -59,6 +59,13 @@ Record types:
     floor, the p99-over-baseline ``inflation`` ratio the tail-latency
     trigger compares, and the named per-component breakdown.  Written
     immediately after its ``experiment`` record.
+``isolation``
+    One per isolation (adversarial-neighbor) run, right after
+    ``run_start``: the pinned victim workload, its bandwidth share, and
+    the deterministic alone-floor (solo throughput and p99) the
+    victim-degradation verdicts compare against.  Every ``experiment``
+    of such a run then carries the optional ``interference`` field
+    (victim shared throughput over fair share).
 
 Version 2 added the ``retry``/``quarantine`` types; version 3 added the
 observatory's ``coverage``/``spans`` types plus the optional
@@ -67,7 +74,10 @@ added the ``latency`` type; version 5 added population-search support:
 an optional integer ``chain`` field on every record (which SA chain of
 a population run wrote it — absent on single-trajectory journals, so
 those stay byte-compatible) and the ``exchange`` transition action
-(parallel tempering adopted a replica from an adjacent ladder rung).
+(parallel tempering adopted a replica from an adjacent ladder rung);
+version 6 added the isolation domain: the ``isolation`` record type
+and the optional ``experiment.interference`` field (both only written
+by co-run searches, so solo journals stay byte-compatible with v5).
 Older journals remain valid (the validator accepts every version in
 ``SUPPORTED_VERSIONS``; optional fields are only type-checked when
 present).
@@ -77,10 +87,10 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Versions the validator (and readers) accept.
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
@@ -189,6 +199,12 @@ RECORD_FIELDS: dict = {
         "components": dict,
         "tags": list,
     },
+    "isolation": {
+        "victim": dict,
+        "victim_share": NUMBER,
+        "alone_gbps": NUMBER,
+        "alone_p99_us": NUMBER,
+    },
 }
 
 #: Record type → {field: accepted types} for fields that MAY appear.
@@ -196,6 +212,7 @@ RECORD_FIELDS: dict = {
 OPTIONAL_RECORD_FIELDS: dict = {
     "transition": {"mutated": list},
     "skip": {"workload": dict},
+    "experiment": {"interference": NUMBER},
 }
 
 

@@ -1,0 +1,71 @@
+"""Isolation soundness: minimized attackers must reproduce their harm.
+
+Mirrors ``tests/core/test_mfs_soundness.py`` for the adversarial-
+neighbor domain.  The search's output there is an MFS whose sampled
+points stay anomalous; here the output is a *minimized attacker*, and
+its soundness claim is stronger — replayed against the same victim on a
+fresh co-run testbed, the recorded symptom must recur.  A minimized
+attacker that cannot re-harm the victim is a false catalog entry.
+"""
+
+import pytest
+
+from repro.analysis.isolation import (
+    DEFAULT_VICTIM_SHARE,
+    catalog_findings,
+    default_victim,
+    isolation_search,
+)
+from repro.core.monitor import (
+    PAUSE_FRAME,
+    VICTIM_DEGRADED,
+    VICTIM_LATENCY,
+)
+from repro.core.reproducer import reproduce_mfs
+
+ISOLATION_SYMPTOMS = {PAUSE_FRAME, VICTIM_DEGRADED, VICTIM_LATENCY}
+
+#: Quick-budget grid: one cache-constrained subsystem per Table 1
+#: corner (A: deep NIC, F: shallow rx-queue, H: big-cache) crossed with
+#: two seeds, so soundness is not an artifact of one SA trajectory.
+GRID = [
+    ("A", 3), ("A", 11),
+    ("F", 3), ("F", 11),
+    ("H", 3),
+]
+
+
+@pytest.mark.parametrize(("letter", "seed"), GRID)
+def test_minimized_attacker_reproduces(letter, seed):
+    victim = default_victim()
+    report = isolation_search(
+        letter, victim=victim, budget_hours=0.2, seed=seed
+    )
+    assert report.anomalies, (
+        f"quick isolation search on {letter} (seed {seed}) found nothing"
+    )
+    for mfs in report.anomalies:
+        assert mfs.symptom in ISOLATION_SYMPTOMS
+        result = reproduce_mfs(
+            mfs, letter, victim=victim,
+            victim_share=DEFAULT_VICTIM_SHARE,
+        )
+        assert result.reproduced, (
+            f"{letter} seed {seed}: {mfs.describe()} — {result.describe()}"
+        )
+
+
+def test_catalog_findings_record_reproduction_honestly():
+    """catalog_findings replays through the same reproducer and must
+    agree with a direct replay, entry by entry."""
+    victim = default_victim()
+    report = isolation_search("F", victim=victim, budget_hours=0.2, seed=3)
+    findings = catalog_findings(report, victim)
+    assert len(findings) == len(report.anomalies)
+    for finding, mfs in zip(findings, report.anomalies):
+        direct = reproduce_mfs(
+            mfs, "F", victim=victim, victim_share=DEFAULT_VICTIM_SHARE
+        )
+        assert finding.reproduced == direct.reproduced
+        assert finding.symptom == mfs.symptom
+        assert finding.tag == f"I-F{finding.index + 1}"

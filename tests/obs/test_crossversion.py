@@ -1,13 +1,16 @@
-"""Cross-version journal reads: v1/v2/v3 journals must keep working.
+"""Cross-version journal reads: old journals must keep working.
 
-``tests/obs/fixtures/v1.jsonl``, ``v2.jsonl`` and ``v3.jsonl`` are
-committed older-version forms of real recorded search journals
-(subsystem F): v1 predates the resilience records, v2 has ``retry``/
-``quarantine`` but no observatory ``coverage``/``spans``, and v3 has
-the observatory records but predates the ``latency`` stream.  Every
-reader — validator, report reconstruction, metrics, the canary's
-invariant pass — must accept all of them forever: the canary corpus
-is committed once and read by every future version of the code.
+``tests/obs/fixtures/v1.jsonl`` … ``v6.jsonl`` are committed
+older-version forms of real recorded search journals (subsystem F):
+v1 predates the resilience records, v2 has ``retry``/``quarantine``
+but no observatory ``coverage``/``spans``, v3 has the observatory
+records but predates the ``latency`` stream, v5 is a two-chain
+population journal (chain stamps + latency records) and v6 is an
+isolation (adversarial-neighbor) journal with the ``isolation``
+preamble and per-experiment ``interference`` stamps.  Every reader —
+validator, report reconstruction, metrics, the canary's invariant
+pass — must accept all of them forever: the canary corpus is
+committed once and read by every future version of the code.
 """
 
 import json
@@ -36,7 +39,12 @@ def fixture_records(version: int) -> list:
         return [json.loads(line) for line in handle]
 
 
-@pytest.mark.parametrize("version", (1, 2, 3))
+#: Fixture version → how many search reports its journal reconstructs
+#: (v5 is a two-chain population journal; the rest are single runs).
+FIXTURE_REPORT_COUNTS = {1: 1, 2: 1, 3: 1, 5: 2, 6: 1}
+
+
+@pytest.mark.parametrize("version", (1, 2, 3, 5, 6))
 class TestOldJournalsStillWork:
     def test_validates_under_current_schema(self, version):
         records = fixture_records(version)
@@ -45,11 +53,11 @@ class TestOldJournalsStillWork:
 
     def test_reconstructs_reports(self, version):
         reports = reports_from_records(fixture_records(version))
-        assert len(reports) == 1
-        report = reports[0]
-        assert report.subsystem_name == FIXTURE_SUBSYSTEM
-        assert report.experiments > 0
-        assert len(report.anomalies) >= 1
+        assert len(reports) == FIXTURE_REPORT_COUNTS[version]
+        for report in reports:
+            assert report.subsystem_name == FIXTURE_SUBSYSTEM
+            assert report.experiments > 0
+            assert len(report.anomalies) >= 1
 
     def test_feeds_the_metric_pipeline(self, version):
         metrics = journal_metrics(fixture_records(version))
@@ -81,6 +89,63 @@ class TestOldJournalsStillWork:
             records=fixture_records(version),
         )
         assert check_cell(cell) == []
+
+
+class TestIsolationJournalSurfaces:
+    """v6-specific read surfaces over the isolation fixture."""
+
+    def test_metrics_have_the_isolation_family(self):
+        metrics = journal_metrics(fixture_records(6))
+        assert metrics["isolation_experiments"] > 0
+        assert 0.0 <= metrics["interference_min"] <= 1.0
+
+    def test_report_names_the_victim(self, capsys):
+        path = os.path.join(FIXTURES, "v6.jsonl")
+        assert main(["report", path]) == 0
+        captured = capsys.readouterr()
+        text = captured.out + captured.err
+        assert "isolation run: victim" in text
+        assert "worst interference" in text
+
+    def test_solo_journals_carry_no_isolation_family(self):
+        metrics = journal_metrics(fixture_records(5))
+        assert metrics["isolation_experiments"] == 0
+        assert metrics["interference_min"] is None
+
+
+class TestPreIsolationReaderSkipsWithNote:
+    """A pre-v6 reader sees ``isolation`` as an unknown record kind.
+
+    Simulated the way the repo's other old-reader tests do: the
+    ``isolation`` entry is removed from the live schema table, so every
+    skipping surface (report, stats, journal diff, canary check) flows
+    through :func:`describe_unknown_kinds` and says what it dropped.
+    """
+
+    def test_skip_is_noted_and_reads_still_work(self, monkeypatch):
+        from repro.analysis.journaldiff import describe_unknown_kinds
+        from repro.obs import schema
+
+        monkeypatch.delitem(schema.RECORD_FIELDS, "isolation")
+        records = fixture_records(6)
+        assert describe_unknown_kinds(records) == [
+            "unknown record kind skipped: isolation (n=1)"
+        ]
+        # The rest of the journal keeps reading: reports reconstruct
+        # and a self-diff is exactly clean.
+        reports = reports_from_records(records)
+        assert len(reports) == 1
+        assert len(reports[0].anomalies) >= 1
+        assert diff_journals(records, records).ok
+
+    def test_journal_diff_cli_warns(self, monkeypatch, capsys):
+        from repro.obs import schema
+
+        monkeypatch.delitem(schema.RECORD_FIELDS, "isolation")
+        path = os.path.join(FIXTURES, "v6.jsonl")
+        assert main(["journal", "diff", path, path]) == 0
+        err = capsys.readouterr().err
+        assert "unknown record kind skipped: isolation (n=1)" in err
 
 
 class TestVersionStampProperty:

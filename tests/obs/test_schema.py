@@ -66,19 +66,17 @@ class TestValidateRecord:
 
 
 class TestSchemaVersions:
-    def test_current_version_is_five(self):
-        assert SCHEMA_VERSION == 5
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5)
+    def test_current_version_is_six(self):
+        assert SCHEMA_VERSION == 6
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6)
 
     def test_older_journals_still_validate(self):
-        assert validate_record(skip_record(v=1)) == []
-        assert validate_record(skip_record(v=2)) == []
-        assert validate_record(skip_record(v=3)) == []
-        assert validate_record(skip_record(v=4)) == []
+        for version in (1, 2, 3, 4, 5):
+            assert validate_record(skip_record(v=version)) == []
 
     def test_future_version_rejected(self):
-        errors = validate_record(skip_record(v=6))
-        assert any("unsupported schema version 6" in e for e in errors)
+        errors = validate_record(skip_record(v=7))
+        assert any("unsupported schema version 7" in e for e in errors)
 
 
 class TestPopulationRecords:
@@ -128,6 +126,46 @@ class TestResilienceRecords:
         }
         errors = validate_record(record)
         assert any("'host'" in e for e in errors)
+
+
+class TestIsolationRecords:
+    """Schema v6: the isolation preamble and the interference stamp."""
+
+    def isolation_record(self, **overrides):
+        record = {
+            "v": SCHEMA_VERSION, "t": "isolation",
+            "victim": {"num_qps": 8}, "victim_share": 0.5,
+            "alone_gbps": 25.0, "alone_p99_us": 2.5,
+        }
+        record.update(overrides)
+        return record
+
+    def test_isolation_record_validates(self):
+        assert validate_record(self.isolation_record()) == []
+
+    def test_isolation_record_requires_its_fields(self):
+        record = self.isolation_record()
+        del record["victim"]
+        del record["alone_gbps"]
+        errors = validate_record(record)
+        assert any("missing field 'victim'" in e for e in errors)
+        assert any("missing field 'alone_gbps'" in e for e in errors)
+
+    def test_isolation_victim_must_be_an_object(self):
+        errors = validate_record(self.isolation_record(victim="qp8"))
+        assert any("field 'victim' is str" in e for e in errors)
+
+    def test_experiment_interference_is_optional(self):
+        record = {
+            "v": SCHEMA_VERSION, "t": "experiment", "time_seconds": 1.0,
+            "counter": "c", "counter_value": 0.0, "symptom": "healthy",
+            "tags": [], "kind": "probe", "workload": {}, "counters": {},
+            "new_anomaly_index": None,
+        }
+        assert validate_record(record) == []
+        assert validate_record({**record, "interference": 0.4}) == []
+        errors = validate_record({**record, "interference": "low"})
+        assert any("'interference'" in e for e in errors)
 
 
 class TestValidateJournal:
