@@ -14,10 +14,12 @@ at recording time (informational: names the code that produced the
 baseline), and per-cell integrity hashes of the *uncompressed* journal
 bytes.
 
-Cells are stored in *canonical* form: wall-clock histogram statistics
-inside ``run_end``/``snapshot`` metrics dumps (the ``*_wall`` timers —
-the only nondeterministic content a deterministic search emits) are
-zeroed, their invocation counts kept.  Together with deterministic
+Cells are stored in *canonical* form: real-wall-clock content (the
+``*_wall`` and ``executor.*`` timing histograms inside
+``run_end``/``snapshot`` metrics dumps, the elapsed-time fields on
+``fanout``/``retry`` records, ``heartbeat`` liveness records — the
+only nondeterministic content a deterministic search emits) is zeroed
+or dropped, invocation counts kept.  Together with deterministic
 gzip members (zeroed mtime, no filename), re-recording an unchanged
 matrix produces byte-identical corpus files — the corpus diffs cleanly
 in version control.
@@ -79,9 +81,29 @@ def _journal_sha256(data: bytes) -> str:
 #: *how often* a timer fired is deterministic, how long is not).
 _WALL_STATS = ("min", "max", "sum", "mean", "p50", "p90", "p99")
 
+#: Top-level record fields that carry real elapsed time (the campaign
+#: executor's ``fanout``/``retry`` envelopes), zeroed by canonicalization.
+_WALL_FIELDS = ("wall_seconds", "busy_seconds", "backoff_seconds")
+
+
+def _is_wall_histogram(name: str) -> bool:
+    """Whether a metrics histogram measures real (not simulated) time.
+
+    The ``*_wall`` span timers and every ``executor.*`` histogram time
+    the host machine; everything else in the registry is driven by the
+    simulated clock and identical run to run.
+    """
+    base = name.split("{", 1)[0]
+    return "_wall" in base or base.startswith("executor.")
+
 
 def _neutralize_wall_clock(record: dict) -> dict:
-    """Zero the wall-clock histogram stats of one metrics-bearing record."""
+    """Zero the wall-clock content of one record."""
+    if any(field in record for field in _WALL_FIELDS):
+        record = dict(record)
+        for field in _WALL_FIELDS:
+            if field in record:
+                record[field] = 0.0
     metrics = record.get("metrics")
     if not isinstance(metrics, dict):
         return record
@@ -90,7 +112,7 @@ def _neutralize_wall_clock(record: dict) -> dict:
         return record
     new_histograms = {}
     for name, stats in histograms.items():
-        if "_wall" in name.split("{", 1)[0] and isinstance(stats, dict):
+        if _is_wall_histogram(name) and isinstance(stats, dict):
             stats = {
                 key: (0.0 if key in _WALL_STATS else value)
                 for key, value in stats.items()
@@ -106,16 +128,22 @@ def canonical_journal_bytes(records: list) -> bytes:
 
     The search itself is deterministic (simulated clock, seeded RNG);
     the only run-to-run variation in a journal is real wall-clock time
-    leaking in through the ``*_wall`` timer histograms dumped inside
-    ``run_end``/``snapshot`` records.  Canonical form zeroes those
-    statistics (keeping invocation counts), so canonical bytes are a
-    pure function of search behaviour.
+    leaking in: the ``*_wall`` span timers and ``executor.*`` timing
+    histograms dumped inside ``run_end``/``snapshot`` records, the
+    elapsed-time envelope fields on campaign ``fanout``/``retry``
+    records, and v7 ``heartbeat`` liveness records (wall-clock by
+    definition — dropped entirely).  Canonical form zeroes the former
+    (keeping invocation counts) and omits the latter, so canonical
+    bytes are a pure function of search behaviour: a campaign run with
+    the telemetry plane attached canonicalizes identically to a bare
+    run.
     """
     lines = [
         json.dumps(
             _neutralize_wall_clock(record), separators=(",", ":")
         )
         for record in records
+        if record.get("t") != "heartbeat"
     ]
     return ("\n".join(lines) + "\n").encode("utf-8")
 

@@ -34,6 +34,10 @@ Commands mirror how the paper's operators use Collie:
                     co-run searches against a pinned victim (the
                     ``search --victim`` domain), every minimized
                     attacker verified by replay before listing;
+* ``top``         — live terminal dashboard over actively-written
+                    journals: progress, per-worker heartbeat liveness,
+                    per-chain SA rows, anomaly timeline, drift vs an
+                    optional baseline journal;
 * ``replay``      — replay the 18 Appendix A trigger settings;
 * ``diagnose``    — match a workload (JSON file) against a saved
                     report's MFS set (§7.3 debugging workflow);
@@ -43,7 +47,10 @@ Observability: ``search``/``parallel``/``campaign`` accept
 ``--journal PATH`` (structured JSONL flight-recorder journal, see
 :mod:`repro.obs`), ``--progress N`` (a live progress line every N
 experiments / completed tasks), ``--coverage`` (workload-space
-occupancy tracking) and ``--profile`` (wall-clock span profiling).  Output goes through :mod:`logging`
+occupancy tracking), ``--profile`` (wall-clock span profiling) and
+``--export-metrics PORT`` (a live HTTP telemetry endpoint: Prometheus
+text at ``/metrics``, a JSON worker table at ``/status``, plus
+schema-v7 heartbeat records when combined with ``--journal``).  Output goes through :mod:`logging`
 (configured by ``--log-level``/``--log-json``): INFO and below to
 stdout, WARNING and above to stderr.
 
@@ -114,16 +121,36 @@ def _open_recorder(args: argparse.Namespace):
     progress = getattr(args, "progress", 0)
     coverage = getattr(args, "coverage", False)
     profile = getattr(args, "profile", False)
-    if not journal_path and not progress and not coverage and not profile:
+    export_port = getattr(args, "export_metrics", None)
+    if (
+        not journal_path and not progress and not coverage
+        and not profile and export_port is None
+    ):
         return None
     from repro.obs import FlightRecorder, RunJournal, SpanProfiler
 
     journal = RunJournal(journal_path) if journal_path else None
     recorder = FlightRecorder(
         journal=journal, progress_every=progress, track_coverage=coverage,
+        heartbeats=export_port is not None,
     )
     if profile:
         recorder.profiler = SpanProfiler(metrics=recorder.metrics)
+    if export_port is not None:
+        from repro.obs import CampaignAggregator, TelemetryServer
+
+        aggregator = (
+            CampaignAggregator([journal_path]) if journal_path else None
+        )
+        server = TelemetryServer(
+            metrics=recorder.metrics, aggregator=aggregator,
+            port=export_port,
+        ).start()
+        recorder.telemetry = server
+        logger.info(
+            f"telemetry: serving {server.url('/metrics')} and "
+            f"{server.url('/status')}"
+        )
     return recorder
 
 
@@ -150,6 +177,9 @@ def _close_recorder(recorder) -> None:
             f"journal saved to {recorder.journal.path} "
             f"({recorder.journal.records_written} records)"
         )
+    if recorder.telemetry is not None:
+        recorder.telemetry.close()
+        recorder.telemetry = None
 
 
 def _retry_policy(args: argparse.Namespace):
@@ -1148,6 +1178,52 @@ def _cmd_isolation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top JOURNAL...``: live terminal dashboard.
+
+    Follows the journals with the telemetry plane's tail-follower and
+    re-renders every ``--interval`` seconds; ``--once`` prints a single
+    frame (no escape sequences) and exits — the scriptable form.  The
+    optional ``--baseline`` journal (gzip-transparent, e.g. a canary
+    corpus cell) adds drift rows against its gated metrics.
+    """
+    import time as _time
+
+    from repro.obs import CampaignAggregator, render_dashboard
+    from repro.obs.dashboard import CLEAR, load_baseline_metrics
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline_metrics(args.baseline)
+        except (OSError, ValueError) as error:
+            logger.error(
+                f"cannot read baseline journal {args.baseline}: {error}"
+            )
+            return 2
+    aggregator = CampaignAggregator(
+        args.journal, stale_after=args.stale_after
+    )
+    while True:
+        aggregator.refresh()
+        frame = render_dashboard(
+            aggregator.snapshot(),
+            chains=aggregator.chain_diagnostics(),
+            baseline=baseline,
+            baseline_path=args.baseline,
+        )
+        # Frames bypass the logging pipeline (like --json surfaces):
+        # a dashboard interleaved with log timestamps is unreadable.
+        if args.once:
+            print(frame, end="")
+            return 0
+        print(CLEAR + frame, end="", flush=True)
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import render_table, table1_rows
 
@@ -1181,6 +1257,13 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="profile wall-clock spans and print the self-time table "
              "at the end (journaled as schema-v3 'spans' records)",
+    )
+    subparser.add_argument(
+        "--export-metrics", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP on 127.0.0.1:PORT "
+             "(/metrics Prometheus text, /status JSON; PORT 0 picks an "
+             "ephemeral port); with --journal, also journals schema-v7 "
+             "heartbeat records and aggregates live rollups from it",
     )
 
 
@@ -1520,6 +1603,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write every subsystem's co-run search "
                                 "into one JSONL flight-recorder journal")
     isolation.set_defaults(func=_cmd_isolation)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over one or more run journals",
+        description="Follow actively-written journals and render a "
+                    "live telemetry dashboard: progress, per-worker "
+                    "heartbeat liveness, per-chain SA rows, the anomaly "
+                    "timeline tail, and drift vs an optional baseline.",
+    )
+    top.add_argument("journal", metavar="JOURNAL.jsonl", nargs="+",
+                     help="journal file(s) to follow (may not exist yet)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no ANSI clears)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh period of the live loop (default 2)")
+    top.add_argument("--baseline", metavar="BASELINE.jsonl",
+                     help="journal (or .jsonl.gz corpus cell) whose "
+                          "gated metrics the drift rows compare against")
+    top.add_argument("--stale-after", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="heartbeat age beyond which a worker is "
+                          "reported STALE (default 30)")
+    top.set_defaults(func=_cmd_top)
 
     replay = sub.add_parser(
         "replay", help="replay the 18 Appendix A trigger settings"

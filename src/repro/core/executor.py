@@ -286,6 +286,14 @@ class CampaignExecutor:
     ) -> None:
         if self.metrics is not None:
             self.metrics.observe("executor.task_seconds", seconds)
+        if self.recorder is not None:
+            # Liveness for the telemetry plane (a no-op unless the
+            # recorder asked for heartbeats).  The worker slot is
+            # derived from the deterministic task-order index, so
+            # serial, pooled and resilient paths report identically.
+            self.recorder.heartbeat(
+                (done - 1) % stats.workers, done, stats.tasks
+            )
         if self.progress is not None:
             self.progress(done, stats.tasks)
 

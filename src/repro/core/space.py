@@ -20,7 +20,9 @@ that keep sampled points verbs-legal (UD is SEND-only and single-MTU).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import functools
 import math
 from typing import Optional, Sequence
 
@@ -394,10 +396,37 @@ class SearchSpace:
 
     @staticmethod
     def _nearest_index(ladder: Sequence[int], value: int) -> int:
-        return min(
-            range(len(ladder)), key=lambda i: abs(math.log2(ladder[i] / value))
-            if value > 0 else i
-        )
+        """Index of the ladder rung nearest ``value`` in log space.
+
+        Hot on both sides of the journal: coverage tracking buckets
+        every visited experiment, and every read surface (``coverage``,
+        ``journal diff``, the live aggregator) re-buckets the whole
+        history.  Ladders are sorted, so the nearest rung is one of the
+        two bisection neighbors — two ``log2`` calls instead of one per
+        rung.  A custom unsorted ladder falls back to the full scan.
+        """
+        if value <= 0:
+            return 0
+        ladder = tuple(ladder)
+        if not _ladder_is_sorted(ladder):
+            return min(
+                range(len(ladder)),
+                key=lambda i: abs(math.log2(ladder[i] / value)),
+            )
+        hi = bisect.bisect_left(ladder, value)
+        if hi == 0:
+            return 0
+        if hi == len(ladder):
+            return len(ladder) - 1
+        below = abs(math.log2(ladder[hi - 1] / value))
+        above = abs(math.log2(ladder[hi] / value))
+        # <= keeps the full scan's tie-break: lowest rung wins a tie.
+        return hi - 1 if below <= above else hi
+
+
+@functools.lru_cache(maxsize=64)
+def _ladder_is_sorted(ladder: tuple) -> bool:
+    return all(a <= b for a, b in zip(ladder, ladder[1:]))
 
 
 def changed_dimensions(

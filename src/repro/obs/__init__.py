@@ -24,21 +24,41 @@ The *search observatory* builds the read side on top of the journal:
 * :mod:`repro.obs.profiler` — hierarchical wall-clock span profiler
   with Chrome trace-event export and a terminal self-time table.
 
+The *telemetry plane* streams the journal while it is still being
+written (the substrate for the ``repro serve`` campaign daemon):
+
+* :mod:`repro.obs.stream` — incremental journal tail-following with
+  torn-tail semantics and resume-from-offset;
+* :mod:`repro.obs.aggregate` — live multiplexing of per-worker /
+  per-chain journals into one rollup (heartbeat liveness, TTFA,
+  coverage, cache hit rate, streaming latency p99);
+* :mod:`repro.obs.export` — Prometheus text exposition of any metrics
+  registry plus aggregator rollups, served by a stdlib ``http.server``
+  thread (``/metrics`` + ``/status``, the ``--export-metrics`` flag);
+* :mod:`repro.obs.dashboard` — the plain-ANSI ``repro top`` renderer.
+
 Everything is off by default and adds no work to a run that does not
 request it.
 """
 
+from repro.obs.aggregate import (
+    CampaignAggregator,
+    WorkerLiveness,
+)
 from repro.obs.coverage import (
     CoverageTracker,
     coverage_from_records,
     render_latency_panel,
 )
+from repro.obs.dashboard import load_baseline_metrics, render_dashboard
+from repro.obs.export import TelemetryServer, render_prometheus
 from repro.obs.journal import (
     VERIFY_CORRUPT,
     VERIFY_INCOMPLETE,
     VERIFY_OK,
     RunJournal,
     journal_summary,
+    open_journal_text,
     read_journal,
     read_journal_prefix,
     reports_from_journal,
@@ -48,6 +68,7 @@ from repro.obs.journal import (
 )
 from repro.obs.logging import setup_logging
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import JournalFollower, follow_journal
 from repro.obs.profiler import (
     SpanProfiler,
     chrome_trace,
@@ -76,27 +97,36 @@ from repro.obs.schema import (
 )
 
 __all__ = [
+    "CampaignAggregator",
     "ChainDiagnostics",
     "CoverageTracker",
     "FlightRecorder",
+    "JournalFollower",
     "MetricsRegistry",
     "RunJournal",
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
     "SpanProfiler",
+    "TelemetryServer",
     "VERIFY_CORRUPT",
     "VERIFY_INCOMPLETE",
     "VERIFY_OK",
+    "WorkerLiveness",
     "acceptance_rate",
     "chrome_trace",
     "coverage_from_records",
     "events_from_records",
     "fold_epochs",
+    "follow_journal",
     "journal_summary",
+    "load_baseline_metrics",
     "mutation_effectiveness",
+    "open_journal_text",
     "per_chain_diagnostics",
     "read_journal",
     "read_journal_prefix",
+    "render_dashboard",
+    "render_prometheus",
     "render_latency_panel",
     "render_sa_diagnostics",
     "render_span_table",

@@ -1,0 +1,251 @@
+"""Prometheus-text exporter: scrape a live run's metrics over HTTP.
+
+Two pieces:
+
+* :func:`render_prometheus` — pure rendering of a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot (and, when
+  given, a :class:`~repro.obs.aggregate.CampaignAggregator` snapshot)
+  into the Prometheus text exposition format (v0.0.4): counters as
+  ``*_total``, gauges as gauges, histogram summaries as
+  ``{quantile=...}`` series plus ``_count``/``_sum``;
+* :class:`TelemetryServer` — a stdlib ``http.server`` thread serving
+  ``GET /metrics`` (text exposition) and ``GET /status`` (the
+  aggregator snapshot as JSON: per-worker liveness table, per-source
+  rollups, anomaly timeline).
+
+The server is strictly read-side: scrapes happen on the server thread,
+refresh only the *aggregator* (a journal reader), and never touch the
+search — the run stays bit-identical with a scraper attached.  Binding
+``port=0`` picks an ephemeral port (``.port`` reports the real one),
+which is what the tests and the CI telemetry job use.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+logger = logging.getLogger("repro.obs.export")
+
+#: Quantiles a histogram summary exposes (matching ``as_dict``).
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """Prometheus-legal metric name: dots and dashes become underscores."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _parse_series_key(key: str) -> tuple[str, dict]:
+    """Invert :func:`repro.obs.metrics.render_key`: name + label dict."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return name, {}
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        label, _, value = part.partition("=")
+        if label:
+            labels[label] = value
+    return name, labels
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _series(name: str, labels: dict, value) -> str:
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape_label(val)}"'
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value:g}"
+    return f"{name} {value:g}"
+
+
+def render_prometheus(
+    metrics_snapshot: Optional[dict] = None,
+    aggregate_snapshot: Optional[dict] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render registry + aggregator snapshots as text exposition.
+
+    Both inputs are the plain-dict snapshots the rest of the repo
+    already produces (``MetricsRegistry.snapshot()``,
+    ``CampaignAggregator.snapshot()``), so journaled ``run_end``
+    metrics dumps render just as well as live registries.
+    """
+    lines: list[str] = []
+    snapshot = metrics_snapshot or {}
+    emitted_types: set = set()
+
+    def emit(name: str, kind: str, labels: dict, value) -> None:
+        if value is None:
+            return
+        if name not in emitted_types:
+            lines.append(f"# TYPE {name} {kind}")
+            emitted_types.add(name)
+        lines.append(_series(name, labels, float(value)))
+
+    for key, value in snapshot.get("counters", {}).items():
+        raw, labels = _parse_series_key(key)
+        emit(_metric_name(raw, prefix) + "_total", "counter", labels, value)
+    for key, value in snapshot.get("gauges", {}).items():
+        raw, labels = _parse_series_key(key)
+        emit(_metric_name(raw, prefix), "gauge", labels, value)
+    for key, summary in snapshot.get("histograms", {}).items():
+        raw, labels = _parse_series_key(key)
+        name = _metric_name(raw, prefix)
+        for quantile, stat in _QUANTILES:
+            emit(
+                name, "summary",
+                dict(labels, quantile=quantile), summary.get(stat),
+            )
+        emit(name + "_count", "counter", labels, summary.get("count"))
+        emit(name + "_sum", "counter", labels, summary.get("sum"))
+
+    if aggregate_snapshot is not None:
+        totals = aggregate_snapshot.get("totals", {})
+        campaign = {
+            "campaign_experiments_total": ("counter", "experiments"),
+            "campaign_anomalies_total": ("counter", "anomalies"),
+            "campaign_skips_total": ("counter", "skips"),
+            "campaign_runs_total": ("counter", "runs"),
+            "campaign_complete_runs_total": ("counter", "complete_runs"),
+            "campaign_ttfa_seconds": (
+                "gauge", "time_to_first_anomaly_seconds"
+            ),
+            "campaign_coverage_fraction": ("gauge", "coverage_fraction"),
+            "campaign_cache_hit_rate": ("gauge", "cache_hit_rate"),
+            "campaign_latency_p99_us": ("gauge", "latency_p99_us"),
+            "campaign_workers_alive": ("gauge", "workers_alive"),
+        }
+        for metric, (kind, key) in campaign.items():
+            emit(_metric_name(metric, prefix), kind, {}, totals.get(key))
+        for row in aggregate_snapshot.get("workers", ()):
+            labels = {
+                "source": row["source"], "worker": str(row["worker"]),
+            }
+            emit(
+                _metric_name("worker_up", prefix), "gauge",
+                labels, 1.0 if row["alive"] else 0.0,
+            )
+            emit(
+                _metric_name("worker_heartbeat_age_seconds", prefix),
+                "gauge", labels, row["age_seconds"],
+            )
+            emit(
+                _metric_name("worker_tasks_done", prefix), "gauge",
+                labels, row["done"],
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class TelemetryServer:
+    """Background HTTP thread exposing ``/metrics`` and ``/status``.
+
+    ``metrics`` is a live :class:`~repro.obs.metrics.MetricsRegistry`
+    (snapshotted per scrape — it is thread-safe by construction);
+    ``aggregator`` is an optional
+    :class:`~repro.obs.aggregate.CampaignAggregator`, refreshed at
+    scrape time on the server thread so no background polling runs
+    between scrapes.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        aggregator=None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.metrics = metrics
+        self.aggregator = aggregator
+        # One scrape at a time: the aggregator's fold is not re-entrant
+        # and ThreadingHTTPServer handles requests concurrently.
+        self._scrape_lock = threading.Lock()
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence stderr
+                logger.debug("telemetry: %s", args)
+
+            def do_GET(self) -> None:
+                try:
+                    if self.path.split("?")[0] == "/metrics":
+                        body = server.scrape_metrics().encode("utf-8")
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif self.path.split("?")[0] == "/status":
+                        body = server.scrape_status().encode("utf-8")
+                        ctype = "application/json"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
+                except Exception as error:  # surface, don't kill thread
+                    self.send_error(500, str(error))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- scrape bodies (also used directly by tests) ------------------------
+
+    def scrape_metrics(self) -> str:
+        with self._scrape_lock:
+            if self.aggregator is not None:
+                self.aggregator.refresh()
+            return render_prometheus(
+                self.metrics.snapshot() if self.metrics is not None else {},
+                self.aggregator.snapshot()
+                if self.aggregator is not None else None,
+            )
+
+    def scrape_status(self) -> str:
+        with self._scrape_lock:
+            if self.aggregator is None:
+                payload: dict = {"sources": [], "totals": {}, "workers": []}
+            else:
+                self.aggregator.refresh()
+                payload = self.aggregator.snapshot()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()

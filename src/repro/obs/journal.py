@@ -19,6 +19,7 @@ compare equal).
 from __future__ import annotations
 
 import dataclasses
+import gzip
 import json
 import os
 from typing import IO, Iterable, Optional, Union
@@ -84,6 +85,26 @@ class RunJournal:
         self.close()
 
 
+#: Leading bytes of every gzip member (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def open_journal_text(path: Union[str, os.PathLike]) -> IO[str]:
+    """Open a journal for reading, decompressing gzip transparently.
+
+    Compression is sniffed from the file's magic bytes (not the name),
+    so the canary corpus cells (``canary/corpus/*.jsonl.gz``) and a
+    plain journal renamed to ``.gz`` both read correctly through every
+    journal surface (``report``/``stats``/``journal diff``/...).
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as probe:
+        magic = probe.read(len(_GZIP_MAGIC))
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
 def read_journal(path: Union[str, os.PathLike]) -> list[dict]:
     """Parse a journal file into records (blank lines are skipped)."""
     records, truncated = read_journal_prefix(path)
@@ -106,7 +127,7 @@ def read_journal_prefix(
     """
     records: list[dict] = []
     pending_error: Optional[str] = None
-    with open(path, encoding="utf-8") as handle:
+    with open_journal_text(path) as handle:
         for line_number, line in enumerate(handle, 1):
             stripped = line.strip()
             if not stripped:
@@ -356,6 +377,7 @@ def journal_summary(records: Iterable[dict]) -> dict:
         "cache_events": by_type.get("cache", 0),
         "retries": by_type.get("retry", 0),
         "quarantines": by_type.get("quarantine", 0),
+        "heartbeats": by_type.get("heartbeat", 0),
         "by_type": dict(sorted(by_type.items())),
     }
 

@@ -22,6 +22,7 @@ campaign runs journal post-hoc from the reports their workers return.
 from __future__ import annotations
 
 import logging
+import time
 from typing import Optional
 
 from repro.analysis.serialize import workload_to_dict
@@ -50,6 +51,7 @@ class FlightRecorder:
         progress_every: int = 0,
         profiler: Optional[SpanProfiler] = None,
         track_coverage: bool = False,
+        heartbeats: bool = False,
     ) -> None:
         self.journal = journal
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -61,6 +63,17 @@ class FlightRecorder:
         #: Track 4-D workload-space coverage (one tracker per run).
         self.track_coverage = track_coverage
         self.coverage: Optional[CoverageTracker] = None
+        #: Journal schema-v7 ``heartbeat`` records as fan-out tasks
+        #: complete (live telemetry only).  Off by default: heartbeats
+        #: carry wall clock, the one nondeterministic field the journal
+        #: admits, so only surfaces that strip them (the exporter /
+        #: dashboard plane) turn this on.  Wall time never enters the
+        #: metrics registry — ``run_end`` embeds a registry snapshot,
+        #: and that must stay bit-identical to an untelemetered run.
+        self.heartbeats = heartbeats
+        #: Optional attached :class:`~repro.obs.export.TelemetryServer`
+        #: (owned by the CLI: opened with the recorder, closed with it).
+        self.telemetry = None
         #: Which population chain this recorder writes for.  ``None``
         #: (single-trajectory runs) stamps nothing, keeping legacy
         #: journals byte-identical; an int stamps every record with
@@ -69,6 +82,11 @@ class FlightRecorder:
         self.chain: Optional[int] = None
         self._experiments_seen = 0
         self._spans_flushed = 0
+        #: Experiment count of the current run's last ``snapshot``
+        #: record (None = none yet), so run_end can close the
+        #: final-progress gap without duplicating a snapshot that the
+        #: modulus already emitted at exactly the final count.
+        self._last_snapshot_experiments: Optional[int] = None
 
     def for_chain(self, chain: int) -> "FlightRecorder":
         """A chain-stamped view sharing this recorder's journal/metrics.
@@ -85,6 +103,7 @@ class FlightRecorder:
             progress_every=self.progress_every,
             profiler=None,
             track_coverage=self.track_coverage,
+            heartbeats=self.heartbeats,
         )
         view.chain = chain
         return view
@@ -106,6 +125,7 @@ class FlightRecorder:
         space=None,
     ) -> None:
         self.metrics.counter("search.runs")
+        self._last_snapshot_experiments = None
         if self.track_coverage:
             self.coverage = (
                 CoverageTracker(space) if space is not None
@@ -157,6 +177,22 @@ class FlightRecorder:
         anomalies: int, counter_ranking: list,
     ) -> None:
         if self.journal is not None:
+            # Close the final-progress gap: the modulus only fires every
+            # N experiments, so the run's tail (and any run shorter than
+            # N) would otherwise never snapshot.  Skip only when the
+            # last periodic snapshot already landed on the final count.
+            if (
+                self.progress_every
+                and experiments != self._last_snapshot_experiments
+            ):
+                self._write({
+                    "t": "snapshot",
+                    "time_seconds": elapsed_seconds,
+                    "experiments": experiments,
+                    "anomalies": anomalies,
+                    "skipped": skipped,
+                    "metrics": self.metrics.snapshot(),
+                })
             if self.coverage is not None:
                 self._write(self.coverage.as_record(elapsed_seconds))
             self._flush_spans()
@@ -286,6 +322,25 @@ class FlightRecorder:
         if self.progress_every:
             progress_logger.info("progress: task %d/%d complete", done, total)
 
+    def heartbeat(self, worker: int, done: int, total: int) -> None:
+        """Executor liveness for the live-telemetry plane (schema v7).
+
+        Journal-only by design: the ``wall_time`` envelope field is the
+        single nondeterministic value the journal ever carries, and it
+        must never reach the metrics registry (``snapshot``/``run_end``
+        records embed registry dumps, which stay bit-identical to a
+        bare run).  No-op unless :attr:`heartbeats` was requested.
+        """
+        if not self.heartbeats or self.journal is None:
+            return
+        self._write({
+            "t": "heartbeat",
+            "worker": worker,
+            "done": done,
+            "total": total,
+            "wall_time": time.time(),
+        })
+
     # -- resilience events (executor retry/quarantine decisions) -----------
 
     def injected_fault(self, kind: str) -> None:
@@ -402,6 +457,7 @@ class FlightRecorder:
                 "skipped": state.skipped,
                 "metrics": self.metrics.snapshot(),
             })
+            self._last_snapshot_experiments = state.experiments
             if self.coverage is not None:
                 self._write(self.coverage.as_record(time_seconds))
 

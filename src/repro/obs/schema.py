@@ -66,6 +66,16 @@ Record types:
     victim-degradation verdicts compare against.  Every ``experiment``
     of such a run then carries the optional ``interference`` field
     (victim shared throughput over fair share).
+``heartbeat``
+    Executor liveness: one per completed fan-out task when live
+    telemetry is on (``--export-metrics``), carrying the virtual worker
+    slot the task ran on, the done/total progress, and — uniquely among
+    journal records — a ``wall_time`` envelope field (``time.time()``).
+    Wall clock is nondeterministic, so heartbeats are exactly the
+    records the determinism contract excludes: every comparison surface
+    (report reconstruction, ``journal diff``, the canary, resume)
+    ignores them, and a telemetered journal with its heartbeat lines
+    stripped is byte-identical to a bare run's journal.
 
 Version 2 added the ``retry``/``quarantine`` types; version 3 added the
 observatory's ``coverage``/``spans`` types plus the optional
@@ -77,7 +87,10 @@ those stay byte-compatible) and the ``exchange`` transition action
 (parallel tempering adopted a replica from an adjacent ladder rung);
 version 6 added the isolation domain: the ``isolation`` record type
 and the optional ``experiment.interference`` field (both only written
-by co-run searches, so solo journals stay byte-compatible with v5).
+by co-run searches, so solo journals stay byte-compatible with v5);
+version 7 added the live-telemetry ``heartbeat`` record (only written
+when an exporter/dashboard asks for liveness, so untelemetered
+journals stay byte-compatible with v6).
 Older journals remain valid (the validator accepts every version in
 ``SUPPORTED_VERSIONS``; optional fields are only type-checked when
 present).
@@ -87,10 +100,10 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Versions the validator (and readers) accept.
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 NUMBER = (int, float)
 MAYBE_INT = (int, type(None))
@@ -204,6 +217,12 @@ RECORD_FIELDS: dict = {
         "victim_share": NUMBER,
         "alone_gbps": NUMBER,
         "alone_p99_us": NUMBER,
+    },
+    "heartbeat": {
+        "worker": int,
+        "done": int,
+        "total": int,
+        "wall_time": NUMBER,
     },
 }
 

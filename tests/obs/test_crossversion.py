@@ -5,9 +5,11 @@ older-version forms of real recorded search journals (subsystem F):
 v1 predates the resilience records, v2 has ``retry``/``quarantine``
 but no observatory ``coverage``/``spans``, v3 has the observatory
 records but predates the ``latency`` stream, v5 is a two-chain
-population journal (chain stamps + latency records) and v6 is an
+population journal (chain stamps + latency records), v6 is an
 isolation (adversarial-neighbor) journal with the ``isolation``
-preamble and per-experiment ``interference`` stamps.  Every reader —
+preamble and per-experiment ``interference`` stamps, and v7 is a
+telemetered two-seed campaign journal carrying live-telemetry
+``heartbeat`` records.  Every reader —
 validator, report reconstruction, metrics, the canary's invariant
 pass — must accept all of them forever: the canary corpus is
 committed once and read by every future version of the code.
@@ -40,11 +42,12 @@ def fixture_records(version: int) -> list:
 
 
 #: Fixture version → how many search reports its journal reconstructs
-#: (v5 is a two-chain population journal; the rest are single runs).
-FIXTURE_REPORT_COUNTS = {1: 1, 2: 1, 3: 1, 5: 2, 6: 1}
+#: (v5 is a two-chain population journal, v7 a two-seed campaign; the
+#: rest are single runs).
+FIXTURE_REPORT_COUNTS = {1: 1, 2: 1, 3: 1, 5: 2, 6: 1, 7: 2}
 
 
-@pytest.mark.parametrize("version", (1, 2, 3, 5, 6))
+@pytest.mark.parametrize("version", (1, 2, 3, 5, 6, 7))
 class TestOldJournalsStillWork:
     def test_validates_under_current_schema(self, version):
         records = fixture_records(version)
@@ -111,6 +114,55 @@ class TestIsolationJournalSurfaces:
         metrics = journal_metrics(fixture_records(5))
         assert metrics["isolation_experiments"] == 0
         assert metrics["interference_min"] is None
+
+
+class TestTelemetryJournalSurfaces:
+    """v7-specific read surfaces over the telemetered campaign fixture."""
+
+    def test_heartbeats_are_counted_and_fold_into_liveness(self):
+        from repro.obs import CampaignAggregator, journal_summary
+
+        records = fixture_records(7)
+        assert journal_summary(records)["heartbeats"] == 2
+        agg = CampaignAggregator(
+            [os.path.join(FIXTURES, "v7.jsonl")]
+        )
+        agg.refresh()
+        snap = agg.snapshot(now=0.0)
+        assert snap["totals"]["workers_total"] == 2
+        assert snap["totals"]["runs"] == 2
+
+    def test_canonical_form_drops_heartbeats(self):
+        from repro.canary.corpus import canonical_journal_bytes
+
+        records = fixture_records(7)
+        stripped = [r for r in records if r["t"] != "heartbeat"]
+        assert canonical_journal_bytes(records) == canonical_journal_bytes(
+            stripped
+        )
+        assert b"heartbeat" not in canonical_journal_bytes(records)
+
+    def test_gated_metrics_ignore_heartbeats(self):
+        records = fixture_records(7)
+        stripped = [r for r in records if r["t"] != "heartbeat"]
+        assert journal_metrics(records) == journal_metrics(stripped)
+
+
+class TestPreTelemetryReaderSkipsWithNote:
+    """A pre-v7 reader sees ``heartbeat`` as an unknown record kind."""
+
+    def test_skip_is_noted_and_reads_still_work(self, monkeypatch):
+        from repro.analysis.journaldiff import describe_unknown_kinds
+        from repro.obs import schema
+
+        monkeypatch.delitem(schema.RECORD_FIELDS, "heartbeat")
+        records = fixture_records(7)
+        assert describe_unknown_kinds(records) == [
+            "unknown record kind skipped: heartbeat (n=2)"
+        ]
+        reports = reports_from_records(records)
+        assert len(reports) == 2
+        assert diff_journals(records, records).ok
 
 
 class TestPreIsolationReaderSkipsWithNote:

@@ -66,17 +66,17 @@ class TestValidateRecord:
 
 
 class TestSchemaVersions:
-    def test_current_version_is_six(self):
-        assert SCHEMA_VERSION == 6
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6)
+    def test_current_version_is_seven(self):
+        assert SCHEMA_VERSION == 7
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6, 7)
 
     def test_older_journals_still_validate(self):
-        for version in (1, 2, 3, 4, 5):
+        for version in (1, 2, 3, 4, 5, 6):
             assert validate_record(skip_record(v=version)) == []
 
     def test_future_version_rejected(self):
-        errors = validate_record(skip_record(v=7))
-        assert any("unsupported schema version 7" in e for e in errors)
+        errors = validate_record(skip_record(v=8))
+        assert any("unsupported schema version 8" in e for e in errors)
 
 
 class TestPopulationRecords:

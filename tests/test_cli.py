@@ -676,3 +676,62 @@ class TestLatencySurfaces:
         assert main(["journal", "diff", str(journal), str(future)]) == 0
         err = capsys.readouterr().err
         assert "unknown record kind skipped: hologram (n=1)" in err
+
+
+class TestTelemetryFlags:
+    def test_export_metrics_serves_and_journals_heartbeats(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "campaign.jsonl"
+        code = main(["campaign", "collie", "--subsystem", "F",
+                     "--hours", "0.3", "--seeds", "2", "--seed", "1",
+                     "--workers", "2", "--journal", str(path),
+                     "--export-metrics", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry: serving http://127.0.0.1:" in out
+        assert "/metrics" in out and "/status" in out
+        from repro.obs import journal_summary, read_journal
+
+        assert journal_summary(read_journal(path))["heartbeats"] == 2
+
+    def test_journal_flag_alone_writes_no_heartbeats(self, tmp_path, capsys):
+        path = tmp_path / "bare.jsonl"
+        assert main(["campaign", "collie", "--subsystem", "F",
+                     "--hours", "0.3", "--seeds", "2", "--seed", "1",
+                     "--workers", "2", "--journal", str(path)]) == 0
+        from repro.obs import journal_summary, read_journal
+
+        assert journal_summary(read_journal(path))["heartbeats"] == 0
+
+
+class TestTop:
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("top") / "run.jsonl"
+        assert main(["search", "F", "--hours", "0.3", "--seed", "2",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_top_once_renders_a_frame(self, journal, capsys):
+        capsys.readouterr()  # drop any fixture-time search output
+        assert main(["top", str(journal), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — live campaign telemetry" in out
+        assert "experiments" in out
+        assert "\x1b" not in out  # --once frames carry no escapes
+
+    def test_top_once_with_baseline_shows_drift(self, journal, capsys):
+        assert main(["top", str(journal), "--once",
+                     "--baseline", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert f"drift vs {journal}" in out
+        assert out.count("+0.0% =") == 3  # self-drift is zero
+
+    def test_top_unreadable_baseline_is_a_clear_error(
+        self, journal, tmp_path, capsys
+    ):
+        missing = tmp_path / "gone.jsonl"
+        assert main(["top", str(journal), "--once",
+                     "--baseline", str(missing)]) == 2
+        assert "cannot read baseline journal" in capsys.readouterr().err
